@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Design-space extension: event-queue depth under bursty load.
+ *
+ * Section 4.2 asks: "If a handler takes too long to execute, SNAP/LE
+ * may end up dropping pending events because the event queue has
+ * filled up." We quantify it: a deliberately slow handler is hit with
+ * bursts of events at varying queue depths, and the drop rate is
+ * measured — the sizing argument for the (8-deep) hardware queue.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "common.hh"
+#include "core/machine.hh"
+
+namespace {
+
+using namespace snaple;
+using namespace snaple::bench;
+
+/** A handler that burns ~300 instructions per event. */
+const char *kSlowHandler = R"(
+    li r1, 0
+    la r2, h
+    setaddr r1, r2
+    done
+h:
+    li r4, 100
+spin:
+    dec r4
+    bnez r4, spin
+    inc r5
+    done
+)";
+
+struct Result
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t handled = 0;
+};
+
+Result
+run(std::size_t depth, int burst, int bursts, sim::Tick gap)
+{
+    core::CoreConfig cfg;
+    cfg.eventQueueDepth = depth;
+    cfg.volts = 0.6; // slow operating point: queueing is real
+    sim::Kernel k;
+    core::Machine m(k, cfg);
+    m.load(assembler::assembleSnap(kSlowHandler));
+    m.start();
+    k.runFor(sim::kMillisecond);
+    for (int b = 0; b < bursts; ++b) {
+        for (int i = 0; i < burst; ++i)
+            m.postEvent(isa::EventNum::Timer0);
+        k.runFor(gap);
+    }
+    k.runFor(10 * sim::kMillisecond);
+    Result r;
+    r.accepted = m.eventQueue().accepted();
+    r.dropped = m.eventQueue().dropped();
+    r.handled = m.core().stats().handlers;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: event-queue depth vs bursty load "
+           "(section 4.2's overflow concern)");
+
+    const int kBurst = 12;
+    const int kBursts = 20;
+    std::printf("bursts of %d events, slow ~300-instruction handler "
+                "at 0.6 V\n\n",
+                kBurst);
+    std::printf("%8s | %10s %10s %10s %10s\n", "depth", "offered",
+                "handled", "dropped", "drop rate");
+    rule('-', 58);
+    for (std::size_t depth : {2u, 4u, 8u, 16u, 32u}) {
+        Result r = run(depth, kBurst, kBursts,
+                       2 * sim::kMillisecond);
+        std::uint64_t offered = r.accepted + r.dropped;
+        std::printf("%8zu | %10llu %10llu %10llu %9.1f%%\n", depth,
+                    static_cast<unsigned long long>(offered),
+                    static_cast<unsigned long long>(r.handled),
+                    static_cast<unsigned long long>(r.dropped),
+                    offered ? 100.0 * r.dropped / offered : 0.0);
+    }
+    rule('-', 58);
+    std::printf("The architected depth of 8 absorbs data-monitoring "
+                "bursts; only sustained\noverload (bursts larger than "
+                "the queue at a rate faster than the handler)\ndrops "
+                "tokens, and deeper queues only delay the inevitable "
+                "under such load.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host-side simulator performance (google-benchmark): how many guest
+ * instructions and kernel events per wall-clock second the CHP
+ * simulation sustains. Not a paper artifact — an engineering
+ * benchmark for the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hh"
+#include "asm/snap_backend.hh"
+#include "baseline/avr_backend.hh"
+#include "baseline/avr_core.hh"
+#include "baseline/tinyos.hh"
+#include "core/machine.hh"
+#include "net/network.hh"
+#include "sensor/sensor.hh"
+
+namespace {
+
+using namespace snaple;
+
+std::string
+mixProgram(int iterations)
+{
+    return R"(
+        li  sp, 2000
+        li  r1, )" + std::to_string(iterations) + R"(
+        li  r2, 3
+        li  r4, 100
+    loop:
+        add r2, r2
+        add r2, r1
+        ldw r5, 0(r4)
+        add r5, r2
+        stw r5, 1(r4)
+        slli r5, 2
+        dec r1
+        bnez r1, loop
+        halt
+    )";
+}
+
+void
+BM_SnapCoreMix(benchmark::State &state)
+{
+    auto prog = assembler::assembleSnap(mixProgram(2000));
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        core::Machine m(kernel, {});
+        m.load(prog);
+        m.start();
+        kernel.run();
+        instructions += m.core().stats().instructions;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instructions));
+    state.SetLabel("guest instructions/s");
+}
+BENCHMARK(BM_SnapCoreMix);
+
+void
+BM_AvrBaselineBlink(benchmark::State &state)
+{
+    auto prog = baseline::assembleAvr(baseline::avrBlinkProgram(4000));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        baseline::AvrMcu::Config cfg;
+        cfg.stopOnHalt = false;
+        baseline::AvrMcu mcu(kernel, cfg, prog);
+        mcu.start();
+        kernel.run(kernel.now() + 20 * sim::kMillisecond);
+        cycles += mcu.stats().cyclesActive;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+    state.SetLabel("guest cycles/s");
+}
+BENCHMARK(BM_AvrBaselineBlink);
+
+void
+BM_FourNodeAodvNetwork(benchmark::State &state)
+{
+    auto snd = assembler::assembleSnap(
+        apps::senderNodeProgram(1, 4, {0xCAFE}, 5));
+    auto rel2 = assembler::assembleSnap(apps::relayNodeProgram(2));
+    auto rel3 = assembler::assembleSnap(apps::relayNodeProgram(3));
+    auto sink = assembler::assembleSnap(apps::sinkNodeProgram(4));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        net::Network net;
+        node::NodeConfig c;
+        c.core.stopOnHalt = false;
+        c.name = "n1";
+        net.addNode(c, snd);
+        c.name = "n2";
+        net.addNode(c, rel2);
+        c.name = "n3";
+        net.addNode(c, rel3);
+        c.name = "n4";
+        net.addNode(c, sink);
+        net.setLineTopology();
+        net.start();
+        net.runFor(500 * sim::kMillisecond);
+        events += net.kernel().eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_FourNodeAodvNetwork);
+
+} // namespace
+
+BENCHMARK_MAIN();

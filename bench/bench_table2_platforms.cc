@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Reproduces Table 2: related microcontrollers compared by energy per
+ * instruction. SNAP/LE rows and the AVR-class baseline are measured
+ * on our models; the other platforms are the paper's literature
+ * values, reprinted for context.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "baseline/avr_backend.hh"
+#include "baseline/avr_core.hh"
+#include "common.hh"
+#include "core/machine.hh"
+
+namespace {
+
+using namespace snaple;
+using namespace snaple::bench;
+
+std::string
+mixProgram(int iterations)
+{
+    return R"(
+        li  sp, 2000
+        li  r1, )" + std::to_string(iterations) + R"(
+        li  r2, 3
+        li  r4, 100
+    loop:
+        add r2, r2
+        add r2, r1
+        sub r2, r1
+        add r2, r2
+        ldw r5, 0(r4)
+        ldw r6, 1(r4)
+        add r5, r6
+        stw r5, 2(r4)
+        andi r5, 0x00ff
+        slli r5, 2
+        srl r5, r2
+        dec r1
+        bnez r1, loop
+        halt
+    )";
+}
+
+struct Measured
+{
+    double mips;
+    double pj_per_ins;
+};
+
+Measured
+measureSnap(double volts)
+{
+    core::CoreConfig cfg;
+    cfg.volts = volts;
+    sim::Kernel kernel;
+    core::Machine m(kernel, cfg);
+    m.load(assembler::assembleSnap(mixProgram(5000)));
+    m.start();
+    kernel.run(kernel.now() + 100 * sim::kSecond);
+    Measured r;
+    r.mips = double(m.core().stats().instructions) /
+             sim::toSec(m.core().stats().activeTime) / 1e6;
+    r.pj_per_ins = m.ctx().ledger.processorPj() /
+                   double(m.core().stats().instructions);
+    return r;
+}
+
+Measured
+measureAvr()
+{
+    // An equivalent arithmetic/memory mix on the baseline.
+    sim::Kernel kernel;
+    baseline::AvrMcu::Config cfg;
+    auto prog = baseline::assembleAvr(R"(
+        ldi r20, 200
+    outer:
+        ldi r16, 50
+        ldi r17, 3
+    loop:
+        add r17, r17
+        add r17, r16
+        sub r17, r16
+        lds r18, 0x100
+        lds r19, 0x101
+        add r18, r19
+        sts 0x102, r18
+        andi r18, 0x0f
+        lsl r18
+        lsr r18
+        dec r16
+        brne loop
+        dec r20
+        brne outer
+        halt
+    )");
+    baseline::AvrMcu mcu(kernel, cfg, prog);
+    mcu.start();
+    kernel.run(kernel.now() + 10 * sim::kSecond);
+    Measured r;
+    double cycles = double(mcu.stats().cyclesActive);
+    double instrs = double(mcu.stats().instructions);
+    r.mips = cfg.clockMhz * instrs / cycles; // IPC * f
+    r.pj_per_ins = mcu.activeEnergyNj() * 1000.0 / instrs;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 2: related microcontrollers (measured rows marked *)");
+
+    std::printf("%-44s %8s %6s %9s %10s\n", "processor", "clocked",
+                "MIPS", "datapath", "E/ins (pJ)");
+    rule('-', 84);
+    // Literature rows, as printed in the paper.
+    std::printf("%-44s %8s %6s %9s %10s\n",
+                "Atmel Mega128L (MICA2, MEDUSA-II)", "yes", "4",
+                "8-bit", "1500");
+    std::printf("%-44s %8s %6s %9s %10s\n",
+                "Intel XScale (Rockwell, Intel Mote)", "yes",
+                "200-400", "32-bit", "890-1028");
+    std::printf("%-44s %8s %6s %9s %10s\n",
+                "DVS microprocessor (custom ARM8)", "yes", "7-84",
+                "32-bit", "540-5600");
+    std::printf("%-44s %8s %6s %9s %10s\n", "CoolRISC XE88", "yes",
+                "1", "8-bit", "720");
+    std::printf("%-44s %8s %6s %9s %10s\n",
+                "Lutonium (async 8051, 1.8V)", "no", "200", "8-bit",
+                "500");
+    std::printf("%-44s %8s %6s %9s %10s\n",
+                "ASPRO-216 (async 16-bit)", "no", "25-140", "16-bit",
+                "1000-3000");
+    rule('-', 84);
+
+    Measured avr = measureAvr();
+    std::printf("%-44s %8s %6.1f %9s %10.0f\n",
+                "* AVR-class baseline model (3V, 4MHz)", "yes",
+                avr.mips, "8-bit", avr.pj_per_ins);
+
+    Measured s06 = measureSnap(0.6);
+    Measured s18 = measureSnap(1.8);
+    std::printf("%-44s %8s %6.0f %9s %10.0f\n",
+                "* SNAP/LE model @0.6V (paper: 28 MIPS, ~24)", "no",
+                s06.mips, "16-bit", s06.pj_per_ins);
+    std::printf("%-44s %8s %6.0f %9s %10.0f\n",
+                "* SNAP/LE model @1.8V (paper: 240 MIPS, ~218)", "no",
+                s18.mips, "16-bit", s18.pj_per_ins);
+    rule('-', 84);
+    std::printf("Ratio ATmega : SNAP@0.6V = %.0fx (paper: ~68x at "
+                "1500 vs 24 pJ/ins)\n",
+                avr.pj_per_ins / s06.pj_per_ins);
+    std::printf("Note: the baseline row uses the 3.75 nJ/cycle point "
+                "calibrated from the\npaper's own Figure 5 blink "
+                "energy (1960 nJ / 523 cycles); Table 2's\n1500 "
+                "pJ/ins corresponds to a lower-power ATmega operating "
+                "point.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space extension: a continuous supply-voltage sweep.
+ *
+ * The paper evaluates three points (1.8 / 0.9 / 0.6 V). The model's
+ * voltage scaling is continuous, so we can sweep the whole range and
+ * chart throughput, energy per instruction, energy-delay product and
+ * the leakage floor — showing *why* 0.6 V is the right operating
+ * point for tens-of-events-per-second workloads and where
+ * leakage-aware voltage selection would land (section 6's concerns,
+ * quantified).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "common.hh"
+#include "core/machine.hh"
+
+namespace {
+
+using namespace snaple;
+using namespace snaple::bench;
+
+std::string
+mixProgram(int iterations)
+{
+    return R"(
+        li  sp, 2000
+        li  r1, )" + std::to_string(iterations) + R"(
+        li  r2, 3
+        li  r4, 100
+    loop:
+        add r2, r2
+        add r2, r1
+        ldw r5, 0(r4)
+        add r5, r2
+        stw r5, 1(r4)
+        slli r5, 2
+        dec r1
+        bnez r1, loop
+        halt
+    )";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: continuous voltage sweep (the paper's three "
+           "points interpolated)");
+
+    std::printf("%7s | %8s %10s %12s %12s\n", "supply", "MIPS",
+                "pJ/ins", "EDP (pJ*ns)", "leak (nW)");
+    rule('-', 60);
+    for (double volts :
+         {0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.4, 1.6, 1.8}) {
+        core::CoreConfig cfg;
+        cfg.volts = volts;
+        sim::Kernel kernel;
+        core::Machine m(kernel, cfg);
+        m.load(assembler::assembleSnap(mixProgram(3000)));
+        m.start();
+        kernel.run(kernel.now() + 100 * sim::kSecond);
+        sim::fatalIf(!m.core().halted(), "sweep mix did not halt");
+
+        double n = double(m.core().stats().instructions);
+        double ns_per_ins =
+            sim::toNs(m.core().stats().activeTime) / n;
+        double pj_per_ins = m.ctx().ledger.processorPj() / n;
+        std::printf("%6.1fV | %8.1f %10.1f %12.1f %12.0f\n", volts,
+                    1000.0 / ns_per_ins, pj_per_ins,
+                    pj_per_ins * ns_per_ins,
+                    m.ctx().leakagePowerNw());
+    }
+    rule('-', 60);
+    std::printf("Energy falls ~V^2 while delay grows super-linearly "
+                "near threshold: below\n~0.7 V the energy savings "
+                "flatten while leakage-per-useful-work rises —\nthe "
+                "quantitative backdrop to the paper's plan to trade "
+                "performance for\nenergy only as far as the "
+                "application deadline allows.\n");
+    return 0;
+}

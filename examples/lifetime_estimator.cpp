@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Battery-lifetime estimator: sweep the event rate of a
+ * data-monitoring node and compare projected lifetimes on a CR2032
+ * coin cell for SNAP/LE at 0.6 V and 1.8 V against the AVR-class
+ * mote. This turns section 4.7's nanowatt arithmetic into the number
+ * a deployment engineer actually wants.
+ *
+ * Build & run:  ./build/examples/lifetime_estimator
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hh"
+#include "asm/snap_backend.hh"
+#include "baseline/avr_backend.hh"
+#include "baseline/avr_core.hh"
+#include "baseline/tinyos.hh"
+#include "net/network.hh"
+#include "node/power.hh"
+#include "sensor/sensor.hh"
+
+namespace {
+
+using namespace snaple;
+
+double
+snapPowerW(double volts, double events_per_sec)
+{
+    unsigned period =
+        static_cast<unsigned>(1e6 / events_per_sec); // 1 us ticks
+    net::Network net;
+    node::NodeConfig cfg;
+    cfg.name = "node";
+    cfg.attachRadio = false;
+    cfg.core.stopOnHalt = false;
+    cfg.core.volts = volts;
+    auto &n = net.addNode(
+        cfg, assembler::assembleSnap(apps::temperatureProgram(period)));
+    sensor::TemperatureSensor sens;
+    n.attachSensor(0, sens);
+    net.start();
+    net.runFor(50 * sim::kMillisecond);
+    double pj0 = n.ctx().ledger.processorPj();
+    sim::Tick window = sim::fromSec(20.0 / events_per_sec);
+    net.runFor(window);
+    return node::averagePowerW(n.ctx().ledger.processorPj() - pj0,
+                               window);
+}
+
+double
+avrPowerW(double events_per_sec)
+{
+    // Same sampling app on the mote; 4 MHz clock.
+    std::uint32_t period =
+        static_cast<std::uint32_t>(4e6 / events_per_sec);
+    sim::Kernel kernel;
+    baseline::AvrMcu::Config cfg;
+    cfg.stopOnHalt = false;
+    baseline::AvrMcu mcu(kernel, cfg,
+                         baseline::assembleAvr(
+                             baseline::avrSenseProgram(period)));
+    sensor::TemperatureSensor sens;
+    mcu.attachSensor(sens);
+    mcu.start();
+    kernel.runFor(50 * sim::kMillisecond);
+    double nj0 = mcu.activeEnergyNj();
+    sim::Tick window = sim::fromSec(20.0 / events_per_sec);
+    kernel.runFor(window);
+    double nj = mcu.activeEnergyNj() - nj0;
+    return nj * 1e-9 / sim::toSec(window);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("projected CR2032 (%.0f J) lifetime from *processor* "
+                "energy alone,\nsampling a sensor at the given rate "
+                "(radio and leakage excluded):\n\n",
+                snaple::node::kCoinCellJoules);
+    std::printf("%12s | %16s %16s %16s\n", "events/sec",
+                "SNAP @0.6V", "SNAP @1.8V", "AVR mote");
+    std::printf("%12s | %16s %16s %16s\n", "", "(years)", "(years)",
+                "(years)");
+    for (int i = 0; i < 60; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    for (double rate : {1.0, 5.0, 10.0, 50.0, 100.0}) {
+        double w06 = snapPowerW(0.6, rate);
+        double w18 = snapPowerW(1.8, rate);
+        double wavr = avrPowerW(rate);
+        auto years = [](double watts) {
+            return snaple::node::lifetimeDays(
+                       snaple::node::kCoinCellJoules, watts) /
+                   365.0;
+        };
+        std::printf("%12.0f | %16.0f %16.0f %16.1f\n", rate,
+                    years(w06), years(w18), years(wavr));
+    }
+
+    std::printf("\nIn practice leakage, sensors and the radio set the "
+                "floor — the point of the\nsweep is that SNAP/LE "
+                "removes the *processor* from the lifetime equation\n"
+                "entirely at data-monitoring rates (tens of events "
+                "per second or fewer).\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The SNAP guest application suite.
+ *
+ * These are the workloads of the paper's section 4.2: an 802.11-style
+ * MAC with CSMA backoff and checksummed frames, a simplified AODV
+ * routing layer (RREQ flood / RREP unicast / data forwarding), the
+ * Temperature and Threshold data-gathering applications, the TinyOS
+ * comparison apps (Blink, Sense), and the MICA high-speed radio stack
+ * port (SEC-DED byte coding + CRC-16).
+ *
+ * Everything is SNAP assembly, emitted as strings and assembled at
+ * run time. The authors compiled C with an unoptimized lcc port; we
+ * write the assembly directly but keep lcc's codegen idioms (call-
+ * heavy structure, register save/restore around calls, stack spills),
+ * which is what puts dynamic instruction counts in the paper's range
+ * and makes "Arith Reg" and "Load" the two most frequent classes
+ * (section 4.5). The substitution is documented in DESIGN.md §5.
+ */
+
+#ifndef SNAPLE_APPS_APPS_HH
+#define SNAPLE_APPS_APPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snaple::apps {
+
+/** Shared DMEM layout (mirrors the .equ block in commonDefs()). */
+namespace layout {
+inline constexpr std::uint16_t kRtBase = 0;     ///< routing table [16]
+inline constexpr std::uint16_t kSeenBase = 16;  ///< RREQ dedup [16]
+inline constexpr std::uint16_t kRxBuf = 36;
+inline constexpr std::uint16_t kTxPend = 54;
+inline constexpr std::uint16_t kTxBuf = 56;
+inline constexpr std::uint16_t kMyAddr = 72;
+inline constexpr std::uint16_t kStDeliv = 74;   ///< data delivered
+inline constexpr std::uint16_t kStFwd = 75;     ///< frames forwarded
+inline constexpr std::uint16_t kStRrep = 76;    ///< RREPs generated
+inline constexpr std::uint16_t kStDrop = 77;    ///< frames dropped
+inline constexpr std::uint16_t kStRtOk = 78;    ///< routes established
+inline constexpr std::uint16_t kStBadCk = 79;   ///< checksum failures
+inline constexpr std::uint16_t kAppBase = 96;   ///< app-private state
+inline constexpr std::uint16_t kLogBase = 128;  ///< app log ring [32]
+inline constexpr std::uint16_t kNoRoute = 0xffff;
+} // namespace layout
+
+/** Frame type nibbles (bits 15:12 of the header word). */
+namespace frame {
+inline constexpr std::uint16_t kData = 0x1000;
+inline constexpr std::uint16_t kRreq = 0x3000;
+inline constexpr std::uint16_t kRrep = 0x4000;
+inline constexpr unsigned kBroadcast = 0xF; ///< next-hop "everyone"
+} // namespace frame
+
+/** The .equ block every program starts with. */
+std::string commonDefs();
+
+/**
+ * Host-side frame builder matching the guest MAC's wire format
+ * (header, next-hop|length word, payload, 16-bit sum checksum).
+ * Benches and tests use it to inject well-formed frames.
+ */
+std::vector<std::uint16_t> buildFrame(std::uint16_t type, unsigned hop,
+                                      unsigned src, unsigned dst,
+                                      unsigned nexthop,
+                                      const std::vector<std::uint16_t>
+                                          &payload);
+
+/** The MAC + AODV library (handlers + subroutines, no boot code). */
+std::string macLibrary();
+
+/**
+ * A full MAC/AODV node program. @p my_addr is the 4-bit node address;
+ * @p app_section must define `app_boot` (called once from main, may
+ * schedule timers / send packets) and `app_rx` (called with a
+ * delivered DATA frame in RX_BUF).
+ */
+std::string macNodeProgram(unsigned my_addr,
+                           const std::string &app_section);
+
+/** A pure relay node: MAC + AODV with an empty application. */
+std::string relayNodeProgram(unsigned my_addr);
+
+/**
+ * A node that, @p delay_ms after boot, sends one DATA packet with the
+ * given payload words to @p dst (performing AODV route discovery
+ * first if necessary and retrying the send on a timer).
+ */
+std::string senderNodeProgram(unsigned my_addr, unsigned dst,
+                              const std::vector<std::uint16_t> &payload,
+                              unsigned delay_ms = 5);
+
+/**
+ * A sink node whose app logs every delivered payload word via dbgout
+ * and the LOG ring.
+ */
+std::string sinkNodeProgram(unsigned my_addr);
+
+/**
+ * The Threshold ("Range Comparison") application of Table 1: a MAC
+ * node that compares the first two payload words of each delivered
+ * packet and logs the larger.
+ */
+std::string thresholdNodeProgram(unsigned my_addr);
+
+/**
+ * The Temperature application of Table 1: periodic sensor query,
+ * running average, log. Standalone (no radio). @p period_ticks is the
+ * sampling period in timer ticks.
+ */
+std::string temperatureProgram(std::uint32_t period_ticks = 2000);
+
+/** TinyOS-comparison Blink: periodic timer toggles the "LED". */
+std::string blinkProgram(std::uint32_t period_ticks = 1000);
+
+/**
+ * TinyOS-comparison Sense: periodic ADC sample, running average,
+ * high-order bits to the "LEDs".
+ */
+std::string senseProgram(std::uint32_t period_ticks = 1000);
+
+/**
+ * The MICA high-speed radio stack port: SEC-DED-encode each payload
+ * byte, maintain a running CRC-16, and transmit codewords word by
+ * word, finishing with the CRC. @p bytes is the message payload.
+ */
+std::string radioStackProgram(const std::vector<std::uint8_t> &bytes);
+
+} // namespace snaple::apps
+
+#endif // SNAPLE_APPS_APPS_HH

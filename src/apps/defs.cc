@@ -1,0 +1,58 @@
+#include "apps/apps.hh"
+
+namespace snaple::apps {
+
+std::string
+commonDefs()
+{
+    return R"(
+; ======== shared definitions (see apps/apps.hh layout mirror) ========
+        .equ RT_BASE,    0      ; routing table: next hop per dest [16]
+        .equ SEEN_BASE, 16      ; highest RREQ seq seen per origin [16]
+        .equ RX_STATE,  32
+        .equ RX_IDX,    33
+        .equ RX_REM,    34
+        .equ RX_CKS,    35
+        .equ RX_BUF,    36      ; [16]
+        .equ TX_LEN,    52
+        .equ TX_IDX,    53
+        .equ TX_PEND,   54
+        .equ TX_BUF,    56      ; [16]
+        .equ MY_ADDR,   72
+        .equ SEQ_NO,    73
+        .equ ST_DELIV,  74
+        .equ ST_FWD,    75
+        .equ ST_RREP,   76
+        .equ ST_DROP,   77
+        .equ ST_RTOK,   78
+        .equ ST_BADCK,  79
+        .equ ST_RXTO,   80      ; receive timeouts (truncated frames)
+        .equ T1_CANCELED, 81    ; we canceled timer 1; eat its token
+        .equ RX_TIMEOUT, 2500   ; 3 word-times at 19.2 kbps, in ticks
+        .equ APP_BASE,  96
+        .equ LOG_BASE, 128      ; 32-entry log ring
+        .equ STACK_TOP, 1024
+
+        .equ CMD_IDLE, 0x8000
+        .equ CMD_RX,   0x8001
+        .equ CMD_TX,   0x8002
+        .equ CMD_CARRIER, 0x8003
+        .equ CMD_QUERY, 0x9000
+
+        .equ EV_T0, 0
+        .equ EV_T1, 1
+        .equ EV_T2, 2
+        .equ EV_RX, 3
+        .equ EV_IRQ, 4
+        .equ EV_SDATA, 5
+        .equ EV_TXRDY, 6
+
+        .equ F_DATA, 0x1000
+        .equ F_RREQ, 0x3000
+        .equ F_RREP, 0x4000
+        .equ NO_ROUTE, 0xffff
+        .equ BCAST, 15
+)";
+}
+
+} // namespace snaple::apps

@@ -1,0 +1,713 @@
+#include "apps/apps.hh"
+
+#include <sstream>
+
+namespace snaple::apps {
+
+std::string
+macLibrary()
+{
+    // The event handlers and subroutines of the MAC + AODV library.
+    // Frame format (words):
+    //   w0             [4b type | 4b hop | 4b src | 4b dst]
+    //   w1             [4b next-hop | 12b payload length]
+    //   w2 .. w2+len-1 payload
+    //   w2+len         checksum (16-bit sum of all preceding words)
+    return R"(
+; =================== MAC + AODV library ===================
+
+; --- mac_init: install handlers, radio to RX, clear state. ---
+mac_init:
+        li   r1, EV_RX
+        la   r2, mac_on_rx
+        setaddr r1, r2
+        li   r1, EV_TXRDY
+        la   r2, mac_on_txrdy
+        setaddr r1, r2
+        li   r1, EV_T2
+        la   r2, mac_on_backoff
+        setaddr r1, r2
+        li   r1, EV_T1
+        la   r2, mac_on_rxto
+        setaddr r1, r2
+        li   r15, CMD_RX
+        clr  r1
+        stw  r1, RX_STATE(r0)
+        stw  r1, TX_PEND(r0)
+        stw  r1, TX_IDX(r0)
+        stw  r1, SEQ_NO(r0)
+        stw  r1, T1_CANCELED(r0)
+        ; invalidate routing + RREQ-seen tables
+        li   r1, NO_ROUTE
+        li   r2, 16
+        clr  r3
+        clr  r4
+mi_loop:
+        stw  r1, RT_BASE(r3)
+        stw  r4, SEEN_BASE(r3)
+        inc  r3
+        dec  r2
+        bnez r2, mi_loop
+        ; seed the PRNG with the node address (decorrelates backoff)
+        ldw  r1, MY_ADDR(r0)
+        seed r1
+        ret
+
+; --- mac_on_rx: one radio word arrived; run the frame state machine.
+mac_on_rx:
+        mov  r1, r15            ; the received word
+        ldw  r2, RX_STATE(r0)
+        bnez r2, mrx_nothdr
+        ; header word: start assembling and arm the receive timeout
+        ; (a frame truncated by a collision must not wedge the state
+        ; machine; see mac_on_rxto)
+        stw  r1, RX_BUF(r0)
+        stw  r1, RX_CKS(r0)
+        li   r2, 1
+        stw  r2, RX_STATE(r0)
+        li   r2, 1
+        li   r3, RX_TIMEOUT
+        schedlo r2, r3
+        done
+mrx_nothdr:
+        subi r2, 1
+        bnez r2, mrx_body
+        ; length word: [next-hop | payload len]
+        stw  r1, RX_BUF+1(r0)
+        ldw  r2, RX_CKS(r0)
+        add  r2, r1
+        stw  r2, RX_CKS(r0)
+        andi r1, 0x0fff
+        ; bound-check: a corrupted length must not run the receive
+        ; index past the 16-word frame buffer
+        mov  r2, r1
+        subi r2, 13
+        bltz r2, mrx_len_ok
+        jmp  mrx_bad
+mrx_len_ok:
+        inc  r1                 ; payload words + trailing checksum
+        stw  r1, RX_REM(r0)
+        li   r2, 2
+        stw  r2, RX_IDX(r0)
+        stw  r2, RX_STATE(r0)
+        li   r2, 1
+        li   r3, RX_TIMEOUT
+        schedlo r2, r3          ; push the timeout out
+        done
+mrx_body:
+        ldw  r2, RX_REM(r0)
+        dec  r2
+        stw  r2, RX_REM(r0)
+        ldw  r3, RX_IDX(r0)
+        stw  r1, RX_BUF(r3)
+        inc  r3
+        stw  r3, RX_IDX(r0)
+        bnez r2, mrx_more
+        ; final word: the checksum. Retire the receive timeout; the
+        ; cancel itself delivers a token (paper 3.2), so mark it for
+        ; mac_on_rxto to swallow.
+        li   r3, 1
+        stw  r3, T1_CANCELED(r0)
+        li   r3, 1
+        cancel r3
+        ldw  r2, RX_CKS(r0)
+        sub  r2, r1
+        bnez r2, mrx_bad
+        jmp  mac_dispatch
+mrx_more:
+        ldw  r2, RX_CKS(r0)
+        add  r2, r1
+        stw  r2, RX_CKS(r0)
+        li   r2, 1
+        li   r3, RX_TIMEOUT
+        schedlo r2, r3          ; push the timeout out
+        done
+mrx_bad:
+        li   r2, 1
+        stw  r2, T1_CANCELED(r0)
+        li   r2, 1
+        cancel r2               ; silent if already canceled/expired
+        ldw  r2, ST_BADCK(r0)
+        inc  r2
+        stw  r2, ST_BADCK(r0)
+        clr  r2
+        stw  r2, RX_STATE(r0)
+        done
+
+; --- mac_on_rxto: timer 1 fired. Either the ack of our own cancel
+;     (swallow it, per the paper's cancel-token discipline) or a real
+;     receive timeout: a frame died on the air, reset the state
+;     machine so the next frame parses from its header. ---
+mac_on_rxto:
+        ldw  r1, T1_CANCELED(r0)
+        beqz r1, mrt_timeout
+        clr  r1
+        stw  r1, T1_CANCELED(r0)
+        done
+mrt_timeout:
+        ldw  r1, RX_STATE(r0)
+        beqz r1, mrt_idle
+        clr  r1
+        stw  r1, RX_STATE(r0)
+        ldw  r1, ST_RXTO(r0)
+        inc  r1
+        stw  r1, ST_RXTO(r0)
+mrt_idle:
+        done
+
+; --- mac_dispatch: a complete, checksummed frame sits in RX_BUF. ---
+mac_dispatch:
+        clr  r2
+        stw  r2, RX_STATE(r0)
+        ldw  r1, RX_BUF(r0)     ; header
+        ldw  r2, RX_BUF+1(r0)   ; next-hop | len
+        mov  r3, r2
+        srli r3, 12             ; next-hop
+        ldw  r4, MY_ADDR(r0)
+        mov  r5, r3
+        sub  r5, r4
+        beqz r5, mdsp_mine
+        li   r5, BCAST
+        sub  r5, r3
+        beqz r5, mdsp_mine
+        ldw  r2, ST_DROP(r0)    ; someone else's unicast
+        inc  r2
+        stw  r2, ST_DROP(r0)
+        done
+mdsp_mine:
+        mov  r5, r1
+        andi r5, 0xf000         ; frame type
+        li   r6, F_DATA
+        sub  r6, r5
+        beqz r6, mdsp_data
+        li   r6, F_RREQ
+        sub  r6, r5
+        beqz r6, mdsp_rreq
+        li   r6, F_RREP
+        sub  r6, r5
+        beqz r6, mdsp_rrep
+        done                    ; unknown type: ignore
+mdsp_data:
+        mov  r5, r1
+        andi r5, 0x000f         ; final destination
+        ldw  r4, MY_ADDR(r0)
+        sub  r5, r4
+        beqz r5, mdsp_deliver
+        call aodv_forward
+        done
+mdsp_deliver:
+        ldw  r2, ST_DELIV(r0)
+        inc  r2
+        stw  r2, ST_DELIV(r0)
+        call app_rx
+        done
+mdsp_rreq:
+        call aodv_on_rreq
+        done
+mdsp_rrep:
+        call aodv_on_rrep
+        done
+
+; --- mac_send: frame in TX_BUF (header, len word, payload), TX_LEN
+;     set. Appends the checksum and schedules a CSMA random backoff
+;     (1..8 contention slots of ~4 ms) on timer 2. ---
+mac_send:
+        ldw  r1, TX_LEN(r0)
+        addi r1, 2
+        clr  r2
+        clr  r3
+msn_sum:
+        ldw  r4, TX_BUF(r3)
+        add  r2, r4
+        inc  r3
+        dec  r1
+        bnez r1, msn_sum
+        stw  r2, TX_BUF(r3)
+        clr  r4
+        stw  r4, TX_IDX(r0)
+        li   r4, 1
+        stw  r4, TX_PEND(r0)
+        rand r5
+        andi r5, 0x0007
+        inc  r5
+        slli r5, 12             ; slots of 4096 us > one frame airtime
+        li   r6, 2
+        schedlo r6, r5
+        ret
+
+; --- mac_on_backoff: contention window elapsed. Sense the carrier
+;     (802.11 CSMA); if the channel is busy take another random
+;     backoff, otherwise start transmitting. ---
+mac_on_backoff:
+        ldw  r1, TX_PEND(r0)
+        beqz r1, mbk_idle
+        li   r15, CMD_CARRIER
+        mov  r2, r15            ; synchronous carrier-detect reply
+        bnez r2, mbk_defer
+        li   r15, CMD_TX
+        ldw  r2, TX_BUF(r0)
+        mov  r15, r2
+        li   r3, 1
+        stw  r3, TX_IDX(r0)
+mbk_idle:
+        done
+mbk_defer:
+        rand r5
+        andi r5, 0x0007
+        inc  r5
+        slli r5, 12
+        li   r6, 2
+        schedlo r6, r5
+        done
+
+; --- mac_on_txrdy: transmitter took a word; feed it the next one. ---
+mac_on_txrdy:
+        ldw  r1, TX_IDX(r0)
+        beqz r1, mtx_idle
+        ldw  r2, TX_LEN(r0)
+        addi r2, 3              ; header + len word + payload + cksum
+        mov  r3, r2
+        sub  r3, r1
+        beqz r3, mtx_fin
+        li   r15, CMD_TX
+        ldw  r4, TX_BUF(r1)
+        mov  r15, r4
+        inc  r1
+        stw  r1, TX_IDX(r0)
+        done
+mtx_fin:
+        clr  r2
+        stw  r2, TX_PEND(r0)
+        stw  r2, TX_IDX(r0)
+        li   r15, CMD_RX        ; half-duplex radio back to receive
+        done
+mtx_idle:
+        done
+
+; --- aodv_forward: DATA in RX_BUF addressed elsewhere; relay it. ---
+aodv_forward:
+        push lr
+        ldw  r1, TX_PEND(r0)
+        bnez r1, afw_busy
+        ldw  r1, RX_BUF(r0)
+        mov  r2, r1
+        andi r2, 0x000f         ; final destination
+        ldw  r3, RT_BASE(r2)    ; next hop toward it
+        li   r4, NO_ROUTE
+        sub  r4, r3
+        bnez r4, afw_have
+        ldw  r2, ST_DROP(r0)
+        inc  r2
+        stw  r2, ST_DROP(r0)
+        pop  lr
+        ret
+afw_busy:
+        ldw  r2, ST_DROP(r0)
+        inc  r2
+        stw  r2, ST_DROP(r0)
+        pop  lr
+        ret
+afw_have:
+        ldw  r5, RX_BUF+1(r0)
+        mov  r6, r5
+        andi r6, 0x0fff
+        stw  r6, TX_LEN(r0)
+        addi r6, 2              ; copy header + len + payload
+        clr  r7
+afw_copy:
+        ldw  r8, RX_BUF(r7)
+        stw  r8, TX_BUF(r7)
+        inc  r7
+        dec  r6
+        bnez r6, afw_copy
+        ; hop field <- me
+        ldw  r1, TX_BUF(r0)
+        ldw  r4, MY_ADDR(r0)
+        slli r4, 8
+        bfs  r1, r4, 0x0f00
+        stw  r1, TX_BUF(r0)
+        ; next-hop field <- routed hop
+        ldw  r5, TX_BUF+1(r0)
+        mov  r4, r3
+        slli r4, 12
+        bfs  r5, r4, 0xf000
+        stw  r5, TX_BUF+1(r0)
+        ldw  r2, ST_FWD(r0)
+        inc  r2
+        stw  r2, ST_FWD(r0)
+        call mac_send
+        pop  lr
+        ret
+
+; --- aodv_on_rreq: flood-style route request in RX_BUF. ---
+;     payload[0] carries the originator's sequence number.
+aodv_on_rreq:
+        push lr
+        ldw  r1, TX_PEND(r0)
+        bnez r1, arq_dup        ; transmitter busy: skip this copy
+        ldw  r1, RX_BUF(r0)
+        mov  r2, r1
+        srli r2, 8
+        andi r2, 0x000f         ; hop = neighbor we heard this from
+        mov  r3, r1
+        srli r3, 4
+        andi r3, 0x000f         ; origin
+        ldw  r4, RX_BUF+2(r0)   ; sequence number
+        ldw  r5, SEEN_BASE(r3)
+        mov  r6, r4
+        sub  r6, r5
+        beqz r6, arq_dup
+        stw  r4, SEEN_BASE(r3)
+        stw  r2, RT_BASE(r3)    ; learn reverse route to the origin
+        mov  r5, r1
+        andi r5, 0x000f         ; requested destination
+        ldw  r6, MY_ADDR(r0)
+        sub  r5, r6
+        beqz r5, arq_mine
+        ; rebroadcast with hop <- me
+        ldw  r5, RX_BUF(r0)
+        slli r6, 8              ; r6 still holds MY_ADDR
+        bfs  r5, r6, 0x0f00
+        stw  r5, TX_BUF(r0)
+        ldw  r5, RX_BUF+1(r0)
+        stw  r5, TX_BUF+1(r0)
+        stw  r4, TX_BUF+2(r0)
+        li   r5, 1
+        stw  r5, TX_LEN(r0)
+        call mac_send
+        pop  lr
+        ret
+arq_mine:
+        ; I am the destination: unicast an RREP along the reverse path.
+        ldw  r6, MY_ADDR(r0)
+        mov  r5, r6
+        slli r5, 8
+        li   r7, F_RREP
+        or   r7, r5
+        mov  r5, r6
+        slli r5, 4
+        or   r7, r5
+        or   r7, r3             ; dst = origin
+        stw  r7, TX_BUF(r0)
+        mov  r5, r2             ; next hop = reverse hop
+        slli r5, 12
+        stw  r5, TX_BUF+1(r0)
+        clr  r5
+        stw  r5, TX_LEN(r0)
+        ldw  r5, ST_RREP(r0)
+        inc  r5
+        stw  r5, ST_RREP(r0)
+        call mac_send
+        pop  lr
+        ret
+arq_dup:
+        pop  lr
+        ret
+
+; --- aodv_on_rrep: route reply in RX_BUF (unicast toward origin). ---
+aodv_on_rrep:
+        push lr
+        ldw  r1, TX_PEND(r0)
+        bnez r1, arp_drop       ; transmitter busy: origin will retry
+        ldw  r1, RX_BUF(r0)
+        mov  r2, r1
+        srli r2, 8
+        andi r2, 0x000f         ; hop
+        mov  r3, r1
+        srli r3, 4
+        andi r3, 0x000f         ; src = node this route leads to
+        stw  r2, RT_BASE(r3)    ; learn forward route
+        mov  r5, r1
+        andi r5, 0x000f         ; dst = RREQ origin
+        ldw  r6, MY_ADDR(r0)
+        sub  r5, r6
+        beqz r5, arp_mine
+        ; relay the RREP along the reverse path
+        mov  r5, r1
+        andi r5, 0x000f
+        ldw  r7, RT_BASE(r5)
+        li   r8, NO_ROUTE
+        sub  r8, r7
+        beqz r8, arp_drop
+        ldw  r6, MY_ADDR(r0)
+        slli r6, 8
+        bfs  r1, r6, 0x0f00
+        stw  r1, TX_BUF(r0)
+        mov  r5, r7
+        slli r5, 12
+        stw  r5, TX_BUF+1(r0)
+        clr  r5
+        stw  r5, TX_LEN(r0)
+        call mac_send
+        pop  lr
+        ret
+arp_mine:
+        ldw  r5, ST_RTOK(r0)
+        inc  r5
+        stw  r5, ST_RTOK(r0)
+        pop  lr
+        ret
+arp_drop:
+        ldw  r5, ST_DROP(r0)
+        inc  r5
+        stw  r5, ST_DROP(r0)
+        pop  lr
+        ret
+
+; --- send_data: r1 = destination, r2 = payload length; the payload
+;     words must already sit at TX_BUF+2. With no route, broadcasts an
+;     RREQ instead (the caller retries once the RREP installs one). ---
+send_data:
+        push lr
+        ldw  r3, RT_BASE(r1)
+        li   r4, NO_ROUTE
+        sub  r4, r3
+        beqz r4, sd_discover
+        ldw  r5, MY_ADDR(r0)
+        mov  r6, r5
+        slli r6, 8
+        li   r7, F_DATA
+        or   r7, r6
+        mov  r6, r5
+        slli r6, 4
+        or   r7, r6
+        or   r7, r1
+        stw  r7, TX_BUF(r0)
+        mov  r6, r3
+        slli r6, 12
+        or   r6, r2
+        stw  r6, TX_BUF+1(r0)
+        stw  r2, TX_LEN(r0)
+        call mac_send
+        pop  lr
+        ret
+sd_discover:
+        ldw  r5, MY_ADDR(r0)
+        mov  r6, r5
+        slli r6, 8
+        li   r7, F_RREQ
+        or   r7, r6
+        mov  r6, r5
+        slli r6, 4
+        or   r7, r6
+        or   r7, r1
+        stw  r7, TX_BUF(r0)
+        li   r6, 0xf001         ; next-hop broadcast, payload len 1
+        stw  r6, TX_BUF+1(r0)
+        ldw  r6, SEQ_NO(r0)
+        inc  r6
+        stw  r6, SEQ_NO(r0)
+        stw  r6, TX_BUF+2(r0)
+        stw  r6, SEEN_BASE(r5)  ; never re-process our own flood
+        li   r6, 1
+        stw  r6, TX_LEN(r0)
+        call mac_send
+        pop  lr
+        ret
+)";
+}
+
+std::vector<std::uint16_t>
+buildFrame(std::uint16_t type, unsigned hop, unsigned src, unsigned dst,
+           unsigned nexthop, const std::vector<std::uint16_t> &payload)
+{
+    std::vector<std::uint16_t> f;
+    f.push_back(static_cast<std::uint16_t>(type | ((hop & 0xf) << 8) |
+                                           ((src & 0xf) << 4) |
+                                           (dst & 0xf)));
+    f.push_back(static_cast<std::uint16_t>(((nexthop & 0xf) << 12) |
+                                           (payload.size() & 0xfff)));
+    for (std::uint16_t w : payload)
+        f.push_back(w);
+    std::uint16_t sum = 0;
+    for (std::uint16_t w : f)
+        sum = static_cast<std::uint16_t>(sum + w);
+    f.push_back(sum);
+    return f;
+}
+
+std::string
+macNodeProgram(unsigned my_addr, const std::string &app_section)
+{
+    std::ostringstream os;
+    os << "        jmp main\n";
+    os << commonDefs();
+    os << macLibrary();
+    os << R"(
+main:
+        li   sp, STACK_TOP
+        li   r1, )" << my_addr << R"(
+        stw  r1, MY_ADDR(r0)
+        call mac_init
+        call app_boot
+        done
+)";
+    os << app_section;
+    return os.str();
+}
+
+std::string
+relayNodeProgram(unsigned my_addr)
+{
+    return macNodeProgram(my_addr, R"(
+app_boot:
+        ret
+app_rx:
+        ret
+)");
+}
+
+std::string
+sinkNodeProgram(unsigned my_addr)
+{
+    return macNodeProgram(my_addr, R"(
+app_boot:
+        clr  r1
+        stw  r1, APP_BASE(r0)   ; log index
+        ret
+app_rx:
+        push lr
+        push r1
+        push r2
+        push r3
+        ; log every payload word
+        ldw  r1, RX_BUF+1(r0)
+        andi r1, 0x0fff         ; payload length
+        beqz r1, sink_done
+        li   r2, 2              ; payload starts at RX_BUF+2
+sink_loop:
+        ldw  r3, RX_BUF(r2)
+        dbgout r3
+        push r1
+        ldw  r1, APP_BASE(r0)
+        stw  r3, LOG_BASE(r1)
+        inc  r1
+        andi r1, 0x1f
+        stw  r1, APP_BASE(r0)
+        pop  r1
+        inc  r2
+        dec  r1
+        bnez r1, sink_loop
+sink_done:
+        pop  r3
+        pop  r2
+        pop  r1
+        pop  lr
+        ret
+)");
+}
+
+std::string
+senderNodeProgram(unsigned my_addr, unsigned dst,
+                  const std::vector<std::uint16_t> &payload,
+                  unsigned delay_ms)
+{
+    std::ostringstream os;
+    os << R"(
+app_boot:
+        li   r1, EV_T0
+        la   r2, snd_on_timer
+        setaddr r1, r2
+        li   r1, 0
+        li   r2, )" << delay_ms * 1000 << R"(
+        schedlo r1, r2
+        ret
+
+; Periodic send attempt: with a route the data goes out and the timer
+; stays idle; without one send_data floods an RREQ and we retry. A
+; frame already in backoff or on the air must not be clobbered, so a
+; set TX_PEND just reschedules the attempt (the retry period is well
+; beyond the worst-case backoff of 8 x 4 ms plus the frame airtime).
+snd_on_timer:
+        ldw  r4, TX_PEND(r0)
+        bnez r4, snd_retry
+        li   r1, )" << dst << R"(
+        ldw  r3, RT_BASE(r1)
+        li   r4, NO_ROUTE
+        sub  r4, r3
+        bnez r4, snd_have_route
+        li   r2, 0              ; discovery only
+        call send_data
+snd_retry:
+        li   r1, 0
+        li   r2, 60000          ; 60 ms
+        schedlo r1, r2
+        done
+snd_have_route:
+        ; copy the canned payload into the TX buffer
+)";
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        os << "        ldw  r5, snd_payload+" << i << "(r0)\n";
+        os << "        stw  r5, TX_BUF+" << (2 + i) << "(r0)\n";
+    }
+    os << R"(
+        li   r1, )" << dst << R"(
+        li   r2, )" << payload.size() << R"(
+        call send_data
+        done
+app_rx:
+        ret
+
+        .dmem
+        .org APP_BASE + 16
+snd_payload:
+)";
+    for (std::uint16_t w : payload)
+        os << "        .word " << w << "\n";
+    os << "        .imem\n";
+    return macNodeProgram(my_addr, os.str());
+}
+
+std::string
+thresholdNodeProgram(unsigned my_addr)
+{
+    // Table 1 "Threshold App" (Range Comparison): compare two payload
+    // fields, log the larger. Written in lcc style: everything spilled.
+    return macNodeProgram(my_addr, R"(
+app_boot:
+        clr  r1
+        stw  r1, APP_BASE(r0)   ; log index
+        ret
+app_rx:
+        push lr
+        push r1
+        push r2
+        push r3
+        push r4
+        ldw  r1, RX_BUF+2(r0)   ; field a
+        ldw  r2, RX_BUF+3(r0)   ; field b
+        stw  r1, APP_BASE+2(r0) ; lcc spills its locals
+        stw  r2, APP_BASE+3(r0)
+        ldw  r3, APP_BASE+2(r0)
+        ldw  r4, APP_BASE+3(r0)
+        sub  r3, r4             ; a - b (15-bit sensor ranges)
+        bltz r3, th_b_larger
+        ldw  r1, APP_BASE+2(r0)
+        call th_log
+        jmp  th_out
+th_b_larger:
+        ldw  r1, APP_BASE+3(r0)
+        call th_log
+th_out:
+        pop  r4
+        pop  r3
+        pop  r2
+        pop  r1
+        pop  lr
+        ret
+th_log:
+        push lr
+        push r2
+        ldw  r2, APP_BASE(r0)
+        stw  r1, LOG_BASE(r2)
+        inc  r2
+        andi r2, 0x1f
+        stw  r2, APP_BASE(r0)
+        dbgout r1
+        pop  r2
+        pop  lr
+        ret
+)");
+}
+
+} // namespace snaple::apps

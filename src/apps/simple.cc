@@ -1,0 +1,229 @@
+#include "apps/apps.hh"
+
+#include <sstream>
+
+namespace snaple::apps {
+
+namespace {
+
+/** Standalone program scaffold (no radio, no MAC). */
+std::string
+standalone(const std::string &body)
+{
+    std::ostringstream os;
+    os << "        jmp main\n";
+    os << commonDefs();
+    os << body;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+temperatureProgram(std::uint32_t period_ticks)
+{
+    // Table 1 "Temperature App": periodic sensor read, running
+    // average, log. lcc-style codegen: helper functions with full
+    // save/restore, locals spilled to memory.
+    std::ostringstream os;
+    os << R"(
+main:
+        li   sp, STACK_TOP
+        li   r1, EV_T0
+        la   r2, t_on_timer
+        setaddr r1, r2
+        li   r1, EV_SDATA
+        la   r2, t_on_data
+        setaddr r1, r2
+        clr  r1
+        stw  r1, APP_BASE(r0)   ; running average
+        stw  r1, APP_BASE+1(r0) ; log index
+        call t_rearm
+        done
+
+t_on_timer:
+        li   r15, CMD_QUERY     ; sample sensor 0
+        done
+
+t_on_data:
+        push r1
+        push r2
+        mov  r1, r15            ; the sample
+        stw  r1, APP_BASE+2(r0) ; spill (lcc keeps locals in memory)
+        call t_update_avg
+        ldw  r1, APP_BASE(r0)
+        call t_log
+        pop  r2
+        pop  r1
+        call t_rearm
+        done
+
+; avg += (sample - avg) >> 2
+t_update_avg:
+        push lr
+        push r1
+        push r2
+        ldw  r1, APP_BASE+2(r0)
+        ldw  r2, APP_BASE(r0)
+        sub  r1, r2
+        srai r1, 2
+        add  r2, r1
+        stw  r2, APP_BASE(r0)
+        pop  r2
+        pop  r1
+        pop  lr
+        ret
+
+; append r1 to the log ring and surface it on the debug port
+t_log:
+        push lr
+        push r2
+        ldw  r2, APP_BASE+1(r0)
+        stw  r1, LOG_BASE(r2)
+        inc  r2
+        andi r2, 0x1f
+        stw  r2, APP_BASE+1(r0)
+        dbgout r1
+        pop  r2
+        pop  lr
+        ret
+
+t_rearm:
+        push lr
+        push r1
+        push r2
+        li   r1, 0
+        li   r2, )" << ((period_ticks >> 16) & 0xff) << R"(
+        schedhi r1, r2          ; 24-bit period: high byte first
+        li   r2, )" << (period_ticks & 0xffff) << R"(
+        schedlo r1, r2
+        pop  r2
+        pop  r1
+        pop  lr
+        ret
+)";
+    return standalone(os.str());
+}
+
+std::string
+blinkProgram(std::uint32_t period_ticks)
+{
+    // The TinyOS BlinkTask comparison (Figure 5): a periodic timer
+    // event whose handler toggles the LED. The LED write is surfaced
+    // through the debug port ("corresponds to a write to the sensor
+    // port", section 4.6).
+    std::ostringstream os;
+    os << R"(
+main:
+        li   sp, STACK_TOP
+        li   r1, EV_T0
+        la   r2, b_on_timer
+        setaddr r1, r2
+        clr  r1
+        stw  r1, APP_BASE(r0)   ; LED state
+        li   r1, 0
+        li   r2, )" << ((period_ticks >> 16) & 0xff) << R"(
+        schedhi r1, r2
+        li   r2, )" << (period_ticks & 0xffff) << R"(
+        schedlo r1, r2
+        done
+
+b_on_timer:
+        call b_toggle_led
+        li   r1, 0
+        li   r2, )" << ((period_ticks >> 16) & 0xff) << R"(
+        schedhi r1, r2
+        li   r2, )" << (period_ticks & 0xffff) << R"(
+        schedlo r1, r2
+        done
+
+b_toggle_led:
+        push lr
+        push r1
+        ldw  r1, APP_BASE(r0)
+        xori r1, 1
+        stw  r1, APP_BASE(r0)
+        dbgout r1               ; the LED port write
+        pop  r1
+        pop  lr
+        ret
+)";
+    return standalone(os.str());
+}
+
+std::string
+senseProgram(std::uint32_t period_ticks)
+{
+    // The TinyOS Sense comparison (section 4.6): periodically sample
+    // the ADC, compute a running average, display the high-order bits
+    // on the LEDs.
+    std::ostringstream os;
+    os << R"(
+main:
+        li   sp, STACK_TOP
+        li   r1, EV_T0
+        la   r2, s_on_timer
+        setaddr r1, r2
+        li   r1, EV_SDATA
+        la   r2, s_on_data
+        setaddr r1, r2
+        clr  r1
+        stw  r1, APP_BASE(r0)   ; running average
+        li   r1, 0
+        li   r2, )" << ((period_ticks >> 16) & 0xff) << R"(
+        schedhi r1, r2
+        li   r2, )" << (period_ticks & 0xffff) << R"(
+        schedlo r1, r2
+        done
+
+s_on_timer:
+        li   r15, CMD_QUERY     ; kick the ADC
+        done
+
+s_on_data:
+        push r1
+        push r2
+        mov  r1, r15
+        stw  r1, APP_BASE+2(r0)
+        call s_update_avg
+        call s_display
+        pop  r2
+        pop  r1
+        li   r1, 0
+        li   r2, )" << ((period_ticks >> 16) & 0xff) << R"(
+        schedhi r1, r2
+        li   r2, )" << (period_ticks & 0xffff) << R"(
+        schedlo r1, r2
+        done
+
+s_update_avg:
+        push lr
+        push r1
+        push r2
+        ldw  r1, APP_BASE+2(r0)
+        ldw  r2, APP_BASE(r0)
+        sub  r1, r2
+        srai r1, 2
+        add  r2, r1
+        stw  r2, APP_BASE(r0)
+        pop  r2
+        pop  r1
+        pop  lr
+        ret
+
+; show the top three bits of the average on the "LEDs"
+s_display:
+        push lr
+        push r1
+        ldw  r1, APP_BASE(r0)
+        srli r1, 7              ; 10-bit ADC -> 3 LED bits
+        andi r1, 0x7
+        dbgout r1
+        pop  r1
+        pop  lr
+        ret
+)";
+    return standalone(os.str());
+}
+
+} // namespace snaple::apps

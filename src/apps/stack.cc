@@ -1,0 +1,212 @@
+#include "apps/apps.hh"
+
+#include <sstream>
+
+namespace snaple::apps {
+
+std::string
+radioStackProgram(const std::vector<std::uint8_t> &bytes)
+{
+    // The MICA high-speed stack port (section 4.6): each payload byte
+    // is SEC-DED encoded into a 13-bit codeword (one radio word) and
+    // folded into a running CRC-16; the CRC goes out last. The
+    // encoder mirrors net/secded.cc: data bits at Hamming positions
+    // 3,5,6,7,9,10,11,12, parity at 1,2,4,8 plus overall parity at
+    // bit 12, parity masks 0x0555/0x0666/0x0878/0x0F80.
+    std::ostringstream os;
+    os << "        jmp main\n";
+    os << commonDefs();
+    os << R"(
+        .equ RS_IDX, APP_BASE
+        .equ RS_CRC, APP_BASE+1
+        .equ RS_DONE, APP_BASE+2
+
+main:
+        li   sp, STACK_TOP
+        li   r1, EV_TXRDY
+        la   r2, rs_on_txrdy
+        setaddr r1, r2
+        clr  r1
+        stw  r1, RS_IDX(r0)
+        stw  r1, RS_DONE(r0)
+        li   r1, 0xffff
+        stw  r1, RS_CRC(r0)
+        call rs_next
+        done
+
+rs_on_txrdy:
+        call rs_next
+        done
+
+; Send the next byte of the message, or the final CRC word.
+rs_next:
+        push lr
+        ldw  r1, RS_DONE(r0)
+        bnez r1, rsn_idle
+        ldw  r1, RS_IDX(r0)
+        ldw  r2, rs_len(r0)
+        mov  r3, r1
+        sub  r3, r2
+        beqz r3, rsn_crc
+        ldw  r4, rs_msg(r1)
+        inc  r1
+        stw  r1, RS_IDX(r0)
+        mov  r1, r4
+        call rs_send_byte
+        pop  lr
+        ret
+rsn_crc:
+        ldw  r2, RS_CRC(r0)
+        li   r15, CMD_TX
+        mov  r15, r2
+        li   r1, 1
+        stw  r1, RS_DONE(r0)
+        dbgout r2               ; surface the final CRC for the host
+        pop  lr
+        ret
+rsn_idle:
+        pop  lr
+        ret
+
+; r1 = byte: update the CRC, SEC-DED encode, hand to the radio.
+rs_send_byte:
+        push lr
+        ldw  r2, RS_CRC(r0)
+        call rs_crc_update
+        stw  r2, RS_CRC(r0)
+        call rs_secded
+        li   r15, CMD_TX
+        mov  r15, r2
+        pop  lr
+        ret
+
+; CRC-16-CCITT: r2 = crc, r1 = byte (preserved); returns new r2.
+rs_crc_update:
+        push r3
+        push r4
+        mov  r3, r1
+        slli r3, 8
+        xor  r2, r3
+        li   r3, 8
+rcu_loop:
+        mov  r4, r2
+        andi r4, 0x8000
+        slli r2, 1
+        beqz r4, rcu_skip
+        xori r2, 0x1021
+rcu_skip:
+        dec  r3
+        bnez r3, rcu_loop
+        pop  r4
+        pop  r3
+        ret
+
+; SEC-DED encode: r1 = byte (preserved) -> r2 = 13-bit codeword.
+rs_secded:
+        push lr
+        push r3
+        push r4
+        clr  r2
+        ; scatter the data bits to their Hamming positions
+        mov  r3, r1
+        andi r3, 1
+        slli r3, 2              ; d0 -> bit 2  (pos 3)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 1
+        andi r3, 1
+        slli r3, 4              ; d1 -> bit 4  (pos 5)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 2
+        andi r3, 1
+        slli r3, 5              ; d2 -> bit 5  (pos 6)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 3
+        andi r3, 1
+        slli r3, 6              ; d3 -> bit 6  (pos 7)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 4
+        andi r3, 1
+        slli r3, 8              ; d4 -> bit 8  (pos 9)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 5
+        andi r3, 1
+        slli r3, 9              ; d5 -> bit 9  (pos 10)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 6
+        andi r3, 1
+        slli r3, 10             ; d6 -> bit 10 (pos 11)
+        or   r2, r3
+        mov  r3, r1
+        srli r3, 7
+        andi r3, 1
+        slli r3, 11             ; d7 -> bit 11 (pos 12)
+        or   r2, r3
+        ; Hamming parity bits
+        mov  r3, r2
+        andi r3, 0x0555
+        call rs_parity
+        or   r2, r3             ; p1 -> bit 0
+        mov  r3, r2
+        andi r3, 0x0666
+        call rs_parity
+        slli r3, 1
+        or   r2, r3             ; p2 -> bit 1
+        mov  r3, r2
+        andi r3, 0x0878
+        call rs_parity
+        slli r3, 3
+        or   r2, r3             ; p4 -> bit 3
+        mov  r3, r2
+        andi r3, 0x0F80
+        call rs_parity
+        slli r3, 7
+        or   r2, r3             ; p8 -> bit 7
+        ; overall parity over bits 0..11 -> bit 12
+        mov  r3, r2
+        andi r3, 0x0fff
+        call rs_parity
+        slli r3, 12
+        or   r2, r3
+        pop  r4
+        pop  r3
+        pop  lr
+        ret
+
+; parity of r3 -> r3 (0 or 1)
+rs_parity:
+        push r4
+        mov  r4, r3
+        srli r4, 8
+        xor  r3, r4
+        mov  r4, r3
+        srli r4, 4
+        xor  r3, r4
+        mov  r4, r3
+        srli r4, 2
+        xor  r3, r4
+        mov  r4, r3
+        srli r4, 1
+        xor  r3, r4
+        andi r3, 1
+        pop  r4
+        ret
+
+        .dmem
+        .org APP_BASE + 8
+rs_len: .word )" << bytes.size() << "\n";
+    os << "rs_msg:";
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        os << (i ? "," : " .word ") << unsigned(bytes[i]);
+    if (bytes.empty())
+        os << " .word 0";
+    os << "\n        .imem\n";
+    return os.str();
+}
+
+} // namespace snaple::apps

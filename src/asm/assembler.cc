@@ -1,0 +1,340 @@
+#include "asm/assembler.hh"
+
+#include <sstream>
+
+namespace snaple::assembler {
+
+namespace {
+
+/** Segment selector. */
+enum class Seg
+{
+    Imem,
+    Dmem,
+};
+
+/** Cursor over a token vector with convenience checks. */
+class TokCursor
+{
+  public:
+    TokCursor(const std::vector<Token> &toks, const std::string &where)
+        : toks_(toks), where_(where)
+    {}
+
+    const Token &peek() const { return toks_[i_]; }
+    const Token &
+    next()
+    {
+        const Token &t = toks_[i_];
+        if (t.kind != TokKind::End)
+            ++i_;
+        return t;
+    }
+
+    bool
+    accept(TokKind k)
+    {
+        if (toks_[i_].kind == k) {
+            ++i_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(TokKind k, const std::string &what)
+    {
+        if (!accept(k))
+            fail("expected " + what);
+    }
+
+    bool atEnd() const { return toks_[i_].kind == TokKind::End; }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        sim::fatal(where_, ":", toks_[i_].col, ": ", msg);
+    }
+
+  private:
+    const std::vector<Token> &toks_;
+    const std::string &where_;
+    std::size_t i_ = 0;
+};
+
+Expr parseExpr(TokCursor &cur, const IsaBackend &backend);
+
+/** Parse `lo8(expr)` / `hi8(expr)` wrappers. */
+Expr
+parseByteSelect(TokCursor &cur, const IsaBackend &backend,
+                Expr::Post post)
+{
+    cur.next(); // the lo8/hi8 keyword
+    cur.expect(TokKind::LParen, "'('");
+    Expr e = parseExpr(cur, backend);
+    cur.expect(TokKind::RParen, "')'");
+    if (e.post != Expr::Post::None)
+        cur.fail("nested lo8/hi8");
+    e.post = post;
+    return e;
+}
+
+/** Parse an expression: ['-'] primary (('+'|'-') primary)*. */
+Expr
+parseExpr(TokCursor &cur, const IsaBackend &backend)
+{
+    {
+        const Token &t0 = cur.peek();
+        if (t0.kind == TokKind::Ident) {
+            if (t0.text == "lo8")
+                return parseByteSelect(cur, backend, Expr::Post::Lo8);
+            if (t0.text == "hi8")
+                return parseByteSelect(cur, backend, Expr::Post::Hi8);
+        }
+    }
+    Expr e;
+    int sign = 1;
+    if (cur.accept(TokKind::Minus))
+        sign = -1;
+    for (;;) {
+        const Token &t = cur.peek();
+        if (t.kind == TokKind::Number) {
+            cur.next();
+            e.addend += sign * t.value;
+        } else if (t.kind == TokKind::Ident) {
+            if (backend.regNumber(t.text))
+                cur.fail("register name in expression: " + t.text);
+            if (e.hasSym)
+                cur.fail("at most one symbol per expression");
+            if (sign < 0)
+                cur.fail("cannot negate a symbol");
+            cur.next();
+            e.hasSym = true;
+            e.sym = t.text;
+        } else {
+            cur.fail("expected expression");
+        }
+        if (cur.accept(TokKind::Plus))
+            sign = 1;
+        else if (cur.accept(TokKind::Minus))
+            sign = -1;
+        else
+            break;
+    }
+    return e;
+}
+
+/** Parse one operand: REG | EXPR | EXPR '(' REG ')'. */
+Operand
+parseOperand(TokCursor &cur, const IsaBackend &backend)
+{
+    Operand op;
+    const Token &t = cur.peek();
+    if (t.kind == TokKind::Ident) {
+        if (auto r = backend.regNumber(t.text)) {
+            cur.next();
+            op.kind = Operand::Kind::Reg;
+            op.reg = *r;
+            return op;
+        }
+    }
+    op.expr = parseExpr(cur, backend);
+    if (cur.accept(TokKind::LParen)) {
+        const Token &rt = cur.next();
+        auto r = (rt.kind == TokKind::Ident)
+                     ? backend.regNumber(rt.text)
+                     : std::nullopt;
+        if (!r)
+            cur.fail("expected base register");
+        cur.expect(TokKind::RParen, "')'");
+        op.kind = Operand::Kind::Mem;
+        op.base = *r;
+    } else {
+        op.kind = Operand::Kind::Expr;
+    }
+    return op;
+}
+
+std::vector<Operand>
+parseOperands(TokCursor &cur, const IsaBackend &backend)
+{
+    std::vector<Operand> ops;
+    if (cur.atEnd())
+        return ops;
+    ops.push_back(parseOperand(cur, backend));
+    while (cur.accept(TokKind::Comma))
+        ops.push_back(parseOperand(cur, backend));
+    if (!cur.atEnd())
+        cur.fail("junk at end of line");
+    return ops;
+}
+
+/** One parsed source statement retained between passes. */
+struct Statement
+{
+    std::string where;      ///< "name:line"
+    Seg seg = Seg::Imem;
+    std::uint32_t addr = 0; ///< assigned in pass 1
+    std::string mnemonic;   ///< empty for pure data statements
+    std::vector<Operand> ops;
+    std::vector<Expr> data; ///< for .word
+    std::size_t words = 0;  ///< emitted size
+    bool isSpace = false;   ///< .space: emit zeros
+};
+
+/** Write @p words into @p image at word address @p addr. */
+void
+blit(std::vector<std::uint16_t> &image, std::uint32_t addr,
+     const std::vector<std::uint16_t> &words, const std::string &where)
+{
+    sim::fatalIf(addr + words.size() > 0x10000,
+                 where, ": image exceeds 64K words");
+    if (image.size() < addr + words.size())
+        image.resize(addr + words.size(), 0);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        image[addr + i] = words[i];
+}
+
+} // namespace
+
+Program
+Assembler::assemble(const std::string &source, const std::string &name) const
+{
+    Program prog;
+    std::vector<Statement> stmts;
+
+    // --- Pass 1: parse, size, lay out, define symbols. ---
+    std::uint32_t loc[2] = {0, 0}; // location counter per segment
+    Seg seg = Seg::Imem;
+
+    std::istringstream in(source);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::string where = name + ":" + std::to_string(lineNo);
+        auto toks = lexLine(line, where);
+        TokCursor cur(toks, where);
+
+        // Labels: IDENT ':' (possibly several).
+        while (cur.peek().kind == TokKind::Ident) {
+            // Lookahead: ident followed by colon is a label.
+            const Token &t = cur.peek();
+            // A mnemonic is also an Ident; only treat as label if the
+            // next token is a colon. TokCursor has no 2-lookahead, so
+            // scan the raw vector.
+            std::size_t idx = &t - toks.data();
+            if (toks[idx + 1].kind != TokKind::Colon)
+                break;
+            if (backend_.regNumber(t.text))
+                cur.fail("register name used as label: " + t.text);
+            sim::fatalIf(prog.symbols.count(t.text),
+                         where, ": duplicate symbol: ", t.text);
+            prog.symbols[t.text] = loc[static_cast<int>(seg)];
+            cur.next();
+            cur.next(); // colon
+        }
+
+        if (cur.atEnd())
+            continue;
+
+        const Token &head = cur.peek();
+        if (head.kind == TokKind::Directive) {
+            cur.next();
+            if (head.text == ".imem") {
+                seg = Seg::Imem;
+            } else if (head.text == ".dmem") {
+                seg = Seg::Dmem;
+            } else if (head.text == ".org") {
+                Expr e = parseExpr(cur, backend_);
+                EncodeContext ctx(prog.symbols, 0, where);
+                std::int64_t v = ctx.resolve(e);
+                sim::fatalIf(v < 0 || v > 0xffff,
+                             where, ": .org out of range");
+                loc[static_cast<int>(seg)] =
+                    static_cast<std::uint32_t>(v);
+            } else if (head.text == ".equ") {
+                const Token &nm = cur.next();
+                if (nm.kind != TokKind::Ident)
+                    cur.fail("expected symbol name");
+                cur.expect(TokKind::Comma, "','");
+                Expr e = parseExpr(cur, backend_);
+                EncodeContext ctx(prog.symbols, 0, where);
+                sim::fatalIf(prog.symbols.count(nm.text),
+                             where, ": duplicate symbol: ", nm.text);
+                prog.symbols[nm.text] =
+                    static_cast<std::uint32_t>(ctx.resolve(e) & 0xffffffff);
+            } else if (head.text == ".word") {
+                Statement st;
+                st.where = where;
+                st.seg = seg;
+                st.addr = loc[static_cast<int>(seg)];
+                st.data.push_back(parseExpr(cur, backend_));
+                while (cur.accept(TokKind::Comma))
+                    st.data.push_back(parseExpr(cur, backend_));
+                st.words = st.data.size();
+                loc[static_cast<int>(seg)] += st.words;
+                stmts.push_back(std::move(st));
+            } else if (head.text == ".space") {
+                Expr e = parseExpr(cur, backend_);
+                EncodeContext ctx(prog.symbols, 0, where);
+                std::int64_t n = ctx.resolve(e);
+                sim::fatalIf(n < 0 || n > 0xffff,
+                             where, ": bad .space size");
+                Statement st;
+                st.where = where;
+                st.seg = seg;
+                st.addr = loc[static_cast<int>(seg)];
+                st.isSpace = true;
+                st.words = static_cast<std::size_t>(n);
+                loc[static_cast<int>(seg)] += st.words;
+                stmts.push_back(std::move(st));
+            } else {
+                cur.fail("unknown directive " + head.text);
+            }
+            if (!cur.atEnd())
+                cur.fail("junk after directive");
+            continue;
+        }
+
+        if (head.kind != TokKind::Ident)
+            cur.fail("expected mnemonic or directive");
+        cur.next();
+
+        Statement st;
+        st.where = where;
+        st.seg = seg;
+        st.mnemonic = head.text;
+        st.ops = parseOperands(cur, backend_);
+        st.addr = loc[static_cast<int>(seg)];
+        sim::fatalIf(seg == Seg::Dmem,
+                     where, ": instructions only allowed in .imem");
+        st.words = backend_.sizeWords(st.mnemonic, st.ops, where);
+        loc[static_cast<int>(seg)] += st.words;
+        stmts.push_back(std::move(st));
+    }
+
+    // --- Pass 2: encode with the complete symbol table. ---
+    for (const Statement &st : stmts) {
+        std::vector<std::uint16_t> words;
+        if (st.isSpace) {
+            words.assign(st.words, 0);
+        } else if (!st.data.empty()) {
+            EncodeContext ctx(prog.symbols, st.addr, st.where);
+            for (const Expr &e : st.data)
+                words.push_back(ctx.imm16(e));
+        } else {
+            EncodeContext ctx(prog.symbols, st.addr, st.where);
+            backend_.encode(st.mnemonic, st.ops, ctx, words);
+            sim::panicIf(words.size() != st.words,
+                         "backend size mismatch for ", st.mnemonic, " at ",
+                         st.where);
+        }
+        auto &image = (st.seg == Seg::Imem) ? prog.imem : prog.dmem;
+        blit(image, st.addr, words, st.where);
+    }
+
+    return prog;
+}
+
+} // namespace snaple::assembler

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Generic two-pass assembler framework.
+ *
+ * The framework owns everything ISA-independent: lexing, label and
+ * symbol management, segments (.imem/.dmem), directives, expressions,
+ * and the two-pass driver. Instruction encodings live in an IsaBackend;
+ * this is what lets the SNAP assembler and the baseline AVR-class
+ * assembler share one implementation (the authors built an equivalent
+ * custom assembler/linker tool-chain for the SNAP ISA, section 4.2).
+ */
+
+#ifndef SNAPLE_ASM_ASSEMBLER_HH
+#define SNAPLE_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/lexer.hh"
+#include "asm/program.hh"
+
+namespace snaple::assembler {
+
+/** A symbol reference plus constant addend (e.g. "table + 2"). */
+struct Expr
+{
+    /** Post-operation applied to the resolved value. */
+    enum class Post
+    {
+        None,
+        Lo8, ///< low byte, `lo8(expr)` — 8-bit targets
+        Hi8, ///< high byte, `hi8(expr)`
+    };
+
+    bool hasSym = false;
+    std::string sym;
+    std::int64_t addend = 0;
+    Post post = Post::None;
+
+    static Expr
+    constant(std::int64_t v)
+    {
+        Expr e;
+        e.addend = v;
+        return e;
+    }
+};
+
+/** One parsed instruction operand. */
+struct Operand
+{
+    enum class Kind
+    {
+        Reg,  ///< a register name
+        Expr, ///< an immediate / symbol expression
+        Mem,  ///< expr(base) memory reference
+    };
+
+    Kind kind = Kind::Expr;
+    unsigned reg = 0;  ///< Reg
+    Expr expr;         ///< Expr and Mem displacement
+    unsigned base = 0; ///< Mem base register
+};
+
+/** Services the framework provides to a backend during encoding. */
+class EncodeContext
+{
+  public:
+    EncodeContext(const std::map<std::string, std::uint32_t> &symbols,
+                  std::uint32_t pc, const std::string &where)
+        : symbols_(symbols), pc_(pc), where_(where)
+    {}
+
+    /** Word address of the instruction being encoded. */
+    std::uint32_t pc() const { return pc_; }
+
+    /** Resolve an expression to a value; fatal on undefined symbols. */
+    std::int64_t
+    resolve(const Expr &e) const
+    {
+        std::int64_t v = e.addend;
+        if (e.hasSym) {
+            auto it = symbols_.find(e.sym);
+            if (it == symbols_.end())
+                error("undefined symbol: " + e.sym);
+            v += it->second;
+        }
+        switch (e.post) {
+          case Expr::Post::Lo8:
+            v &= 0xff;
+            break;
+          case Expr::Post::Hi8:
+            v = (v >> 8) & 0xff;
+            break;
+          case Expr::Post::None:
+            break;
+        }
+        return v;
+    }
+
+    /** Resolve and range-check a 16-bit immediate. */
+    std::uint16_t
+    imm16(const Expr &e) const
+    {
+        std::int64_t v = resolve(e);
+        if (v < -32768 || v > 65535)
+            error("immediate out of 16-bit range: " + std::to_string(v));
+        return static_cast<std::uint16_t>(v & 0xffff);
+    }
+
+    /** Report an encoding error with source position. */
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        sim::fatal(where_, ": ", msg);
+    }
+
+  private:
+    const std::map<std::string, std::uint32_t> &symbols_;
+    std::uint32_t pc_;
+    const std::string &where_;
+};
+
+/** ISA-specific part of the assembler. */
+class IsaBackend
+{
+  public:
+    virtual ~IsaBackend() = default;
+
+    /** Map a register name to its number, or nullopt if not a register. */
+    virtual std::optional<unsigned>
+    regNumber(const std::string &name) const = 0;
+
+    /**
+     * Size in code words that @p mnemonic with @p ops will emit
+     * (pass 1; must not depend on symbol values).
+     */
+    virtual std::size_t sizeWords(const std::string &mnemonic,
+                                  const std::vector<Operand> &ops,
+                                  const std::string &where) const = 0;
+
+    /** Emit the instruction words (pass 2). */
+    virtual void encode(const std::string &mnemonic,
+                        const std::vector<Operand> &ops,
+                        const EncodeContext &ctx,
+                        std::vector<std::uint16_t> &out) const = 0;
+};
+
+/**
+ * The two-pass assembler driver.
+ *
+ * Supported directives: .imem / .dmem (segment switch), .org EXPR,
+ * .word EXPR[, EXPR...], .space N, .equ NAME, EXPR.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(const IsaBackend &backend) : backend_(backend) {}
+
+    /**
+     * Assemble @p source into a Program.
+     * @param source full assembly text.
+     * @param name source name used in diagnostics.
+     * @throws sim::FatalError on any assembly error.
+     */
+    Program assemble(const std::string &source,
+                     const std::string &name = "<asm>") const;
+
+  private:
+    const IsaBackend &backend_;
+};
+
+} // namespace snaple::assembler
+
+#endif // SNAPLE_ASM_ASSEMBLER_HH

@@ -1,0 +1,149 @@
+#include "asm/lexer.hh"
+
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace snaple::assembler {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lexLine(const std::string &line, const std::string &where)
+{
+    std::vector<Token> toks;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+
+    auto fail = [&](const std::string &msg) {
+        sim::fatal(where, ":", i + 1, ": ", msg);
+    };
+
+    while (i < n) {
+        char c = line[i];
+        if (c == ';' || c == '#')
+            break; // comment to end of line
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        Token t;
+        t.col = i + 1;
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(line[j]))
+                ++j;
+            t.kind = TokKind::Ident;
+            t.text = line.substr(i, j - i);
+            i = j;
+        } else if (c == '.') {
+            std::size_t j = i + 1;
+            while (j < n && identChar(line[j]))
+                ++j;
+            if (j == i + 1)
+                fail("lone '.'");
+            t.kind = TokKind::Directive;
+            t.text = line.substr(i, j - i);
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            int base = 10;
+            if (c == '0' && j + 1 < n &&
+                (line[j + 1] == 'x' || line[j + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            } else if (c == '0' && j + 1 < n &&
+                       (line[j + 1] == 'b' || line[j + 1] == 'B')) {
+                base = 2;
+                j += 2;
+            }
+            std::int64_t v = 0;
+            std::size_t digits = 0;
+            while (j < n) {
+                char d = line[j];
+                int dv;
+                if (d >= '0' && d <= '9')
+                    dv = d - '0';
+                else if (base == 16 && d >= 'a' && d <= 'f')
+                    dv = d - 'a' + 10;
+                else if (base == 16 && d >= 'A' && d <= 'F')
+                    dv = d - 'A' + 10;
+                else if (d == '_') { // digit separator
+                    ++j;
+                    continue;
+                } else
+                    break;
+                if (dv >= base)
+                    fail("digit out of range for base");
+                v = v * base + dv;
+                ++digits;
+                ++j;
+            }
+            if (base != 10 && digits == 0)
+                fail("empty numeric literal");
+            if (j < n && identChar(line[j]))
+                fail("junk after numeric literal");
+            t.kind = TokKind::Number;
+            t.value = v;
+            i = j;
+        } else if (c == '\'') {
+            if (i + 2 >= n)
+                fail("unterminated character literal");
+            char v = line[i + 1];
+            std::size_t j = i + 2;
+            if (v == '\\') {
+                if (i + 3 >= n)
+                    fail("unterminated character literal");
+                char e = line[i + 2];
+                switch (e) {
+                  case 'n': v = '\n'; break;
+                  case 't': v = '\t'; break;
+                  case '0': v = '\0'; break;
+                  case '\\': v = '\\'; break;
+                  case '\'': v = '\''; break;
+                  default: fail("unknown escape");
+                }
+                j = i + 3;
+            }
+            if (j >= n || line[j] != '\'')
+                fail("unterminated character literal");
+            t.kind = TokKind::Number;
+            t.value = static_cast<unsigned char>(v);
+            i = j + 1;
+        } else {
+            switch (c) {
+              case ',': t.kind = TokKind::Comma; break;
+              case ':': t.kind = TokKind::Colon; break;
+              case '(': t.kind = TokKind::LParen; break;
+              case ')': t.kind = TokKind::RParen; break;
+              case '+': t.kind = TokKind::Plus; break;
+              case '-': t.kind = TokKind::Minus; break;
+              default:
+                fail(std::string("unexpected character '") + c + "'");
+            }
+            ++i;
+        }
+        toks.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = TokKind::End;
+    end.col = i + 1;
+    toks.push_back(end);
+    return toks;
+}
+
+} // namespace snaple::assembler

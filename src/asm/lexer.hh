@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Line lexer for the assembler.
+ *
+ * The assembler is line-oriented; the lexer tokenizes one line at a
+ * time. Comments run from ';' or '#' to end of line.
+ */
+
+#ifndef SNAPLE_ASM_LEXER_HH
+#define SNAPLE_ASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snaple::assembler {
+
+/** Token kinds produced by the line lexer. */
+enum class TokKind
+{
+    Ident,      ///< identifiers and mnemonics (also register names)
+    Number,     ///< numeric literal (dec, 0x hex, 0b binary, 'c' char)
+    Directive,  ///< ".word", ".org", ...
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    End,        ///< end of line
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;      ///< for Ident / Directive
+    std::int64_t value = 0; ///< for Number
+    std::size_t col = 0;   ///< 1-based column, for diagnostics
+};
+
+/**
+ * Tokenize one source line.
+ * @throws sim::FatalError on malformed literals, with @p where in the
+ *         message (e.g. "prog.s:12").
+ */
+std::vector<Token> lexLine(const std::string &line,
+                           const std::string &where);
+
+} // namespace snaple::assembler
+
+#endif // SNAPLE_ASM_LEXER_HH

@@ -1,0 +1,407 @@
+#include "asm/snap_backend.hh"
+
+#include <map>
+
+#include "isa/instruction.hh"
+
+namespace snaple::assembler {
+
+namespace isa = snaple::isa;
+
+namespace {
+
+/** How a mnemonic is encoded. */
+enum class Form
+{
+    AluRR,    ///< add rd, rs           (1 word)
+    AluR1,    ///< rand rd / seed rs    (1 word)
+    AluI,     ///< addi rd, imm         (2 words)
+    Li,       ///< li rd, imm           (2 words)
+    Mem,      ///< ldw rd, off(rs)      (2 words)
+    BranchZ,  ///< beqz rd, sym         (1 word)
+    JmpAbs,   ///< jmp sym              (2 words)
+    Jal,      ///< jal rd, sym          (2 words)
+    Jr,       ///< jr rs                (1 word)
+    Jalr,     ///< jalr rd, rs          (1 word)
+    Bfs,      ///< bfs rd, rs, mask     (2 words)
+    Timer2,   ///< schedhi rt, rv       (1 word)
+    Cancel,   ///< cancel rt            (1 word)
+    SetAddr,  ///< setaddr re, ra       (1 word)
+    NoOperand,///< done / nop / halt    (1 word)
+    DbgOut,   ///< dbgout rd            (1 word)
+    La,       ///< pseudo               (2 words)
+    Call,     ///< pseudo               (2 words)
+    Ret,      ///< pseudo               (1 word)
+    Br,       ///< pseudo               (2 words)
+    Push,     ///< pseudo               (4 words)
+    Pop,      ///< pseudo               (4 words)
+    IncDec,   ///< pseudo               (2 words)
+    Clr,      ///< pseudo               (2 words)
+};
+
+struct Desc
+{
+    Form form;
+    std::uint8_t fn = 0; ///< AluFn / JmpFn / TimerFn / EventFn / SysFn
+    isa::Op op = isa::Op::AluR; ///< for Mem / BranchZ forms
+};
+
+const std::map<std::string, Desc> &
+table()
+{
+    using isa::AluFn;
+    using isa::Op;
+    static const std::map<std::string, Desc> t = {
+        {"add", {Form::AluRR, std::uint8_t(AluFn::Add)}},
+        {"sub", {Form::AluRR, std::uint8_t(AluFn::Sub)}},
+        {"addc", {Form::AluRR, std::uint8_t(AluFn::Addc)}},
+        {"subc", {Form::AluRR, std::uint8_t(AluFn::Subc)}},
+        {"and", {Form::AluRR, std::uint8_t(AluFn::And)}},
+        {"or", {Form::AluRR, std::uint8_t(AluFn::Or)}},
+        {"xor", {Form::AluRR, std::uint8_t(AluFn::Xor)}},
+        {"not", {Form::AluRR, std::uint8_t(AluFn::Not)}},
+        {"sll", {Form::AluRR, std::uint8_t(AluFn::Sll)}},
+        {"srl", {Form::AluRR, std::uint8_t(AluFn::Srl)}},
+        {"sra", {Form::AluRR, std::uint8_t(AluFn::Sra)}},
+        {"mov", {Form::AluRR, std::uint8_t(AluFn::Mov)}},
+        {"neg", {Form::AluRR, std::uint8_t(AluFn::Neg)}},
+        {"rand", {Form::AluR1, std::uint8_t(AluFn::Rand)}},
+        {"seed", {Form::AluR1, std::uint8_t(AluFn::Seed)}},
+
+        {"addi", {Form::AluI, std::uint8_t(AluFn::Add)}},
+        {"subi", {Form::AluI, std::uint8_t(AluFn::Sub)}},
+        {"addci", {Form::AluI, std::uint8_t(AluFn::Addc)}},
+        {"subci", {Form::AluI, std::uint8_t(AluFn::Subc)}},
+        {"andi", {Form::AluI, std::uint8_t(AluFn::And)}},
+        {"ori", {Form::AluI, std::uint8_t(AluFn::Or)}},
+        {"xori", {Form::AluI, std::uint8_t(AluFn::Xor)}},
+        {"slli", {Form::AluI, std::uint8_t(AluFn::Sll)}},
+        {"srli", {Form::AluI, std::uint8_t(AluFn::Srl)}},
+        {"srai", {Form::AluI, std::uint8_t(AluFn::Sra)}},
+        {"li", {Form::Li, std::uint8_t(AluFn::Mov)}},
+
+        {"ldw", {Form::Mem, 0, Op::Ldw}},
+        {"stw", {Form::Mem, 0, Op::Stw}},
+        {"ldi", {Form::Mem, 0, Op::Ldi}},
+        {"sti", {Form::Mem, 0, Op::Sti}},
+
+        {"beqz", {Form::BranchZ, 0, Op::Beqz}},
+        {"bnez", {Form::BranchZ, 0, Op::Bnez}},
+        {"bltz", {Form::BranchZ, 0, Op::Bltz}},
+        {"bgez", {Form::BranchZ, 0, Op::Bgez}},
+
+        {"jmp", {Form::JmpAbs, std::uint8_t(isa::JmpFn::Jmp)}},
+        {"jal", {Form::Jal, std::uint8_t(isa::JmpFn::Jal)}},
+        {"jr", {Form::Jr, std::uint8_t(isa::JmpFn::Jr)}},
+        {"jalr", {Form::Jalr, std::uint8_t(isa::JmpFn::Jalr)}},
+
+        {"bfs", {Form::Bfs, 0}},
+
+        {"schedhi", {Form::Timer2, std::uint8_t(isa::TimerFn::SchedHi)}},
+        {"schedlo", {Form::Timer2, std::uint8_t(isa::TimerFn::SchedLo)}},
+        {"cancel", {Form::Cancel, std::uint8_t(isa::TimerFn::Cancel)}},
+
+        {"done", {Form::NoOperand, std::uint8_t(isa::EventFn::Done),
+                  Op::Event}},
+        {"setaddr", {Form::SetAddr, std::uint8_t(isa::EventFn::SetAddr)}},
+
+        {"nop", {Form::NoOperand, std::uint8_t(isa::SysFn::Nop), Op::Sys}},
+        {"halt",
+         {Form::NoOperand, std::uint8_t(isa::SysFn::Halt), Op::Sys}},
+        {"dbgout", {Form::DbgOut, std::uint8_t(isa::SysFn::DbgOut)}},
+
+        {"la", {Form::La, 0}},
+        {"call", {Form::Call, 0}},
+        {"ret", {Form::Ret, 0}},
+        {"br", {Form::Br, 0}},
+        {"push", {Form::Push, 0}},
+        {"pop", {Form::Pop, 0}},
+        {"inc", {Form::IncDec, std::uint8_t(AluFn::Add)}},
+        {"dec", {Form::IncDec, std::uint8_t(AluFn::Sub)}},
+        {"clr", {Form::Clr, 0}},
+    };
+    return t;
+}
+
+std::size_t
+formSize(Form f)
+{
+    switch (f) {
+      case Form::AluRR:
+      case Form::AluR1:
+      case Form::BranchZ:
+      case Form::Jr:
+      case Form::Jalr:
+      case Form::Timer2:
+      case Form::Cancel:
+      case Form::SetAddr:
+      case Form::NoOperand:
+      case Form::DbgOut:
+      case Form::Ret:
+        return 1;
+      case Form::AluI:
+      case Form::Li:
+      case Form::Mem:
+      case Form::JmpAbs:
+      case Form::Jal:
+      case Form::Bfs:
+      case Form::La:
+      case Form::Call:
+      case Form::Br:
+      case Form::IncDec:
+      case Form::Clr:
+        return 2;
+      case Form::Push:
+      case Form::Pop:
+        return 4;
+    }
+    return 0;
+}
+
+unsigned
+wantReg(const std::vector<Operand> &ops, std::size_t i,
+        const EncodeContext &ctx)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Reg)
+        ctx.error("expected register operand " + std::to_string(i + 1));
+    return ops[i].reg;
+}
+
+const Expr &
+wantExpr(const std::vector<Operand> &ops, std::size_t i,
+         const EncodeContext &ctx)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Expr)
+        ctx.error("expected immediate operand " + std::to_string(i + 1));
+    return ops[i].expr;
+}
+
+void
+wantCount(const std::vector<Operand> &ops, std::size_t n,
+          const EncodeContext &ctx)
+{
+    if (ops.size() != n)
+        ctx.error("expected " + std::to_string(n) + " operand(s), got " +
+                  std::to_string(ops.size()));
+}
+
+} // namespace
+
+std::optional<unsigned>
+SnapBackend::regNumber(const std::string &name) const
+{
+    if (name == "sp")
+        return isa::kStackReg;
+    if (name == "lr")
+        return isa::kLinkReg;
+    if (name == "msg")
+        return isa::kMsgReg;
+    if (name.size() >= 2 && name.size() <= 3 && name[0] == 'r') {
+        unsigned v = 0;
+        for (std::size_t i = 1; i < name.size(); ++i) {
+            if (name[i] < '0' || name[i] > '9')
+                return std::nullopt;
+            v = v * 10 + (name[i] - '0');
+        }
+        if (v < isa::kNumRegs)
+            return v;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+SnapBackend::sizeWords(const std::string &mnemonic,
+                       const std::vector<Operand> &ops,
+                       const std::string &where) const
+{
+    (void)ops;
+    auto it = table().find(mnemonic);
+    sim::fatalIf(it == table().end(),
+                 where, ": unknown mnemonic: ", mnemonic);
+    return formSize(it->second.form);
+}
+
+void
+SnapBackend::encode(const std::string &mnemonic,
+                    const std::vector<Operand> &ops,
+                    const EncodeContext &ctx,
+                    std::vector<std::uint16_t> &out) const
+{
+    using isa::AluFn;
+    using isa::Op;
+    auto it = table().find(mnemonic);
+    if (it == table().end())
+        ctx.error("unknown mnemonic: " + mnemonic);
+    const Desc &d = it->second;
+    const auto aluFn = static_cast<AluFn>(d.fn);
+
+    auto branchOff = [&](const Expr &e) -> std::int8_t {
+        std::int64_t target = ctx.resolve(e);
+        std::int64_t off = target - (static_cast<std::int64_t>(ctx.pc()) + 1);
+        if (off < -128 || off > 127)
+            ctx.error("branch target out of range (" + std::to_string(off) +
+                      " words); use jmp");
+        return static_cast<std::int8_t>(off);
+    };
+
+    switch (d.form) {
+      case Form::AluRR:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeAluR(aluFn, wantReg(ops, 0, ctx),
+                                      wantReg(ops, 1, ctx)));
+        break;
+      case Form::AluR1: {
+        wantCount(ops, 1, ctx);
+        unsigned r = wantReg(ops, 0, ctx);
+        if (aluFn == AluFn::Rand)
+            out.push_back(isa::encodeAluR(aluFn, r, 0));
+        else // seed: register is the source
+            out.push_back(isa::encodeAluR(aluFn, 0, r));
+        break;
+      }
+      case Form::AluI:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeAluI(aluFn, wantReg(ops, 0, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 1, ctx)));
+        break;
+      case Form::Li:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeAluI(AluFn::Mov, wantReg(ops, 0, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 1, ctx)));
+        break;
+      case Form::Mem: {
+        wantCount(ops, 2, ctx);
+        unsigned rd = wantReg(ops, 0, ctx);
+        if (ops[1].kind != Operand::Kind::Mem)
+            ctx.error("expected off(base) operand");
+        out.push_back(isa::encodeMem(d.op, rd, ops[1].base));
+        out.push_back(ctx.imm16(ops[1].expr));
+        break;
+      }
+      case Form::BranchZ: {
+        wantCount(ops, 2, ctx);
+        unsigned rd = wantReg(ops, 0, ctx);
+        out.push_back(
+            isa::encodeBranch(d.op, rd, branchOff(wantExpr(ops, 1, ctx))));
+        break;
+      }
+      case Form::JmpAbs:
+        wantCount(ops, 1, ctx);
+        out.push_back(isa::encodeJmp(isa::JmpFn::Jmp, 0, 0));
+        out.push_back(ctx.imm16(wantExpr(ops, 0, ctx)));
+        break;
+      case Form::Jal:
+        wantCount(ops, 2, ctx);
+        out.push_back(
+            isa::encodeJmp(isa::JmpFn::Jal, wantReg(ops, 0, ctx), 0));
+        out.push_back(ctx.imm16(wantExpr(ops, 1, ctx)));
+        break;
+      case Form::Jr:
+        wantCount(ops, 1, ctx);
+        out.push_back(
+            isa::encodeJmp(isa::JmpFn::Jr, 0, wantReg(ops, 0, ctx)));
+        break;
+      case Form::Jalr:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeJmp(isa::JmpFn::Jalr,
+                                     wantReg(ops, 0, ctx),
+                                     wantReg(ops, 1, ctx)));
+        break;
+      case Form::Bfs:
+        wantCount(ops, 3, ctx);
+        out.push_back(isa::encodeBfs(wantReg(ops, 0, ctx),
+                                     wantReg(ops, 1, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 2, ctx)));
+        break;
+      case Form::Timer2:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeTimer(static_cast<isa::TimerFn>(d.fn),
+                                       wantReg(ops, 0, ctx),
+                                       wantReg(ops, 1, ctx)));
+        break;
+      case Form::Cancel:
+        wantCount(ops, 1, ctx);
+        out.push_back(isa::encodeTimer(isa::TimerFn::Cancel,
+                                       wantReg(ops, 0, ctx), 0));
+        break;
+      case Form::SetAddr:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeEvent(isa::EventFn::SetAddr,
+                                       wantReg(ops, 0, ctx),
+                                       wantReg(ops, 1, ctx)));
+        break;
+      case Form::NoOperand:
+        wantCount(ops, 0, ctx);
+        if (d.op == Op::Event)
+            out.push_back(isa::encodeEvent(isa::EventFn::Done, 0, 0));
+        else
+            out.push_back(
+                isa::encodeSys(static_cast<isa::SysFn>(d.fn), 0));
+        break;
+      case Form::DbgOut:
+        wantCount(ops, 1, ctx);
+        out.push_back(
+            isa::encodeSys(isa::SysFn::DbgOut, wantReg(ops, 0, ctx)));
+        break;
+
+      // ----- pseudo-instructions -----
+      case Form::La:
+        wantCount(ops, 2, ctx);
+        out.push_back(isa::encodeAluI(AluFn::Mov, wantReg(ops, 0, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 1, ctx)));
+        break;
+      case Form::Call:
+        wantCount(ops, 1, ctx);
+        out.push_back(
+            isa::encodeJmp(isa::JmpFn::Jal, isa::kLinkReg, 0));
+        out.push_back(ctx.imm16(wantExpr(ops, 0, ctx)));
+        break;
+      case Form::Ret:
+        wantCount(ops, 0, ctx);
+        out.push_back(isa::encodeJmp(isa::JmpFn::Jr, 0, isa::kLinkReg));
+        break;
+      case Form::Br:
+        wantCount(ops, 1, ctx);
+        out.push_back(isa::encodeJmp(isa::JmpFn::Jmp, 0, 0));
+        out.push_back(ctx.imm16(wantExpr(ops, 0, ctx)));
+        break;
+      case Form::Push: {
+        wantCount(ops, 1, ctx);
+        unsigned rd = wantReg(ops, 0, ctx);
+        out.push_back(isa::encodeAluI(AluFn::Sub, isa::kStackReg));
+        out.push_back(1);
+        out.push_back(isa::encodeMem(Op::Stw, rd, isa::kStackReg));
+        out.push_back(0);
+        break;
+      }
+      case Form::Pop: {
+        wantCount(ops, 1, ctx);
+        unsigned rd = wantReg(ops, 0, ctx);
+        out.push_back(isa::encodeMem(Op::Ldw, rd, isa::kStackReg));
+        out.push_back(0);
+        out.push_back(isa::encodeAluI(AluFn::Add, isa::kStackReg));
+        out.push_back(1);
+        break;
+      }
+      case Form::IncDec:
+        wantCount(ops, 1, ctx);
+        out.push_back(isa::encodeAluI(aluFn, wantReg(ops, 0, ctx)));
+        out.push_back(1);
+        break;
+      case Form::Clr:
+        wantCount(ops, 1, ctx);
+        out.push_back(isa::encodeAluI(AluFn::Mov, wantReg(ops, 0, ctx)));
+        out.push_back(0);
+        break;
+    }
+}
+
+Program
+assembleSnap(const std::string &source, const std::string &name)
+{
+    SnapBackend backend;
+    Assembler as(backend);
+    return as.assemble(source, name);
+}
+
+} // namespace snaple::assembler

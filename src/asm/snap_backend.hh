@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SNAP ISA backend for the assembler framework.
+ *
+ * Besides the architectural instructions (src/isa/isa.hh) the backend
+ * provides the pseudo-instructions a compiler-less tool-chain needs:
+ *
+ *   la rd, sym      -> li rd, sym            (2 words)
+ *   call sym        -> jal r13, sym          (2 words)
+ *   ret             -> jr r13                (1 word)
+ *   br sym          -> jmp sym               (2 words)
+ *   push rd         -> subi r14,1; stw rd,0(r14)   (4 words)
+ *   pop rd          -> ldw rd,0(r14); addi r14,1   (4 words)
+ *   inc rd / dec rd -> addi/subi rd, 1       (2 words)
+ *   clr rd          -> li rd, 0              (2 words)
+ *
+ * Register aliases: sp = r14, lr = r13, msg = r15.
+ */
+
+#ifndef SNAPLE_ASM_SNAP_BACKEND_HH
+#define SNAPLE_ASM_SNAP_BACKEND_HH
+
+#include "asm/assembler.hh"
+
+namespace snaple::assembler {
+
+/** Assembler backend emitting SNAP machine code. */
+class SnapBackend : public IsaBackend
+{
+  public:
+    std::optional<unsigned>
+    regNumber(const std::string &name) const override;
+
+    std::size_t sizeWords(const std::string &mnemonic,
+                          const std::vector<Operand> &ops,
+                          const std::string &where) const override;
+
+    void encode(const std::string &mnemonic,
+                const std::vector<Operand> &ops, const EncodeContext &ctx,
+                std::vector<std::uint16_t> &out) const override;
+};
+
+/** Convenience: assemble SNAP source in one call. */
+Program assembleSnap(const std::string &source,
+                     const std::string &name = "<asm>");
+
+} // namespace snaple::assembler
+
+#endif // SNAPLE_ASM_SNAP_BACKEND_HH

@@ -1,0 +1,236 @@
+#include "baseline/avr_backend.hh"
+
+#include <map>
+
+#include "baseline/avr_isa.hh"
+
+namespace snaple::baseline {
+
+using assembler::EncodeContext;
+using assembler::Operand;
+
+namespace {
+
+/** Operand shapes. */
+enum class Shape
+{
+    None,       ///< nop, ret, reti, sei, cli, sleep, halt, ijmp, icall
+    Reg,        ///< inc rd / push rd / ...
+    RegReg,     ///< add rd, rr
+    RegImm,     ///< ldi rd, K
+    RegAddr,    ///< lds rd, addr
+    AddrReg,    ///< sts addr, rr
+    Addr,       ///< rjmp / rcall / branches
+    RegPort,    ///< in rd, port
+    PortReg,    ///< out port, rr
+};
+
+struct Desc
+{
+    AvrOp op;
+    Shape shape;
+};
+
+const std::map<std::string, Desc> &
+table()
+{
+    static const std::map<std::string, Desc> t = {
+        {"nop", {AvrOp::Nop, Shape::None}},
+        {"ldi", {AvrOp::Ldi, Shape::RegImm}},
+        {"mov", {AvrOp::Mov, Shape::RegReg}},
+        {"movw", {AvrOp::Movw, Shape::RegReg}},
+        {"add", {AvrOp::Add, Shape::RegReg}},
+        {"adc", {AvrOp::Adc, Shape::RegReg}},
+        {"sub", {AvrOp::Sub, Shape::RegReg}},
+        {"sbc", {AvrOp::Sbc, Shape::RegReg}},
+        {"and", {AvrOp::And, Shape::RegReg}},
+        {"or", {AvrOp::Or, Shape::RegReg}},
+        {"eor", {AvrOp::Eor, Shape::RegReg}},
+        {"subi", {AvrOp::Subi, Shape::RegImm}},
+        {"sbci", {AvrOp::Sbci, Shape::RegImm}},
+        {"andi", {AvrOp::Andi, Shape::RegImm}},
+        {"ori", {AvrOp::Ori, Shape::RegImm}},
+        {"cpi", {AvrOp::Cpi, Shape::RegImm}},
+        {"cp", {AvrOp::Cp, Shape::RegReg}},
+        {"cpc", {AvrOp::Cpc, Shape::RegReg}},
+        {"inc", {AvrOp::Inc, Shape::Reg}},
+        {"dec", {AvrOp::Dec, Shape::Reg}},
+        {"lsl", {AvrOp::Lsl, Shape::Reg}},
+        {"lsr", {AvrOp::Lsr, Shape::Reg}},
+        {"asr", {AvrOp::Asr, Shape::Reg}},
+        {"rol", {AvrOp::Rol, Shape::Reg}},
+        {"ror", {AvrOp::Ror, Shape::Reg}},
+        {"swap", {AvrOp::Swap, Shape::Reg}},
+        {"lds", {AvrOp::Lds, Shape::RegAddr}},
+        {"sts", {AvrOp::Sts, Shape::AddrReg}},
+        {"ldx", {AvrOp::Ldx, Shape::Reg}},
+        {"stx", {AvrOp::Stx, Shape::Reg}},
+        {"ldxi", {AvrOp::LdxInc, Shape::Reg}},
+        {"stxi", {AvrOp::StxInc, Shape::Reg}},
+        {"push", {AvrOp::Push, Shape::Reg}},
+        {"pop", {AvrOp::Pop, Shape::Reg}},
+        {"rjmp", {AvrOp::Rjmp, Shape::Addr}},
+        {"rcall", {AvrOp::Rcall, Shape::Addr}},
+        {"icall", {AvrOp::Icall, Shape::None}},
+        {"ijmp", {AvrOp::Ijmp, Shape::None}},
+        {"ret", {AvrOp::Ret, Shape::None}},
+        {"reti", {AvrOp::Reti, Shape::None}},
+        {"breq", {AvrOp::Breq, Shape::Addr}},
+        {"brne", {AvrOp::Brne, Shape::Addr}},
+        {"brcs", {AvrOp::Brcs, Shape::Addr}},
+        {"brcc", {AvrOp::Brcc, Shape::Addr}},
+        {"brmi", {AvrOp::Brmi, Shape::Addr}},
+        {"brpl", {AvrOp::Brpl, Shape::Addr}},
+        {"in", {AvrOp::In, Shape::RegPort}},
+        {"out", {AvrOp::Out, Shape::PortReg}},
+        {"sei", {AvrOp::Sei, Shape::None}},
+        {"cli", {AvrOp::Cli, Shape::None}},
+        {"sleep", {AvrOp::Sleep, Shape::None}},
+        {"halt", {AvrOp::Halt, Shape::None}},
+    };
+    return t;
+}
+
+std::uint16_t
+pack(AvrOp op, unsigned rd = 0, unsigned rr = 0)
+{
+    return static_cast<std::uint16_t>(
+        (static_cast<unsigned>(op) << 10) | ((rd & 0x1f) << 5) |
+        (rr & 0x1f));
+}
+
+unsigned
+wantReg(const std::vector<Operand> &ops, std::size_t i,
+        const EncodeContext &ctx)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Reg)
+        ctx.error("expected register operand " + std::to_string(i + 1));
+    return ops[i].reg;
+}
+
+const assembler::Expr &
+wantExpr(const std::vector<Operand> &ops, std::size_t i,
+         const EncodeContext &ctx)
+{
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Expr)
+        ctx.error("expected immediate operand " + std::to_string(i + 1));
+    return ops[i].expr;
+}
+
+} // namespace
+
+std::optional<unsigned>
+AvrBackend::regNumber(const std::string &name) const
+{
+    if (name.size() >= 2 && name.size() <= 3 && name[0] == 'r') {
+        unsigned v = 0;
+        for (std::size_t i = 1; i < name.size(); ++i) {
+            if (name[i] < '0' || name[i] > '9')
+                return std::nullopt;
+            v = v * 10 + (name[i] - '0');
+        }
+        if (v < 32)
+            return v;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+AvrBackend::sizeWords(const std::string &mnemonic,
+                      const std::vector<Operand> &ops,
+                      const std::string &where) const
+{
+    (void)ops;
+    auto it = table().find(mnemonic);
+    sim::fatalIf(it == table().end(),
+                 where, ": unknown mnemonic: ", mnemonic);
+    return avrHasOperandWord(it->second.op) ? 2 : 1;
+}
+
+void
+AvrBackend::encode(const std::string &mnemonic,
+                   const std::vector<Operand> &ops,
+                   const EncodeContext &ctx,
+                   std::vector<std::uint16_t> &out) const
+{
+    auto it = table().find(mnemonic);
+    if (it == table().end())
+        ctx.error("unknown mnemonic: " + mnemonic);
+    const Desc &d = it->second;
+
+    auto count = [&](std::size_t n) {
+        if (ops.size() != n)
+            ctx.error("expected " + std::to_string(n) + " operand(s)");
+    };
+
+    switch (d.shape) {
+      case Shape::None:
+        count(0);
+        out.push_back(pack(d.op));
+        break;
+      case Shape::Reg:
+        count(1);
+        out.push_back(pack(d.op, wantReg(ops, 0, ctx)));
+        break;
+      case Shape::RegReg:
+        count(2);
+        out.push_back(pack(d.op, wantReg(ops, 0, ctx),
+                           wantReg(ops, 1, ctx)));
+        break;
+      case Shape::RegImm: {
+        count(2);
+        unsigned rd = wantReg(ops, 0, ctx);
+        std::int64_t v = ctx.resolve(wantExpr(ops, 1, ctx));
+        if (v < -128 || v > 255)
+            ctx.error("immediate out of byte range");
+        out.push_back(pack(d.op, rd));
+        out.push_back(static_cast<std::uint16_t>(v & 0xff));
+        break;
+      }
+      case Shape::RegAddr:
+        count(2);
+        out.push_back(pack(d.op, wantReg(ops, 0, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 1, ctx)));
+        break;
+      case Shape::AddrReg:
+        count(2);
+        out.push_back(pack(d.op, wantReg(ops, 1, ctx)));
+        out.push_back(ctx.imm16(wantExpr(ops, 0, ctx)));
+        break;
+      case Shape::Addr:
+        count(1);
+        out.push_back(pack(d.op));
+        out.push_back(ctx.imm16(wantExpr(ops, 0, ctx)));
+        break;
+      case Shape::RegPort: {
+        count(2);
+        unsigned rd = wantReg(ops, 0, ctx);
+        std::int64_t p = ctx.resolve(wantExpr(ops, 1, ctx));
+        if (p < 0 || p > 255)
+            ctx.error("port out of range");
+        out.push_back(pack(d.op, rd));
+        out.push_back(static_cast<std::uint16_t>(p));
+        break;
+      }
+      case Shape::PortReg: {
+        count(2);
+        std::int64_t p = ctx.resolve(wantExpr(ops, 0, ctx));
+        if (p < 0 || p > 255)
+            ctx.error("port out of range");
+        unsigned rr = wantReg(ops, 1, ctx);
+        out.push_back(pack(d.op, rr));
+        out.push_back(static_cast<std::uint16_t>(p));
+        break;
+      }
+    }
+}
+
+assembler::Program
+assembleAvr(const std::string &source, const std::string &name)
+{
+    AvrBackend backend;
+    assembler::Assembler as(backend);
+    return as.assemble(source, name);
+}
+
+} // namespace snaple::baseline

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Assembler backend for the baseline's AVR-class ISA (reuses the
+ * generic two-pass framework from src/asm).
+ */
+
+#ifndef SNAPLE_BASELINE_AVR_BACKEND_HH
+#define SNAPLE_BASELINE_AVR_BACKEND_HH
+
+#include "asm/assembler.hh"
+
+namespace snaple::baseline {
+
+/** Assembler backend emitting AVR-class machine code. */
+class AvrBackend : public assembler::IsaBackend
+{
+  public:
+    std::optional<unsigned>
+    regNumber(const std::string &name) const override;
+
+    std::size_t sizeWords(const std::string &mnemonic,
+                          const std::vector<assembler::Operand> &ops,
+                          const std::string &where) const override;
+
+    void encode(const std::string &mnemonic,
+                const std::vector<assembler::Operand> &ops,
+                const assembler::EncodeContext &ctx,
+                std::vector<std::uint16_t> &out) const override;
+};
+
+/** Convenience: assemble AVR-class source in one call. */
+assembler::Program assembleAvr(const std::string &source,
+                               const std::string &name = "<avr>");
+
+} // namespace snaple::baseline
+
+#endif // SNAPLE_BASELINE_AVR_BACKEND_HH

@@ -1,0 +1,458 @@
+#include "baseline/avr_core.hh"
+
+namespace snaple::baseline {
+
+using sim::Co;
+using sim::Tick;
+
+AvrMcu::AvrMcu(sim::Kernel &kernel, const Config &cfg,
+               const assembler::Program &prog)
+    : kernel_(kernel), cfg_(cfg), flash_(prog.imem),
+      sram_(cfg.sramBytes, 0),
+      sp_(static_cast<std::uint16_t>(cfg.sramBytes - 1)),
+      wake_(kernel, 4, 0, "avr-wake"),
+      cyclesByPc_(flash_.size() + 1, 0)
+{
+    sim::fatalIf(flash_.empty(), "empty AVR program");
+    // Initialize SRAM from the program's .dmem image (byte-per-word).
+    for (std::size_t i = 0; i < prog.dmem.size() && i < sram_.size();
+         ++i)
+        sram_[i] = static_cast<std::uint8_t>(prog.dmem[i] & 0xff);
+}
+
+void
+AvrMcu::start()
+{
+    kernel_.spawn(run(), "avr-mcu");
+}
+
+std::uint64_t
+AvrMcu::cyclesInRange(std::uint16_t lo, std::uint16_t hi) const
+{
+    std::uint64_t total = 0;
+    for (std::uint16_t a = lo; a < hi && a < cyclesByPc_.size(); ++a)
+        total += cyclesByPc_[a];
+    return total;
+}
+
+void
+AvrMcu::push8(std::uint8_t v)
+{
+    sram_[sp_] = v;
+    --sp_;
+}
+
+std::uint8_t
+AvrMcu::pop8()
+{
+    ++sp_;
+    return sram_[sp_];
+}
+
+void
+AvrMcu::raiseIrq(AvrIrq irq)
+{
+    pending_ |= static_cast<std::uint8_t>(
+        1u << static_cast<std::uint8_t>(irq));
+    if (sleeping_)
+        wake_.tryPush(1);
+}
+
+void
+AvrMcu::scheduleTimer()
+{
+    if (!timerEnabled_ || timerPeriod_ == 0)
+        return;
+    const std::uint64_t generation = timerGeneration_;
+    kernel_.scheduleAfter(timerPeriod_ * cycleTime(), [this, generation] {
+        if (!timerEnabled_ || timerGeneration_ != generation)
+            return;
+        ++stats_.timerFires;
+        raiseIrq(AvrIrq::Timer0);
+        scheduleTimer();
+    });
+}
+
+void
+AvrMcu::ioWrite(std::uint8_t port, std::uint8_t v)
+{
+    using namespace avrio;
+    switch (port) {
+      case kLed:
+        ledTrace_.emplace_back(kernel_.now(), v);
+        break;
+      case kTimerPeriodLo:
+        timerPeriod_ = (timerPeriod_ & 0xffff00u) | v;
+        break;
+      case kTimerPeriodMid:
+        timerPeriod_ =
+            (timerPeriod_ & 0xff00ffu) | (std::uint32_t(v) << 8);
+        break;
+      case kTimerPeriodHi:
+        timerPeriod_ =
+            (timerPeriod_ & 0x00ffffu) | (std::uint32_t(v) << 16);
+        break;
+      case kTimerCtrl: {
+        bool enable = (v & 1) != 0;
+        ++timerGeneration_;
+        timerEnabled_ = enable;
+        scheduleTimer();
+        break;
+      }
+      case kAdcCtrl:
+        if (v & 1) {
+            kernel_.scheduleAfter(cfg_.adcConversionTime, [this] {
+                std::uint16_t s =
+                    sensor_ ? sensor_->query(kernel_.now()) : 0;
+                adcValue_ = s;
+                ++stats_.adcConversions;
+                raiseIrq(AvrIrq::Adc);
+            });
+        }
+        break;
+      case kSpdr: {
+        spiOut_.push_back(v);
+        ++stats_.spiBytes;
+        Tick byte_time = sim::fromSec(8.0 / cfg_.spiBitrateBps);
+        kernel_.scheduleAfter(byte_time,
+                              [this] { raiseIrq(AvrIrq::Spi); });
+        break;
+      }
+      case kDbg:
+        debugOut_.push_back(v);
+        break;
+      default:
+        sim::fatal("write to unknown I/O port ", int(port));
+    }
+}
+
+std::uint8_t
+AvrMcu::ioRead(std::uint8_t port)
+{
+    using namespace avrio;
+    switch (port) {
+      case kLed:
+        return ledTrace_.empty() ? 0 : ledTrace_.back().second;
+      case kAdcLo:
+        return static_cast<std::uint8_t>(adcValue_ & 0xff);
+      case kAdcHi:
+        return static_cast<std::uint8_t>(adcValue_ >> 8);
+      default:
+        sim::fatal("read from unknown I/O port ", int(port));
+    }
+}
+
+unsigned
+AvrMcu::step()
+{
+    const std::uint16_t at = pc_;
+    sim::fatalIf(pc_ >= flash_.size(), "AVR PC out of flash: ", pc_);
+    const std::uint16_t w = flash_[pc_++];
+    const auto op = static_cast<AvrOp>((w >> 10) & 0x3f);
+    const unsigned rd = (w >> 5) & 0x1f;
+    const unsigned rr = w & 0x1f;
+    std::uint16_t operand = 0;
+    if (avrHasOperandWord(op))
+        operand = flash_[pc_++];
+
+    unsigned cycles = avrCycles(op);
+    auto flagsZn = [&](std::uint8_t r) {
+        flagZ_ = (r == 0);
+        flagN_ = (r & 0x80) != 0;
+    };
+    auto addCommon = [&](std::uint8_t a, std::uint8_t b, bool cin) {
+        unsigned s = unsigned(a) + b + (cin ? 1 : 0);
+        flagC_ = s > 0xff;
+        std::uint8_t r = static_cast<std::uint8_t>(s);
+        flagsZn(r);
+        return r;
+    };
+    auto subCommon = [&](std::uint8_t a, std::uint8_t b, bool bin,
+                         bool keep_z) {
+        unsigned s = unsigned(a) - b - (bin ? 1 : 0);
+        flagC_ = s > 0xff; // borrow
+        std::uint8_t r = static_cast<std::uint8_t>(s);
+        bool z = (r == 0);
+        flagZ_ = keep_z ? (z && flagZ_) : z; // AVR cpc/sbc semantics
+        flagN_ = (r & 0x80) != 0;
+        return r;
+    };
+    auto branch = [&](bool taken) {
+        if (taken) {
+            pc_ = operand;
+            ++cycles;
+        }
+    };
+
+    switch (op) {
+      case AvrOp::Nop:
+        break;
+      case AvrOp::Ldi:
+        regs_[rd] = static_cast<std::uint8_t>(operand);
+        break;
+      case AvrOp::Mov:
+        regs_[rd] = regs_[rr];
+        break;
+      case AvrOp::Movw:
+        regs_[rd] = regs_[rr];
+        regs_[rd + 1] = regs_[rr + 1];
+        break;
+      case AvrOp::Add:
+        regs_[rd] = addCommon(regs_[rd], regs_[rr], false);
+        break;
+      case AvrOp::Adc:
+        regs_[rd] = addCommon(regs_[rd], regs_[rr], flagC_);
+        break;
+      case AvrOp::Sub:
+        regs_[rd] = subCommon(regs_[rd], regs_[rr], false, false);
+        break;
+      case AvrOp::Sbc:
+        regs_[rd] = subCommon(regs_[rd], regs_[rr], flagC_, true);
+        break;
+      case AvrOp::And:
+        regs_[rd] &= regs_[rr];
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Or:
+        regs_[rd] |= regs_[rr];
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Eor:
+        regs_[rd] ^= regs_[rr];
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Subi:
+        regs_[rd] = subCommon(regs_[rd],
+                              static_cast<std::uint8_t>(operand), false,
+                              false);
+        break;
+      case AvrOp::Sbci:
+        regs_[rd] = subCommon(regs_[rd],
+                              static_cast<std::uint8_t>(operand),
+                              flagC_, true);
+        break;
+      case AvrOp::Andi:
+        regs_[rd] &= static_cast<std::uint8_t>(operand);
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Ori:
+        regs_[rd] |= static_cast<std::uint8_t>(operand);
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Cpi:
+        subCommon(regs_[rd], static_cast<std::uint8_t>(operand), false,
+                  false);
+        break;
+      case AvrOp::Cp:
+        subCommon(regs_[rd], regs_[rr], false, false);
+        break;
+      case AvrOp::Cpc:
+        subCommon(regs_[rd], regs_[rr], flagC_, true);
+        break;
+      case AvrOp::Inc:
+        ++regs_[rd];
+        flagsZn(regs_[rd]); // C unchanged, per the datasheet
+        break;
+      case AvrOp::Dec:
+        --regs_[rd];
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Lsl: {
+        flagC_ = (regs_[rd] & 0x80) != 0;
+        regs_[rd] = static_cast<std::uint8_t>(regs_[rd] << 1);
+        flagsZn(regs_[rd]);
+        break;
+      }
+      case AvrOp::Lsr:
+        flagC_ = (regs_[rd] & 1) != 0;
+        regs_[rd] >>= 1;
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Asr:
+        flagC_ = (regs_[rd] & 1) != 0;
+        regs_[rd] = static_cast<std::uint8_t>(
+            (regs_[rd] >> 1) | (regs_[rd] & 0x80));
+        flagsZn(regs_[rd]);
+        break;
+      case AvrOp::Rol: {
+        bool c = flagC_;
+        flagC_ = (regs_[rd] & 0x80) != 0;
+        regs_[rd] =
+            static_cast<std::uint8_t>((regs_[rd] << 1) | (c ? 1 : 0));
+        flagsZn(regs_[rd]);
+        break;
+      }
+      case AvrOp::Ror: {
+        bool c = flagC_;
+        flagC_ = (regs_[rd] & 1) != 0;
+        regs_[rd] = static_cast<std::uint8_t>((regs_[rd] >> 1) |
+                                              (c ? 0x80 : 0));
+        flagsZn(regs_[rd]);
+        break;
+      }
+      case AvrOp::Swap:
+        regs_[rd] = static_cast<std::uint8_t>((regs_[rd] << 4) |
+                                              (regs_[rd] >> 4));
+        break;
+      case AvrOp::Lds:
+        sim::fatalIf(operand >= sram_.size(), "lds out of SRAM");
+        regs_[rd] = sram_[operand];
+        break;
+      case AvrOp::Sts:
+        sim::fatalIf(operand >= sram_.size(), "sts out of SRAM");
+        sram_[operand] = regs_[rd];
+        break;
+      case AvrOp::Ldx:
+      case AvrOp::LdxInc: {
+        std::uint16_t x = static_cast<std::uint16_t>(
+            (regs_[27] << 8) | regs_[26]);
+        sim::fatalIf(x >= sram_.size(), "ldx out of SRAM");
+        regs_[rd] = sram_[x];
+        if (op == AvrOp::LdxInc) {
+            ++x;
+            regs_[26] = static_cast<std::uint8_t>(x & 0xff);
+            regs_[27] = static_cast<std::uint8_t>(x >> 8);
+        }
+        break;
+      }
+      case AvrOp::Stx:
+      case AvrOp::StxInc: {
+        std::uint16_t x = static_cast<std::uint16_t>(
+            (regs_[27] << 8) | regs_[26]);
+        sim::fatalIf(x >= sram_.size(), "stx out of SRAM");
+        sram_[x] = regs_[rd];
+        if (op == AvrOp::StxInc) {
+            ++x;
+            regs_[26] = static_cast<std::uint8_t>(x & 0xff);
+            regs_[27] = static_cast<std::uint8_t>(x >> 8);
+        }
+        break;
+      }
+      case AvrOp::Push:
+        push8(regs_[rd]);
+        break;
+      case AvrOp::Pop:
+        regs_[rd] = pop8();
+        break;
+      case AvrOp::Rjmp:
+        pc_ = operand;
+        break;
+      case AvrOp::Rcall:
+        push8(static_cast<std::uint8_t>(pc_ & 0xff));
+        push8(static_cast<std::uint8_t>(pc_ >> 8));
+        pc_ = operand;
+        break;
+      case AvrOp::Icall: {
+        push8(static_cast<std::uint8_t>(pc_ & 0xff));
+        push8(static_cast<std::uint8_t>(pc_ >> 8));
+        pc_ = static_cast<std::uint16_t>((regs_[31] << 8) | regs_[30]);
+        break;
+      }
+      case AvrOp::Ijmp:
+        pc_ = static_cast<std::uint16_t>((regs_[31] << 8) | regs_[30]);
+        break;
+      case AvrOp::Ret: {
+        std::uint8_t hi = pop8();
+        std::uint8_t lo = pop8();
+        pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+        break;
+      }
+      case AvrOp::Reti: {
+        std::uint8_t hi = pop8();
+        std::uint8_t lo = pop8();
+        pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+        iflag_ = true;
+        break;
+      }
+      case AvrOp::Breq: branch(flagZ_); break;
+      case AvrOp::Brne: branch(!flagZ_); break;
+      case AvrOp::Brcs: branch(flagC_); break;
+      case AvrOp::Brcc: branch(!flagC_); break;
+      case AvrOp::Brmi: branch(flagN_); break;
+      case AvrOp::Brpl: branch(!flagN_); break;
+      case AvrOp::In:
+        regs_[rd] = ioRead(static_cast<std::uint8_t>(operand));
+        break;
+      case AvrOp::Out:
+        ioWrite(static_cast<std::uint8_t>(operand), regs_[rd]);
+        break;
+      case AvrOp::Sei:
+        // Real AVR semantics: the instruction following SEI runs
+        // before any interrupt, which is what makes the scheduler's
+        // `sei; sleep` idiom race-free.
+        iflag_ = true;
+        seiShadow_ = true;
+        break;
+      case AvrOp::Cli:
+        iflag_ = false;
+        break;
+      case AvrOp::Sleep:
+        // A pending interrupt aborts the sleep immediately.
+        if (!irqPending())
+            sleeping_ = true;
+        break;
+      case AvrOp::Halt:
+        halted_ = true;
+        break;
+      default:
+        sim::fatal("illegal AVR opcode ", int(w >> 10), " at ", at);
+    }
+
+    ++stats_.instructions;
+    stats_.cyclesActive += cycles;
+    cyclesByPc_[at] += cycles;
+    return cycles;
+}
+
+Co<void>
+AvrMcu::run()
+{
+    for (;;) {
+        if (halted_) {
+            if (cfg_.stopOnHalt)
+                kernel_.stop();
+            co_return;
+        }
+
+        // Interrupt dispatch at instruction boundaries (but never
+        // directly after SEI, see above).
+        if (seiShadow_) {
+            seiShadow_ = false;
+        } else if (iflag_ && irqPending()) {
+            for (std::uint8_t i = 1;
+                 i < static_cast<std::uint8_t>(AvrIrq::NumIrqs); ++i) {
+                if (pending_ & (1u << i)) {
+                    pending_ &= static_cast<std::uint8_t>(~(1u << i));
+                    ++stats_.interrupts;
+                    push8(static_cast<std::uint8_t>(pc_ & 0xff));
+                    push8(static_cast<std::uint8_t>(pc_ >> 8));
+                    pc_ = avrVectorAddr(static_cast<AvrIrq>(i));
+                    iflag_ = false;
+                    stats_.cyclesActive += kAvrIrqEntryCycles;
+                    cyclesByPc_[pc_] += kAvrIrqEntryCycles;
+                    co_await kernel_.delay(kAvrIrqEntryCycles *
+                                           cycleTime());
+                    break;
+                }
+            }
+        }
+
+        if (sleeping_) {
+            // Idle mode: the clock keeps running but the CPU halts.
+            Tick slept_at = kernel_.now();
+            (void)co_await wake_.recv();
+            sleeping_ = false;
+            stats_.cyclesSleep +=
+                (kernel_.now() - slept_at) / cycleTime();
+            // Wake-up from idle takes a few clock cycles.
+            stats_.cyclesActive += 6;
+            co_await kernel_.delay(6 * cycleTime());
+            continue;
+        }
+
+        unsigned cycles = step();
+        co_await kernel_.delay(cycles * cycleTime());
+    }
+}
+
+} // namespace snaple::baseline

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The baseline's AVR-class 8-bit instruction set.
+ *
+ * The comparison platform of sections 4.2/4.6 is a Berkeley MICA mote:
+ * an ATmega128L at 4 MHz running TinyOS, measured with Atmel's
+ * cycle-accurate AVR Studio simulator. We model an AVR-*class* MCU:
+ * 32 8-bit registers, C/Z/N flags, byte-addressed SRAM, a two-level
+ * interrupt scheme, and the datasheet's per-instruction cycle costs.
+ * The binary encoding is our own (the cycle table, not the encoding,
+ * is what the experiments depend on); see DESIGN.md §5.
+ *
+ * Encoding: word0 = [6b opcode | 5b rd | 5b rr]; immediate/address
+ * operands ride in a second word.
+ */
+
+#ifndef SNAPLE_BASELINE_AVR_ISA_HH
+#define SNAPLE_BASELINE_AVR_ISA_HH
+
+#include <cstdint>
+
+namespace snaple::baseline {
+
+/** AVR-class opcodes. */
+enum class AvrOp : std::uint8_t
+{
+    Nop = 0,
+    Ldi,    ///< rd <- imm8 (word1)
+    Mov,    ///< rd <- rr
+    Movw,   ///< rd+1:rd <- rr+1:rr (register pair)
+    Add,
+    Adc,
+    Sub,
+    Sbc,
+    And,
+    Or,
+    Eor,
+    Subi,   ///< rd <- rd - imm8
+    Sbci,
+    Andi,
+    Ori,
+    Cpi,    ///< flags(rd - imm8)
+    Cp,
+    Cpc,
+    Inc,
+    Dec,
+    Lsl,
+    Lsr,
+    Asr,
+    Rol,
+    Ror,
+    Swap,   ///< nibble swap
+    Lds,    ///< rd <- SRAM[addr16]
+    Sts,    ///< SRAM[addr16] <- rd
+    Ldx,    ///< rd <- SRAM[X], X = r27:r26
+    Stx,    ///< SRAM[X] <- rr
+    LdxInc, ///< rd <- SRAM[X], X++
+    StxInc, ///< SRAM[X] <- rr, X++
+    Push,
+    Pop,
+    Rjmp,   ///< pc <- addr (word1)
+    Rcall,  ///< push pc; pc <- addr
+    Icall,  ///< push pc; pc <- Z (r31:r30)
+    Ijmp,   ///< pc <- Z
+    Ret,
+    Reti,
+    Breq,   ///< branch if Z (target in word1)
+    Brne,
+    Brcs,   ///< branch if C
+    Brcc,
+    Brmi,   ///< branch if N
+    Brpl,
+    In,     ///< rd <- IO[port8] (word1)
+    Out,    ///< IO[port8] <- rd
+    Sei,
+    Cli,
+    Sleep,  ///< idle until an interrupt
+    Halt,   ///< simulation aid (stops the MCU)
+    NumOps,
+};
+
+/** Datasheet cycle cost; branches add one cycle when taken. */
+constexpr unsigned
+avrCycles(AvrOp op)
+{
+    switch (op) {
+      case AvrOp::Lds:
+      case AvrOp::Sts:
+      case AvrOp::Ldx:
+      case AvrOp::Stx:
+      case AvrOp::LdxInc:
+      case AvrOp::StxInc:
+      case AvrOp::Push:
+      case AvrOp::Pop:
+      case AvrOp::Rjmp:
+      case AvrOp::Ijmp:
+        return 2;
+      case AvrOp::Rcall:
+      case AvrOp::Icall:
+        return 3;
+      case AvrOp::Ret:
+      case AvrOp::Reti:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+/** True for conditional branches (word1 = absolute target). */
+constexpr bool
+avrIsBranch(AvrOp op)
+{
+    switch (op) {
+      case AvrOp::Breq:
+      case AvrOp::Brne:
+      case AvrOp::Brcs:
+      case AvrOp::Brcc:
+      case AvrOp::Brmi:
+      case AvrOp::Brpl:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True if the op carries a second word (imm8 / addr16 / port). */
+constexpr bool
+avrHasOperandWord(AvrOp op)
+{
+    switch (op) {
+      case AvrOp::Ldi:
+      case AvrOp::Subi:
+      case AvrOp::Sbci:
+      case AvrOp::Andi:
+      case AvrOp::Ori:
+      case AvrOp::Cpi:
+      case AvrOp::Lds:
+      case AvrOp::Sts:
+      case AvrOp::Rjmp:
+      case AvrOp::Rcall:
+      case AvrOp::In:
+      case AvrOp::Out:
+        return true;
+      default:
+        return avrIsBranch(op);
+    }
+}
+
+/** AVR interrupt vectors (flash word addresses). */
+enum class AvrIrq : std::uint8_t
+{
+    Reset = 0,
+    Timer0 = 1, ///< timer compare match
+    Adc = 2,    ///< conversion complete
+    Spi = 3,    ///< serial transfer complete
+    NumIrqs,
+};
+
+/** Flash word address of an interrupt vector (2 words per slot). */
+constexpr std::uint16_t
+avrVectorAddr(AvrIrq irq)
+{
+    return static_cast<std::uint16_t>(2 *
+                                      static_cast<std::uint8_t>(irq));
+}
+
+/** Interrupt response time (cycles to enter the vector). */
+inline constexpr unsigned kAvrIrqEntryCycles = 4;
+
+/** I/O register numbers (the `in`/`out` port space). */
+namespace avrio {
+inline constexpr std::uint8_t kLed = 0x01;
+inline constexpr std::uint8_t kTimerPeriodLo = 0x02; ///< in cycles
+inline constexpr std::uint8_t kTimerPeriodMid = 0x03;
+inline constexpr std::uint8_t kTimerPeriodHi = 0x04;
+inline constexpr std::uint8_t kTimerCtrl = 0x05;     ///< 1 = enable
+inline constexpr std::uint8_t kAdcCtrl = 0x06;       ///< 1 = start
+inline constexpr std::uint8_t kAdcLo = 0x07;
+inline constexpr std::uint8_t kAdcHi = 0x08;
+inline constexpr std::uint8_t kSpdr = 0x09;          ///< SPI data
+inline constexpr std::uint8_t kDbg = 0x0A;           ///< host debug
+} // namespace avrio
+
+} // namespace snaple::baseline
+
+#endif // SNAPLE_BASELINE_AVR_ISA_HH

@@ -1,0 +1,663 @@
+#include "baseline/tinyos.hh"
+
+#include <sstream>
+
+namespace snaple::baseline {
+
+namespace {
+
+/** Common .equ block. */
+const char *kDefs = R"(
+        .equ TQ_BASE, 0x40      ; task queue: 8 x 2 bytes
+        .equ TQ_HEAD, 0x50
+        .equ TQ_TAIL, 0x51
+        .equ TQ_CNT,  0x52
+        .equ TICK_LO, 0x53
+        .equ TICK_HI, 0x54
+        .equ VT_BASE, 0x58      ; 8 virtual timers x 3 bytes
+        .equ LED_STATE, 0x70
+        .equ AVG_LO, 0x71
+        .equ AVG_HI, 0x72
+        .equ SAMPLE_LO, 0x73
+        .equ SAMPLE_HI, 0x74
+        .equ CRC_LO, 0x75
+        .equ CRC_HI, 0x76
+        .equ MSG_IDX, 0x77
+        .equ MSG_LEN, 0x78
+        .equ PEND_HI, 0x79
+        .equ PEND_FLAG, 0x7A
+        .equ SENT_CRC, 0x7B
+        .equ MSG_BASE, 0x80
+
+        .equ P_LED, 1
+        .equ P_TPER_LO, 2
+        .equ P_TPER_MID, 3
+        .equ P_TPER_HI, 4
+        .equ P_TCTRL, 5
+        .equ P_ADC_CTRL, 6
+        .equ P_ADC_LO, 7
+        .equ P_ADC_HI, 8
+        .equ P_SPDR, 9
+        .equ P_DBG, 10
+)";
+
+} // namespace
+
+std::string
+tinyOsRuntime()
+{
+    std::ostringstream os;
+    os << R"(
+; ---- interrupt vectors (2 flash words per slot) ----
+        rjmp reset              ; RESET
+        rjmp isr_timer          ; TIMER0 compare match
+        rjmp isr_adc            ; ADC conversion complete
+        rjmp isr_spi            ; SPI transfer complete
+)" << kDefs << R"(
+os_begin:
+reset:
+        ldi  r16, 0
+        sts  TQ_HEAD, r16
+        sts  TQ_TAIL, r16
+        sts  TQ_CNT, r16
+        sts  TICK_LO, r16
+        sts  TICK_HI, r16
+        ; clear the virtual-timer bank (24 bytes)
+        ldi  r26, 0x58          ; VT_BASE
+        ldi  r27, 0
+        ldi  r17, 24
+rst_vt: stxi r16
+        dec  r17
+        brne rst_vt
+        rcall app_init
+        sei
+
+; ---- the TinyOS task loop: run-to-completion FIFO scheduler ----
+sched_loop:
+        cli
+        lds  r16, TQ_CNT
+        cpi  r16, 0
+        brne sched_pop
+        sei                     ; sei;sleep is atomic on AVR
+        sleep
+        rjmp sched_loop
+sched_pop:
+        lds  r17, TQ_HEAD
+        mov  r26, r17
+        lsl  r26
+        subi r26, 192           ; X = TQ_BASE + head*2  (-64 mod 256)
+        ldi  r27, 0
+        ldxi r30                ; task address -> Z
+        ldx  r31
+        inc  r17
+        andi r17, 7
+        sts  TQ_HEAD, r17
+        lds  r16, TQ_CNT
+        dec  r16
+        sts  TQ_CNT, r16
+        sei
+        icall                   ; run the task
+        rjmp sched_loop
+
+; ---- os_post: enqueue the task whose address is in Z ----
+os_post:
+        push r16
+        push r17
+        push r26
+        push r27
+        lds  r16, TQ_CNT
+        cpi  r16, 8
+        breq osp_full           ; queue full: drop (TinyOS does too)
+        lds  r17, TQ_TAIL
+        mov  r26, r17
+        lsl  r26
+        subi r26, 192           ; X = TQ_BASE + tail*2
+        ldi  r27, 0
+        stxi r30
+        stx  r31
+        inc  r17
+        andi r17, 7
+        sts  TQ_TAIL, r17
+        inc  r16
+        sts  TQ_CNT, r16
+osp_full:
+        pop  r27
+        pop  r26
+        pop  r17
+        pop  r16
+        ret
+
+; ---- os_vt_start: arm virtual timer r18 with r20:r19 ticks ----
+os_vt_start:
+        push r26
+        push r27
+        push r16
+        mov  r26, r18
+        lsl  r26
+        add  r26, r18
+        subi r26, 168           ; X = VT_BASE + id*3  (-88 mod 256)
+        ldi  r27, 0
+        ldi  r16, 1
+        stxi r16                ; active
+        stxi r19                ; remaining lo
+        stx  r20                ; remaining hi
+        pop  r16
+        pop  r27
+        pop  r26
+        ret
+
+; ---- hardware tick ISR: avr-gcc context save, then the component
+;      chain HWClock -> Clock -> Timer (virtual-timer scan) ----
+isr_timer:
+        push r0
+        push r1
+        push r16
+        push r17
+        push r18
+        push r19
+        push r20
+        push r21
+        push r22
+        push r23
+        push r26
+        push r27
+        push r30
+        push r31
+        lds  r16, TICK_LO       ; 16-bit tick counter
+        inc  r16
+        sts  TICK_LO, r16
+        brne isr_t_nohi
+        lds  r16, TICK_HI
+        inc  r16
+        sts  TICK_HI, r16
+isr_t_nohi:
+        rcall hwclock_fire
+        pop  r31
+        pop  r30
+        pop  r27
+        pop  r26
+        pop  r23
+        pop  r22
+        pop  r21
+        pop  r20
+        pop  r19
+        pop  r18
+        pop  r17
+        pop  r16
+        pop  r1
+        pop  r0
+        reti
+
+; ---- component boundary: HWClock.fire -> Clock.fire ----
+hwclock_fire:
+        push r16
+        push r17
+        push r18
+        push r19
+        rcall clock_fire
+        pop  r19
+        pop  r18
+        pop  r17
+        pop  r16
+        ret
+
+; ---- Clock.fire: scan all 8 virtual timers, decrement the active
+;      ones, fire those that reach zero ----
+clock_fire:
+        push r16
+        push r17
+        push r18
+        push r19
+        push r26
+        push r27
+        ldi  r18, 0             ; timer id
+cf_loop:
+        mov  r26, r18
+        lsl  r26
+        add  r26, r18
+        subi r26, 168           ; X = VT_BASE + id*3
+        ldi  r27, 0
+        ldxi r16                ; active?
+        cpi  r16, 0
+        breq cf_next
+        ldxi r17                ; remaining lo
+        ldx  r19                ; remaining hi
+        subi r17, 1             ; 16-bit decrement
+        sbci r19, 0
+        mov  r26, r18
+        lsl  r26
+        add  r26, r18
+        subi r26, 167           ; X = VT_BASE + id*3 + 1
+        ldi  r27, 0
+        stxi r17
+        stx  r19
+        mov  r16, r17
+        or   r16, r19
+        brne cf_next
+        ; expired: deactivate and signal Timer.fired(id)
+        mov  r26, r18
+        lsl  r26
+        add  r26, r18
+        subi r26, 168
+        ldi  r27, 0
+        ldi  r16, 0
+        stx  r16
+        rcall timer_fire
+cf_next:
+        inc  r18
+        cpi  r18, 8
+        brne cf_loop
+        pop  r27
+        pop  r26
+        pop  r19
+        pop  r18
+        pop  r17
+        pop  r16
+        ret
+
+; ---- component boundary: Timer.fired(id in r18) -> application ----
+timer_fire:
+        push r30
+        push r31
+        push r19
+        push r20
+        rcall app_timer_event
+        pop  r20
+        pop  r19
+        pop  r31
+        pop  r30
+        ret
+os_end:
+)";
+    return os.str();
+}
+
+std::string
+avrBlinkProgram(std::uint32_t period_cycles)
+{
+    std::ostringstream os;
+    os << tinyOsRuntime();
+    os << R"(
+app_begin:
+app_init:
+        ldi  r16, )" << (period_cycles & 0xff) << R"(
+        out  P_TPER_LO, r16
+        ldi  r16, )" << ((period_cycles >> 8) & 0xff) << R"(
+        out  P_TPER_MID, r16
+        ldi  r16, )" << ((period_cycles >> 16) & 0xff) << R"(
+        out  P_TPER_HI, r16
+        ldi  r18, 0             ; virtual timer 0, one tick
+        ldi  r19, 1
+        ldi  r20, 0
+        rcall os_vt_start
+        ldi  r16, 1
+        out  P_TCTRL, r16       ; start the hardware tick
+        ret
+
+; Timer.fired: re-arm the periodic virtual timer, post the blink task.
+app_timer_event:
+        ldi  r18, 0
+        ldi  r19, 1
+        ldi  r20, 0
+        rcall os_vt_start
+        ldi  r30, lo8(task_blink)
+        ldi  r31, hi8(task_blink)
+        rcall os_post
+        ret
+
+; The useful work: toggle the LED (16 cycles incl. dispatch, Fig. 5).
+task_blink:
+        lds  r16, LED_STATE
+        ldi  r17, 1
+        eor  r16, r17
+        sts  LED_STATE, r16
+        out  P_LED, r16
+        ret
+
+; unused interrupt sources
+isr_adc:
+        reti
+isr_spi:
+        reti
+app_end:
+)";
+    return os.str();
+}
+
+std::string
+avrSenseProgram(std::uint32_t period_cycles)
+{
+    std::ostringstream os;
+    os << tinyOsRuntime();
+    os << R"(
+app_begin:
+app_init:
+        ldi  r16, 0
+        sts  AVG_LO, r16
+        sts  AVG_HI, r16
+        ldi  r16, )" << (period_cycles & 0xff) << R"(
+        out  P_TPER_LO, r16
+        ldi  r16, )" << ((period_cycles >> 8) & 0xff) << R"(
+        out  P_TPER_MID, r16
+        ldi  r16, )" << ((period_cycles >> 16) & 0xff) << R"(
+        out  P_TPER_HI, r16
+        ldi  r18, 0
+        ldi  r19, 1
+        ldi  r20, 0
+        rcall os_vt_start
+        ldi  r16, 1
+        out  P_TCTRL, r16
+        ret
+
+; Timer.fired: re-arm, then kick an ADC conversion (ADC.getData()).
+app_timer_event:
+        ldi  r18, 0
+        ldi  r19, 1
+        ldi  r20, 0
+        rcall os_vt_start
+        ldi  r16, 1
+        out  P_ADC_CTRL, r16
+        ret
+
+; ADC conversion-complete ISR: capture the sample, post the task.
+isr_adc:
+        push r0
+        push r1
+        push r16
+        push r17
+        push r26
+        push r27
+        push r30
+        push r31
+        in   r16, P_ADC_LO
+        sts  SAMPLE_LO, r16
+        in   r16, P_ADC_HI
+        sts  SAMPLE_HI, r16
+        ldi  r30, lo8(task_sense)
+        ldi  r31, hi8(task_sense)
+        rcall os_post
+        pop  r31
+        pop  r30
+        pop  r27
+        pop  r26
+        pop  r17
+        pop  r16
+        pop  r1
+        pop  r0
+        reti
+
+; The useful work: avg += (sample - avg) >> 2; LEDs <- avg[9:7].
+task_sense:
+        lds  r16, SAMPLE_LO
+        lds  r17, SAMPLE_HI
+        lds  r18, AVG_LO
+        lds  r19, AVG_HI
+        sub  r16, r18           ; diff = sample - avg (16-bit)
+        sbc  r17, r19
+        asr  r17                ; diff >>= 2 (arithmetic)
+        ror  r16
+        asr  r17
+        ror  r16
+        add  r18, r16           ; avg += diff
+        adc  r19, r17
+        sts  AVG_LO, r18
+        sts  AVG_HI, r19
+        lsl  r18                ; LEDs <- (avg >> 7) & 7
+        rol  r19
+        andi r19, 7
+        out  P_LED, r19
+        ret
+
+; unused interrupt source
+isr_spi:
+        reti
+app_end:
+)";
+    return os.str();
+}
+
+std::string
+avrRadioStackProgram(const std::vector<std::uint8_t> &bytes)
+{
+    std::ostringstream os;
+    os << tinyOsRuntime();
+    os << R"(
+app_begin:
+app_init:
+        ldi  r16, 0
+        sts  MSG_IDX, r16
+        sts  PEND_FLAG, r16
+        sts  SENT_CRC, r16
+        ldi  r16, )" << bytes.size() << R"(
+        sts  MSG_LEN, r16
+        ldi  r16, 0xff
+        sts  CRC_LO, r16
+        sts  CRC_HI, r16
+        ldi  r30, lo8(task_send)
+        ldi  r31, hi8(task_send)
+        rcall os_post
+        ret
+
+app_timer_event:
+        ret
+
+; SPI transfer-complete ISR: push the pending high codeword byte, or
+; post the task that prepares the next message byte.
+isr_spi:
+        push r0
+        push r1
+        push r16
+        push r17
+        push r18
+        push r19
+        push r26
+        push r27
+        push r30
+        push r31
+        lds  r16, PEND_FLAG
+        cpi  r16, 0
+        breq isp_next
+        ldi  r16, 0
+        sts  PEND_FLAG, r16
+        lds  r16, PEND_HI
+        out  P_SPDR, r16
+        rjmp isp_out
+isp_next:
+        ldi  r30, lo8(task_send)
+        ldi  r31, hi8(task_send)
+        rcall os_post
+isp_out:
+        pop  r31
+        pop  r30
+        pop  r27
+        pop  r26
+        pop  r19
+        pop  r18
+        pop  r17
+        pop  r16
+        pop  r1
+        pop  r0
+        reti
+
+; Encode and transmit the next byte (or finally the CRC).
+task_send:
+        lds  r16, MSG_IDX
+        lds  r17, MSG_LEN
+        cp   r16, r17
+        breq ts_crc
+        ; fetch message byte
+        mov  r26, r16
+        ldi  r27, 0
+        subi r26, 128           ; X = MSG_BASE + idx  (-128 mod 256)
+        ldx  r21
+        inc  r16
+        sts  MSG_IDX, r16
+        mov  r16, r21
+        rcall stack_crc
+        mov  r16, r21
+        rcall stack_secded      ; codeword -> r25:r24
+        sts  PEND_HI, r25
+        ldi  r16, 1
+        sts  PEND_FLAG, r16
+        out  P_SPDR, r24
+        ret
+ts_crc:
+        lds  r16, SENT_CRC
+        cpi  r16, 0
+        brne ts_done
+        ldi  r16, 1
+        sts  SENT_CRC, r16
+        lds  r24, CRC_LO
+        lds  r25, CRC_HI
+        sts  PEND_HI, r25
+        ldi  r16, 1
+        sts  PEND_FLAG, r16
+        out  P_SPDR, r24
+        ret
+ts_done:
+        halt                    ; message + CRC pushed out
+
+; ---- CRC-16-CCITT over one byte (r16); state in CRC_HI:CRC_LO ----
+stack_crc:
+        push r17
+        push r18
+        push r19
+        push r20
+        lds  r17, CRC_HI
+        eor  r17, r16
+        lds  r18, CRC_LO
+        ldi  r19, 8
+scr_loop:
+        mov  r20, r17
+        andi r20, 0x80
+        lsl  r18
+        rol  r17
+        cpi  r20, 0
+        breq scr_skip
+        ldi  r20, 0x21
+        eor  r18, r20
+        ldi  r20, 0x10
+        eor  r17, r20
+scr_skip:
+        dec  r19
+        brne scr_loop
+        sts  CRC_HI, r17
+        sts  CRC_LO, r18
+        pop  r20
+        pop  r19
+        pop  r18
+        pop  r17
+        ret
+
+; ---- SEC-DED encode byte r16 -> codeword r25:r24 ----
+; Same code as the SNAP port and net/secded.cc: data at Hamming
+; positions 3,5,6,7,9,10,11,12; parity at 1,2,4,8; overall at bit 12.
+stack_secded:
+        push r16
+        push r17
+        ldi  r24, 0
+        ldi  r25, 0
+        lsr  r16                ; d0 -> bit 2
+        brcc sd1
+        ori  r24, 0x04
+sd1:    lsr  r16                ; d1 -> bit 4
+        brcc sd2
+        ori  r24, 0x10
+sd2:    lsr  r16                ; d2 -> bit 5
+        brcc sd3
+        ori  r24, 0x20
+sd3:    lsr  r16                ; d3 -> bit 6
+        brcc sd4
+        ori  r24, 0x40
+sd4:    lsr  r16                ; d4 -> bit 8
+        brcc sd5
+        ori  r25, 0x01
+sd5:    lsr  r16                ; d5 -> bit 9
+        brcc sd6
+        ori  r25, 0x02
+sd6:    lsr  r16                ; d6 -> bit 10
+        brcc sd7
+        ori  r25, 0x04
+sd7:    lsr  r16                ; d7 -> bit 11
+        brcc sd8
+        ori  r25, 0x08
+sd8:
+        mov  r16, r24           ; p1: mask 0x0555
+        andi r16, 0x55
+        mov  r17, r25
+        andi r17, 0x05
+        rcall stack_parity
+        cpi  r16, 0
+        breq sp1
+        ori  r24, 0x01
+sp1:    mov  r16, r24           ; p2: mask 0x0666
+        andi r16, 0x66
+        mov  r17, r25
+        andi r17, 0x06
+        rcall stack_parity
+        cpi  r16, 0
+        breq sp2
+        ori  r24, 0x02
+sp2:    mov  r16, r24           ; p4: mask 0x0878
+        andi r16, 0x78
+        mov  r17, r25
+        andi r17, 0x08
+        rcall stack_parity
+        cpi  r16, 0
+        breq sp4
+        ori  r24, 0x08
+sp4:    mov  r16, r24           ; p8: mask 0x0F80
+        andi r16, 0x80
+        mov  r17, r25
+        andi r17, 0x0F
+        rcall stack_parity
+        cpi  r16, 0
+        breq sp8
+        ori  r24, 0x80
+sp8:    mov  r16, r24           ; overall parity of bits 0..11
+        mov  r17, r25
+        andi r17, 0x0F
+        rcall stack_parity
+        cpi  r16, 0
+        breq spA
+        ori  r25, 0x10
+spA:
+        pop  r17
+        pop  r16
+        ret
+
+; parity of r16 ^ r17 -> r16 (0 or 1)
+stack_parity:
+        push r17
+        eor  r16, r17
+        mov  r17, r16
+        swap r17
+        eor  r16, r17
+        mov  r17, r16
+        lsr  r17
+        lsr  r17
+        eor  r16, r17
+        mov  r17, r16
+        lsr  r17
+        eor  r16, r17
+        andi r16, 1
+        pop  r17
+        ret
+
+; unused interrupt source
+isr_adc:
+        reti
+app_end:
+
+        .dmem
+        .org MSG_BASE
+)";
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        os << "        .word " << unsigned(bytes[i]) << "\n";
+    if (bytes.empty())
+        os << "        .word 0\n";
+    os << "        .imem\n";
+    return os.str();
+}
+
+} // namespace snaple::baseline

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A TinyOS-like runtime plus the comparison applications, in
+ * AVR-class assembly.
+ *
+ * TinyOS is "not an operating system in the traditional sense": a FIFO
+ * task queue with a run-to-completion scheduler, and components that
+ * turn hardware interrupts into events (paper section 3). The runtime
+ * here mirrors that structure — and its cost:
+ *
+ *  - interrupt vectors with avr-gcc-style full context save/restore;
+ *  - a hardware-tick ISR that walks a bank of eight virtual timers
+ *    (the TinyOS Timer component multiplexes logical timers exactly
+ *    like this) and fires expired ones through a component-boundary
+ *    call chain;
+ *  - a task queue (post / run-next-task) with an atomic sleep idiom.
+ *
+ * The programs bracket regions with `os_begin`/`os_end` and
+ * `app_begin`/`app_end` labels so the host can attribute cycles to
+ * "scheduler + ISR overhead" versus "useful work" — the split
+ * Figure 5 reports.
+ */
+
+#ifndef SNAPLE_BASELINE_TINYOS_HH
+#define SNAPLE_BASELINE_TINYOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snaple::baseline {
+
+/** SRAM layout shared by runtime and host-side checks. */
+namespace tosram {
+inline constexpr std::uint16_t kTaskQueue = 0x40; ///< 8 x 2 bytes
+inline constexpr std::uint16_t kLedState = 0x70;
+inline constexpr std::uint16_t kAvgLo = 0x71;
+inline constexpr std::uint16_t kAvgHi = 0x72;
+inline constexpr std::uint16_t kMsgBase = 0x80;
+} // namespace tosram
+
+/** The runtime (vectors, scheduler, post, virtual timers). */
+std::string tinyOsRuntime();
+
+/** Blink: hardware tick fires a virtual timer whose task toggles the
+ *  LED. @p period_cycles is the hardware tick period in CPU cycles. */
+std::string avrBlinkProgram(std::uint32_t period_cycles = 4000);
+
+/** Sense: periodic ADC sample -> running average -> LEDs. */
+std::string avrSenseProgram(std::uint32_t period_cycles = 4000);
+
+/** MICA high-speed stack: SEC-DED + CRC-16 + SPI byte transmission of
+ *  @p bytes; halts when the CRC has been pushed out. */
+std::string avrRadioStackProgram(const std::vector<std::uint8_t> &bytes);
+
+} // namespace snaple::baseline
+
+#endif // SNAPLE_BASELINE_TINYOS_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Abstract syntax tree for snapcc.
+ */
+
+#ifndef SNAPLE_CC_AST_HH
+#define SNAPLE_CC_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snaple::cc {
+
+/** Binary operators (after normalization: no Gt/Ge, see parser). */
+enum class BinOp
+{
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt, ///< signed
+    Ge, ///< signed
+    LogAnd,
+    LogOr,
+};
+
+enum class UnOp
+{
+    Neg,
+    Not,    ///< bitwise ~
+    LogNot, ///< !
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    enum class Kind
+    {
+        Number,
+        Var,      ///< name
+        Index,    ///< name[index] (global array)
+        Binary,
+        Unary,
+        Call,     ///< name(args...) — includes intrinsics
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::int32_t number = 0;           // Number
+    std::string name;                  // Var / Index / Call
+    BinOp bin{};                       // Binary
+    UnOp un{};                         // Unary
+    ExprPtr lhs, rhs;                  // Binary / Unary(lhs) / Index(lhs=index)
+    std::vector<ExprPtr> args;         // Call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    enum class Kind
+    {
+        DeclLocal,  ///< int name [= init];
+        Assign,     ///< name = e;
+        AssignIndex,///< name[i] = e;
+        If,
+        While,
+        Return,     ///< return [e];
+        ExprStmt,   ///< e; (calls)
+        Block,
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::string name;               // DeclLocal / Assign / AssignIndex
+    ExprPtr index;                  // AssignIndex
+    ExprPtr value;                  // Assign / AssignIndex / DeclLocal
+                                    // init / Return / ExprStmt / If &
+                                    // While condition
+    std::vector<StmtPtr> body;      // If-then / While-body / Block
+    std::vector<StmtPtr> elseBody;  // If-else
+};
+
+/** Function kinds: how the body terminates and is entered. */
+enum class FnKind
+{
+    Int,     ///< returns a value via r1
+    Void,    ///< plain subroutine
+    Handler, ///< event handler or boot (`main`): ends with `done`
+};
+
+struct Function
+{
+    FnKind kind;
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+struct Global
+{
+    std::string name;
+    unsigned words = 1; ///< >1 for arrays
+    std::int32_t init = 0;
+    bool hasInit = false;
+    int line = 0;
+};
+
+struct Program
+{
+    std::vector<Global> globals;
+    std::vector<Function> functions;
+};
+
+} // namespace snaple::cc
+
+#endif // SNAPLE_CC_AST_HH

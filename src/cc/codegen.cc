@@ -1,0 +1,858 @@
+#include "cc/codegen.hh"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "cc/lexer.hh"
+#include "cc/parser.hh"
+#include "sim/logging.hh"
+
+namespace snaple::cc {
+
+namespace {
+
+/** Where a named value lives. */
+struct VarLoc
+{
+    enum class Kind
+    {
+        Slot,   ///< stack slot index (locals, params)
+        Reg,    ///< callee-saved register (optimized locals)
+        Global, ///< DMEM word address
+        Array,  ///< DMEM base address (must be indexed)
+    };
+    Kind kind;
+    unsigned where = 0;
+};
+
+struct FnInfo
+{
+    FnKind kind;
+    unsigned params = 0;
+};
+
+class CodeGen
+{
+  public:
+    CodeGen(const Program &prog, const Options &opts,
+            const std::string &name)
+        : prog_(prog), opts_(opts), name_(name)
+    {}
+
+    std::string
+    run()
+    {
+        collect();
+        out_ << "        jmp main\n";
+        for (const Function &f : prog_.functions)
+            function(f);
+        emitGlobals();
+        return out_.str();
+    }
+
+  private:
+    // ---- diagnostics ----
+    [[noreturn]] void
+    fail(int line, const std::string &msg) const
+    {
+        sim::fatal(name_, ":", line, ": ", msg);
+    }
+
+    // ---- symbol collection ----
+    void
+    collect()
+    {
+        unsigned addr = opts_.globalsBase;
+        for (const Global &g : prog_.globals) {
+            if (globals_.count(g.name))
+                fail(g.line, "duplicate global: " + g.name);
+            VarLoc loc;
+            loc.kind = g.words > 1 ? VarLoc::Kind::Array
+                                   : VarLoc::Kind::Global;
+            loc.where = addr;
+            addr += g.words;
+            globals_[g.name] = loc;
+        }
+        sim::fatalIf(addr >= opts_.stackTop,
+                     "globals collide with the stack");
+        bool have_main = false;
+        for (const Function &f : prog_.functions) {
+            if (fns_.count(f.name))
+                fail(f.line, "duplicate function: " + f.name);
+            fns_[f.name] =
+                FnInfo{f.kind, static_cast<unsigned>(f.params.size())};
+            if (f.name == "main") {
+                if (f.kind != FnKind::Handler)
+                    fail(f.line, "main must be a handler");
+                have_main = true;
+            }
+        }
+        sim::fatalIf(!have_main, "no `handler main()` defined");
+    }
+
+    void
+    emitGlobals()
+    {
+        if (prog_.globals.empty())
+            return;
+        out_ << "        .dmem\n";
+        out_ << "        .org " << opts_.globalsBase << "\n";
+        for (const Global &g : prog_.globals) {
+            if (g.words > 1)
+                out_ << "        .space " << g.words << "\n";
+            else
+                out_ << "        .word " << (g.init & 0xffff) << "\n";
+        }
+        out_ << "        .imem\n";
+    }
+
+    // ---- emit helpers ----
+    void emit(const std::string &s) { out_ << "        " << s << "\n"; }
+    void label(const std::string &l) { out_ << l << ":\n"; }
+
+    std::string
+    newLabel()
+    {
+        return "Lc" + std::to_string(labelCount_++);
+    }
+
+    static std::string
+    reg(unsigned r)
+    {
+        return "r" + std::to_string(r);
+    }
+
+    // ---- expression register stack (r1..r9) ----
+    unsigned
+    allocReg(int line)
+    {
+        if (depth_ >= 9)
+            fail(line, "expression too deep (9 registers)");
+        return ++depth_; // r1 is depth 1
+    }
+
+    void popReg() { --depth_; }
+
+    // ---- per-function state ----
+    struct FnCtx
+    {
+        const Function *fn = nullptr;
+        std::map<std::string, VarLoc> locals;
+        unsigned slots = 0;      ///< L: local slots in the frame
+        unsigned savedRegs = 0;  ///< S: r10.. pushes
+        bool hasLr = false;
+        std::string epilogue;    ///< label
+        std::set<unsigned> usedCalleeRegs;
+        unsigned nextCalleeReg = 10;
+    };
+
+    /** Stack slot of parameter i (computed after layout is known). */
+    unsigned
+    paramSlot(unsigned i) const
+    {
+        unsigned n = static_cast<unsigned>(fc_.fn->params.size());
+        return fc_.slots + fc_.savedRegs + (fc_.hasLr ? 1 : 0) +
+               (n - 1 - i);
+    }
+
+    VarLoc
+    lookup(const std::string &n, int line) const
+    {
+        auto it = fc_.locals.find(n);
+        if (it != fc_.locals.end())
+            return it->second;
+        auto g = globals_.find(n);
+        if (g != globals_.end())
+            return g->second;
+        fail(line, "undefined variable: " + n);
+    }
+
+    /**
+     * Pre-scan: count local slots and (optimized mode) promote up to
+     * three scalar locals to r10-r12. Params always get slots.
+     */
+    void
+    layoutLocals(const std::vector<StmtPtr> &stmts)
+    {
+        for (const StmtPtr &s : stmts) {
+            if (s->kind == Stmt::Kind::DeclLocal) {
+                if (fc_.locals.count(s->name))
+                    fail(s->line, "duplicate local: " + s->name);
+                VarLoc loc;
+                if (opts_.optimize && fc_.nextCalleeReg <= 12) {
+                    loc.kind = VarLoc::Kind::Reg;
+                    loc.where = fc_.nextCalleeReg++;
+                    fc_.usedCalleeRegs.insert(loc.where);
+                } else {
+                    loc.kind = VarLoc::Kind::Slot;
+                    loc.where = fc_.slots++;
+                }
+                fc_.locals[s->name] = loc;
+            }
+            layoutLocals(s->body);
+            layoutLocals(s->elseBody);
+        }
+    }
+
+    void
+    function(const Function &f)
+    {
+        fc_ = FnCtx{};
+        fc_.fn = &f;
+        fc_.hasLr = (f.kind != FnKind::Handler);
+        fc_.epilogue = newLabel();
+        depth_ = 0;
+
+        layoutLocals(f.body);
+        // lcc mode: save r10-r12 unconditionally ("unnecessary
+        // saves/restores", section 4.5); optimized: only used ones.
+        fc_.savedRegs =
+            opts_.optimize
+                ? static_cast<unsigned>(fc_.usedCalleeRegs.size())
+                : 3;
+
+        // Parameters live in caller-pushed slots above the frame.
+        for (unsigned i = 0; i < f.params.size(); ++i) {
+            if (fc_.locals.count(f.params[i]))
+                fail(f.line, "parameter shadows local: " + f.params[i]);
+            // Slot index filled in lazily via paramSlot(); store the
+            // parameter index and mark with a distinct kind? Simpler:
+            // compute now — layout is final at this point.
+            VarLoc loc;
+            loc.kind = VarLoc::Kind::Slot;
+            loc.where = 0; // patched below
+            fc_.locals[f.params[i]] = loc;
+        }
+        for (unsigned i = 0; i < f.params.size(); ++i)
+            fc_.locals[f.params[i]].where = paramSlot(i);
+
+        label(f.name);
+        if (f.name == "main")
+            emit("li sp, " + std::to_string(opts_.stackTop));
+        if (fc_.hasLr)
+            emit("push lr");
+        for (unsigned r = 10; r < 10 + 3; ++r) {
+            if (!opts_.optimize || fc_.usedCalleeRegs.count(r))
+                emit("push " + reg(r));
+        }
+        if (fc_.slots)
+            emit("subi sp, " + std::to_string(fc_.slots));
+
+        for (const StmtPtr &s : f.body)
+            statement(*s);
+
+        // Fall-off-the-end behaviour.
+        label(fc_.epilogue);
+        if (fc_.slots)
+            emit("addi sp, " + std::to_string(fc_.slots));
+        for (unsigned r = 12 + 1; r-- > 10;) {
+            if (!opts_.optimize || fc_.usedCalleeRegs.count(r))
+                emit("pop " + reg(r));
+        }
+        if (f.kind == FnKind::Handler) {
+            emit("done");
+        } else {
+            emit("pop lr");
+            emit("ret");
+        }
+    }
+
+    // ---- statements ----
+    void
+    statement(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::DeclLocal:
+            if (s.value) {
+                unsigned r = eval(*s.value);
+                storeVar(s.name, r, s.line);
+                popReg();
+            }
+            break;
+          case Stmt::Kind::Assign: {
+            if (opts_.optimize && tryAssignInPlace(s))
+                break;
+            unsigned r = eval(*s.value);
+            storeVar(s.name, r, s.line);
+            popReg();
+            break;
+          }
+          case Stmt::Kind::AssignIndex: {
+            VarLoc loc = lookup(s.name, s.line);
+            if (loc.kind != VarLoc::Kind::Array)
+                fail(s.line, s.name + " is not an array");
+            unsigned ri = eval(*s.index);
+            unsigned rv = eval(*s.value);
+            emit("stw " + reg(rv) + ", " + std::to_string(loc.where) +
+                 "(" + reg(ri) + ")");
+            popReg();
+            popReg();
+            break;
+          }
+          case Stmt::Kind::If: {
+            std::string l_else = newLabel();
+            std::string l_end = newLabel();
+            branchIfFalse(*s.value, l_else);
+            for (const StmtPtr &b : s.body)
+                statement(*b);
+            if (!s.elseBody.empty())
+                emit("jmp " + l_end);
+            label(l_else);
+            for (const StmtPtr &b : s.elseBody)
+                statement(*b);
+            if (!s.elseBody.empty())
+                label(l_end);
+            break;
+          }
+          case Stmt::Kind::While: {
+            std::string l_top = newLabel();
+            std::string l_end = newLabel();
+            label(l_top);
+            branchIfFalse(*s.value, l_end);
+            for (const StmtPtr &b : s.body)
+                statement(*b);
+            emit("jmp " + l_top);
+            label(l_end);
+            break;
+          }
+          case Stmt::Kind::Return: {
+            if (fc_.fn->kind == FnKind::Handler)
+                fail(s.line, "handlers cannot return; use __done()");
+            if (s.value) {
+                if (fc_.fn->kind != FnKind::Int)
+                    fail(s.line, "void function returns a value");
+                unsigned r = eval(*s.value);
+                if (r != 1)
+                    emit("mov r1, " + reg(r));
+                popReg();
+            } else if (fc_.fn->kind == FnKind::Int) {
+                fail(s.line, "int function returns no value");
+            }
+            emit("jmp " + fc_.epilogue);
+            break;
+          }
+          case Stmt::Kind::ExprStmt: {
+            // __done() is a statement-level intrinsic (terminator).
+            if (s.value->kind == Expr::Kind::Call &&
+                s.value->name == "__done") {
+                if (fc_.fn->kind != FnKind::Handler)
+                    fail(s.line, "__done() outside a handler");
+                emit("jmp " + fc_.epilogue);
+                break;
+            }
+            std::optional<unsigned> r = evalMaybeVoid(*s.value);
+            if (r)
+                popReg();
+            break;
+          }
+          case Stmt::Kind::Block:
+            for (const StmtPtr &b : s.body)
+                statement(*b);
+            break;
+        }
+    }
+
+    /**
+     * Optimized-mode strength reduction for register locals:
+     * `x = const` becomes one li, and `x = x op e` operates on the
+     * local's register directly (`i = i + 1` is a single addi) —
+     * exactly the accumulate idiom lcc turns into a load/compute/store
+     * triple.
+     */
+    bool
+    tryAssignInPlace(const Stmt &s)
+    {
+        auto it = fc_.locals.find(s.name);
+        if (it == fc_.locals.end() ||
+            it->second.kind != VarLoc::Kind::Reg)
+            return false;
+        unsigned dst = it->second.where;
+        if (auto c = constFold(*s.value)) {
+            emit("li " + reg(dst) + ", " +
+                 std::to_string(*c & 0xffff));
+            return true;
+        }
+        if (s.value->kind != Expr::Kind::Binary)
+            return false;
+        const Expr &b = *s.value;
+        if (b.lhs->kind != Expr::Kind::Var || b.lhs->name != s.name)
+            return false;
+        const char *op_r = nullptr;
+        const char *op_i = nullptr;
+        switch (b.bin) {
+          case BinOp::Add: op_r = "add"; op_i = "addi"; break;
+          case BinOp::Sub: op_r = "sub"; op_i = "subi"; break;
+          case BinOp::And: op_r = "and"; op_i = "andi"; break;
+          case BinOp::Or: op_r = "or"; op_i = "ori"; break;
+          case BinOp::Xor: op_r = "xor"; op_i = "xori"; break;
+          case BinOp::Shl: op_r = "sll"; op_i = "slli"; break;
+          case BinOp::Shr: op_r = "srl"; op_i = "srli"; break;
+          default: return false;
+        }
+        if (auto c = constFold(*b.rhs)) {
+            emit(std::string(op_i) + " " + reg(dst) + ", " +
+                 std::to_string(*c & 0xffff));
+            return true;
+        }
+        // General rhs: it must not contain a call (calls clobber the
+        // expression registers but not r10-r12, so dst is safe — but
+        // the rhs could also reference dst; evaluation completes
+        // before the in-place update, so that is fine too).
+        unsigned r = eval(*b.rhs);
+        emit(std::string(op_r) + " " + reg(dst) + ", " + reg(r));
+        popReg();
+        return true;
+    }
+
+    void
+    storeVar(const std::string &n, unsigned r, int line)
+    {
+        VarLoc loc = lookup(n, line);
+        switch (loc.kind) {
+          case VarLoc::Kind::Slot:
+            emit("stw " + reg(r) + ", " +
+                 std::to_string(loc.where + spAdjust_) + "(sp)");
+            break;
+          case VarLoc::Kind::Reg:
+            emit("mov " + reg(loc.where) + ", " + reg(r));
+            break;
+          case VarLoc::Kind::Global:
+            emit("stw " + reg(r) + ", " + std::to_string(loc.where) +
+                 "(r0)");
+            break;
+          case VarLoc::Kind::Array:
+            fail(line, n + " is an array; index it");
+        }
+    }
+
+    /** Evaluate a condition and branch to @p l_false when zero.
+     *
+     * lcc mode uses the range-safe long-jump form (branch over an
+     * absolute jump) everywhere — the conservative codegen the paper
+     * measured. Optimized mode emits the direct conditional branch;
+     * the assembler diagnoses the rare out-of-range target.
+     */
+    void
+    branchIfFalse(const Expr &e, const std::string &l_false)
+    {
+        unsigned r = eval(e);
+        if (opts_.optimize) {
+            emit("beqz " + reg(r) + ", " + l_false);
+        } else {
+            std::string l_true = newLabel();
+            emit("bnez " + reg(r) + ", " + l_true);
+            emit("jmp " + l_false);
+            label(l_true);
+        }
+        popReg();
+    }
+
+    // ---- expressions ----
+
+    /** Constant folding (optimized mode). */
+    std::optional<std::int32_t>
+    constFold(const Expr &e) const
+    {
+        if (!opts_.optimize)
+            return std::nullopt;
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return e.number;
+          case Expr::Kind::Unary: {
+            auto v = constFold(*e.lhs);
+            if (!v)
+                return std::nullopt;
+            switch (e.un) {
+              case UnOp::Neg: return (-*v) & 0xffff;
+              case UnOp::Not: return (~*v) & 0xffff;
+              case UnOp::LogNot: return *v ? 0 : 1;
+            }
+            return std::nullopt;
+          }
+          case Expr::Kind::Binary: {
+            auto a = constFold(*e.lhs);
+            auto b = constFold(*e.rhs);
+            if (!a || !b)
+                return std::nullopt;
+            auto s16 = [](std::int32_t x) {
+                return static_cast<std::int16_t>(x & 0xffff);
+            };
+            switch (e.bin) {
+              case BinOp::Add: return (*a + *b) & 0xffff;
+              case BinOp::Sub: return (*a - *b) & 0xffff;
+              case BinOp::And: return (*a & *b) & 0xffff;
+              case BinOp::Or: return (*a | *b) & 0xffff;
+              case BinOp::Xor: return (*a ^ *b) & 0xffff;
+              case BinOp::Shl: return (*a << (*b & 15)) & 0xffff;
+              case BinOp::Shr:
+                return ((*a & 0xffff) >> (*b & 15)) & 0xffff;
+              case BinOp::Eq: return s16(*a) == s16(*b) ? 1 : 0;
+              case BinOp::Ne: return s16(*a) != s16(*b) ? 1 : 0;
+              case BinOp::Lt: return s16(*a) < s16(*b) ? 1 : 0;
+              case BinOp::Ge: return s16(*a) >= s16(*b) ? 1 : 0;
+              case BinOp::LogAnd: return (*a && *b) ? 1 : 0;
+              case BinOp::LogOr: return (*a || *b) ? 1 : 0;
+            }
+            return std::nullopt;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    /** Evaluate; result register pushed on the expression stack. */
+    unsigned
+    eval(const Expr &e)
+    {
+        auto r = evalMaybeVoid(e);
+        if (!r)
+            fail(e.line, "void value used in an expression");
+        return *r;
+    }
+
+    std::optional<unsigned>
+    evalMaybeVoid(const Expr &e)
+    {
+        if (auto c = constFold(e)) {
+            unsigned r = allocReg(e.line);
+            emit("li " + reg(r) + ", " +
+                 std::to_string(*c & 0xffff));
+            return r;
+        }
+        switch (e.kind) {
+          case Expr::Kind::Number: {
+            unsigned r = allocReg(e.line);
+            emit("li " + reg(r) + ", " +
+                 std::to_string(e.number & 0xffff));
+            return r;
+          }
+          case Expr::Kind::Var: {
+            VarLoc loc = lookup(e.name, e.line);
+            unsigned r = allocReg(e.line);
+            switch (loc.kind) {
+              case VarLoc::Kind::Slot:
+                emit("ldw " + reg(r) + ", " +
+                     std::to_string(loc.where + spAdjust_) + "(sp)");
+                break;
+              case VarLoc::Kind::Reg:
+                emit("mov " + reg(r) + ", " + reg(loc.where));
+                break;
+              case VarLoc::Kind::Global:
+                emit("ldw " + reg(r) + ", " +
+                     std::to_string(loc.where) + "(r0)");
+                break;
+              case VarLoc::Kind::Array:
+                fail(e.line, e.name + " is an array; index it");
+            }
+            return r;
+          }
+          case Expr::Kind::Index: {
+            VarLoc loc = lookup(e.name, e.line);
+            if (loc.kind != VarLoc::Kind::Array)
+                fail(e.line, e.name + " is not an array");
+            unsigned ri = eval(*e.lhs);
+            emit("ldw " + reg(ri) + ", " + std::to_string(loc.where) +
+                 "(" + reg(ri) + ")");
+            return ri;
+          }
+          case Expr::Kind::Unary: {
+            unsigned r = eval(*e.lhs);
+            switch (e.un) {
+              case UnOp::Neg:
+                emit("neg " + reg(r) + ", " + reg(r));
+                break;
+              case UnOp::Not:
+                emit("not " + reg(r) + ", " + reg(r));
+                break;
+              case UnOp::LogNot: {
+                std::string l1 = newLabel();
+                std::string l2 = newLabel();
+                emit("bnez " + reg(r) + ", " + l1);
+                emit("li " + reg(r) + ", 1");
+                emit("jmp " + l2);
+                label(l1);
+                emit("li " + reg(r) + ", 0");
+                label(l2);
+                break;
+              }
+            }
+            return r;
+          }
+          case Expr::Kind::Binary:
+            return evalBinary(e);
+          case Expr::Kind::Call:
+            return evalCall(e);
+        }
+        return std::nullopt;
+    }
+
+    unsigned
+    evalBinary(const Expr &e)
+    {
+        // Short-circuit logicals first.
+        if (e.bin == BinOp::LogAnd || e.bin == BinOp::LogOr) {
+            unsigned r = eval(*e.lhs);
+            std::string l_rhs = newLabel();
+            std::string l_set0 = newLabel();
+            std::string l_set1 = newLabel();
+            std::string l_end = newLabel();
+            if (e.bin == BinOp::LogAnd) {
+                emit("bnez " + reg(r) + ", " + l_rhs);
+                emit("jmp " + l_set0);
+            } else {
+                emit("bnez " + reg(r) + ", " + l_set1);
+            }
+            label(l_rhs);
+            unsigned r2 = eval(*e.rhs);
+            emit("bnez " + reg(r2) + ", " + l_set1);
+            popReg(); // r2
+            label(l_set0);
+            emit("li " + reg(r) + ", 0");
+            emit("jmp " + l_end);
+            label(l_set1);
+            emit("li " + reg(r) + ", 1");
+            label(l_end);
+            return r;
+        }
+
+        unsigned a = eval(*e.lhs);
+
+        // Optimized mode: the right operand can often be used in
+        // place — an immediate (folded constant) or a register-
+        // resident local — skipping a li/mov into a fresh register.
+        // Two-address ops only ever *read* the right operand, so
+        // aliasing a callee-saved local register is safe.
+        std::optional<std::int32_t> rhs_imm;
+        unsigned b = 0;
+        bool b_allocated = false;
+        if (opts_.optimize) {
+            rhs_imm = constFold(*e.rhs);
+            if (!rhs_imm && e.rhs->kind == Expr::Kind::Var) {
+                auto it = fc_.locals.find(e.rhs->name);
+                if (it != fc_.locals.end() &&
+                    it->second.kind == VarLoc::Kind::Reg)
+                    b = it->second.where;
+            }
+        }
+        if (!rhs_imm && b == 0) {
+            b = eval(*e.rhs);
+            b_allocated = true;
+        }
+        auto rhs_text = [&]() {
+            return rhs_imm ? std::to_string(*rhs_imm & 0xffff)
+                           : reg(b);
+        };
+        auto arith = [&](const char *op_r, const char *op_i) {
+            emit(std::string(rhs_imm ? op_i : op_r) + " " + reg(a) +
+                 ", " + rhs_text());
+        };
+        auto boolify = [&](const char *br) {
+            std::string l1 = newLabel();
+            std::string l2 = newLabel();
+            arith("sub", "subi");
+            emit(std::string(br) + " " + reg(a) + ", " + l1);
+            emit("li " + reg(a) + ", 0");
+            emit("jmp " + l2);
+            label(l1);
+            emit("li " + reg(a) + ", 1");
+            label(l2);
+        };
+        switch (e.bin) {
+          case BinOp::Add: arith("add", "addi"); break;
+          case BinOp::Sub: arith("sub", "subi"); break;
+          case BinOp::And: arith("and", "andi"); break;
+          case BinOp::Or: arith("or", "ori"); break;
+          case BinOp::Xor: arith("xor", "xori"); break;
+          case BinOp::Shl: arith("sll", "slli"); break;
+          case BinOp::Shr: arith("srl", "srli"); break;
+          case BinOp::Eq: boolify("beqz"); break;
+          case BinOp::Ne: boolify("bnez"); break;
+          case BinOp::Lt: boolify("bltz"); break;
+          case BinOp::Ge: boolify("bgez"); break;
+          default:
+            fail(e.line, "unreachable binary op");
+        }
+        if (b_allocated)
+            popReg();
+        return a;
+    }
+
+    std::optional<unsigned>
+    evalCall(const Expr &e)
+    {
+        // ---- intrinsics ----
+        auto arity = [&](std::size_t n) {
+            if (e.args.size() != n)
+                fail(e.line, e.name + " expects " + std::to_string(n) +
+                                 " argument(s)");
+        };
+        if (e.name == "__dbgout") {
+            arity(1);
+            unsigned r = eval(*e.args[0]);
+            emit("dbgout " + reg(r));
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__halt") {
+            arity(0);
+            emit("halt");
+            return std::nullopt;
+        }
+        if (e.name == "__done")
+            fail(e.line, "__done() is a statement, not an expression");
+        if (e.name == "__msg_write") {
+            arity(1);
+            unsigned r = eval(*e.args[0]);
+            emit("mov r15, " + reg(r));
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__msg_read") {
+            arity(0);
+            unsigned r = allocReg(e.line);
+            emit("mov " + reg(r) + ", r15");
+            return r;
+        }
+        if (e.name == "__rand") {
+            arity(0);
+            unsigned r = allocReg(e.line);
+            emit("rand " + reg(r));
+            return r;
+        }
+        if (e.name == "__seed") {
+            arity(1);
+            unsigned r = eval(*e.args[0]);
+            emit("seed " + reg(r));
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__sched_lo" || e.name == "__sched_hi") {
+            arity(2);
+            unsigned rt = eval(*e.args[0]);
+            unsigned rv = eval(*e.args[1]);
+            emit((e.name == "__sched_lo" ? "schedlo " : "schedhi ") +
+                 reg(rt) + ", " + reg(rv));
+            popReg();
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__cancel") {
+            arity(1);
+            unsigned rt = eval(*e.args[0]);
+            emit("cancel " + reg(rt));
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__setaddr") {
+            arity(2);
+            if (e.args[1]->kind != Expr::Kind::Var)
+                fail(e.line, "__setaddr needs a handler name");
+            const std::string &h = e.args[1]->name;
+            auto it = fns_.find(h);
+            if (it == fns_.end() || it->second.kind != FnKind::Handler)
+                fail(e.line, h + " is not a handler");
+            unsigned rv = eval(*e.args[0]);
+            unsigned ra = allocReg(e.line);
+            emit("la " + reg(ra) + ", " + h);
+            emit("setaddr " + reg(rv) + ", " + reg(ra));
+            popReg();
+            popReg();
+            return std::nullopt;
+        }
+        if (e.name == "__peek") {
+            arity(1);
+            unsigned r = eval(*e.args[0]);
+            emit("ldw " + reg(r) + ", 0(" + reg(r) + ")");
+            return r;
+        }
+        if (e.name == "__poke") {
+            arity(2);
+            unsigned ra = eval(*e.args[0]);
+            unsigned rv = eval(*e.args[1]);
+            emit("stw " + reg(rv) + ", 0(" + reg(ra) + ")");
+            popReg();
+            popReg();
+            return std::nullopt;
+        }
+
+        // ---- ordinary call ----
+        auto it = fns_.find(e.name);
+        if (it == fns_.end())
+            fail(e.line, "undefined function: " + e.name);
+        const FnInfo &fi = it->second;
+        if (fi.kind == FnKind::Handler)
+            fail(e.line, "handlers cannot be called directly");
+        if (e.args.size() != fi.params)
+            fail(e.line, e.name + " expects " +
+                             std::to_string(fi.params) +
+                             " argument(s)");
+
+        // Save live expression temporaries across the call.
+        unsigned live = depth_;
+        for (unsigned k = 1; k <= live; ++k) {
+            emit("push " + reg(k));
+            ++spAdjust_;
+        }
+        // Evaluate and push arguments left-to-right. Argument
+        // expressions see slot offsets adjusted for what is already
+        // on the stack.
+        for (const ExprPtr &a : e.args) {
+            unsigned r = eval(*a);
+            emit("push " + reg(r));
+            ++spAdjust_;
+            popReg();
+        }
+        emit("call " + e.name);
+        if (!e.args.empty()) {
+            emit("addi sp, " + std::to_string(e.args.size()));
+            spAdjust_ -= static_cast<unsigned>(e.args.size());
+        }
+        unsigned result = 0;
+        if (fi.kind == FnKind::Int) {
+            result = allocReg(e.line);
+            if (result != 1)
+                emit("mov " + reg(result) + ", r1");
+        }
+        // Restore saved temporaries (reverse order).
+        for (unsigned k = live; k >= 1; --k) {
+            emit("pop " + reg(k));
+            --spAdjust_;
+        }
+        if (fi.kind == FnKind::Int)
+            return result;
+        return std::nullopt;
+    }
+
+    const Program &prog_;
+    Options opts_;
+    std::string name_;
+    std::ostringstream out_;
+    std::map<std::string, VarLoc> globals_;
+    std::map<std::string, FnInfo> fns_;
+    FnCtx fc_;
+    unsigned depth_ = 0;
+    unsigned labelCount_ = 0;
+    /** Extra words pushed below the frame (mid-call saves/args):
+     *  every sp-relative slot access adds this. */
+    unsigned spAdjust_ = 0;
+};
+
+} // namespace
+
+std::string
+generate(const Program &prog, const Options &opts,
+         const std::string &name)
+{
+    return CodeGen(prog, opts, name).run();
+}
+
+std::string
+compileToAsm(const std::string &source, const Options &opts,
+             const std::string &name)
+{
+    return generate(parse(lex(source, name), name), opts, name);
+}
+
+} // namespace snaple::cc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SNAP code generation for snapcc.
+ *
+ * Two code-generation modes, matching the paper's section 4.5/6
+ * observations about its lcc port:
+ *
+ *  - **lcc mode** (default, `optimize = false`): every local lives in
+ *    a stack slot, every callee saves r10–r12 whether it uses them or
+ *    not, every use reloads from memory. This reproduces "the
+ *    compiler generated a lot of load/store operations that were
+ *    unnecessary (saving/restoring registers)" and makes "Arith Reg"
+ *    and "Load" the dominant instruction classes.
+ *
+ *  - **optimized mode**: constant folding, the first three scalar
+ *    locals promoted to r10–r12, and only-used callee saves — the
+ *    paper's "improving the generated code from lcc" future work.
+ *
+ * ABI: args pushed left-to-right by the caller (cleaned by caller),
+ * return value in r1, r13 = link, r14 = stack pointer, r1–r9
+ * caller-saved expression registers, r10–r12 callee-saved.
+ */
+
+#ifndef SNAPLE_CC_CODEGEN_HH
+#define SNAPLE_CC_CODEGEN_HH
+
+#include <string>
+
+#include "cc/ast.hh"
+
+namespace snaple::cc {
+
+/** Compiler options. */
+struct Options
+{
+    bool optimize = false;      ///< lcc-faithful when false
+    unsigned globalsBase = 256; ///< DMEM word address of first global
+    unsigned stackTop = 1024;   ///< initial stack pointer
+};
+
+/**
+ * Generate SNAP assembly for a parsed program.
+ * @throws sim::FatalError on semantic errors.
+ */
+std::string generate(const Program &prog, const Options &opts,
+                     const std::string &name = "<cc>");
+
+/** Convenience: lex + parse + generate. */
+std::string compileToAsm(const std::string &source,
+                         const Options &opts = Options(),
+                         const std::string &name = "<cc>");
+
+} // namespace snaple::cc
+
+#endif // SNAPLE_CC_CODEGEN_HH

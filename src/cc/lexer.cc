@@ -1,0 +1,176 @@
+#include "cc/lexer.hh"
+
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace snaple::cc {
+
+std::vector<Token>
+lex(const std::string &src, const std::string &name)
+{
+    std::vector<Token> toks;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = src.size();
+
+    auto fail = [&](const std::string &msg) {
+        sim::fatal(name, ":", line, ": ", msg);
+    };
+    auto two = [&](char c) { return i + 1 < n && src[i + 1] == c; };
+    auto push = [&](Tok k, int adv) {
+        toks.push_back(Token{k, "", 0, line});
+        i += adv;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && two('/')) {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && two('*')) {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                fail("unterminated comment");
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_'))
+                ++j;
+            std::string word = src.substr(i, j - i);
+            Tok k = Tok::Ident;
+            if (word == "int")
+                k = Tok::KwInt;
+            else if (word == "void")
+                k = Tok::KwVoid;
+            else if (word == "handler")
+                k = Tok::KwHandler;
+            else if (word == "if")
+                k = Tok::KwIf;
+            else if (word == "else")
+                k = Tok::KwElse;
+            else if (word == "while")
+                k = Tok::KwWhile;
+            else if (word == "return")
+                k = Tok::KwReturn;
+            toks.push_back(Token{k, word, 0, line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            int base = 10;
+            if (c == '0' && i + 1 < n &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            }
+            std::int64_t v = 0;
+            std::size_t digits = 0;
+            while (j < n) {
+                char d = src[j];
+                int dv;
+                if (d >= '0' && d <= '9')
+                    dv = d - '0';
+                else if (base == 16 && d >= 'a' && d <= 'f')
+                    dv = d - 'a' + 10;
+                else if (base == 16 && d >= 'A' && d <= 'F')
+                    dv = d - 'A' + 10;
+                else
+                    break;
+                v = v * base + dv;
+                ++digits;
+                ++j;
+            }
+            if (base == 16 && digits == 0)
+                fail("empty hex literal");
+            if (v > 65535)
+                fail("integer literal out of 16-bit range");
+            toks.push_back(
+                Token{Tok::Number, "", static_cast<std::int32_t>(v),
+                      line});
+            i = j;
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 >= n || src[i + 2] != '\'')
+                fail("bad character literal");
+            toks.push_back(Token{Tok::Number, "",
+                                 static_cast<std::int32_t>(
+                                     static_cast<unsigned char>(
+                                         src[i + 1])),
+                                 line});
+            i += 3;
+            continue;
+        }
+        switch (c) {
+          case '(': push(Tok::LParen, 1); break;
+          case ')': push(Tok::RParen, 1); break;
+          case '{': push(Tok::LBrace, 1); break;
+          case '}': push(Tok::RBrace, 1); break;
+          case '[': push(Tok::LBracket, 1); break;
+          case ']': push(Tok::RBracket, 1); break;
+          case ';': push(Tok::Semi, 1); break;
+          case ',': push(Tok::Comma, 1); break;
+          case '+': push(Tok::Plus, 1); break;
+          case '-': push(Tok::Minus, 1); break;
+          case '*': push(Tok::Star, 1); break;
+          case '~': push(Tok::Tilde, 1); break;
+          case '^': push(Tok::Caret, 1); break;
+          case '&':
+            two('&') ? push(Tok::AndAnd, 2) : push(Tok::Amp, 1);
+            break;
+          case '|':
+            two('|') ? push(Tok::OrOr, 2) : push(Tok::Pipe, 1);
+            break;
+          case '<':
+            if (two('<'))
+                push(Tok::Shl, 2);
+            else if (two('='))
+                push(Tok::Le, 2);
+            else
+                push(Tok::Lt, 1);
+            break;
+          case '>':
+            if (two('>'))
+                push(Tok::Shr, 2);
+            else if (two('='))
+                push(Tok::Ge, 2);
+            else
+                push(Tok::Gt, 1);
+            break;
+          case '=':
+            two('=') ? push(Tok::Eq, 2) : push(Tok::Assign, 1);
+            break;
+          case '!':
+            two('=') ? push(Tok::Ne, 2) : push(Tok::Bang, 1);
+            break;
+          default:
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+    toks.push_back(Token{Tok::End, "", 0, line});
+    return toks;
+}
+
+} // namespace snaple::cc

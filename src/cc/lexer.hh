@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lexer for snapcc, the small-C compiler for the SNAP ISA.
+ *
+ * The paper's tool-chain compiled C with an unoptimized lcc port
+ * (section 4.2); snapcc plays that role here: a C subset (ints,
+ * globals, arrays, functions, handlers, control flow) compiled to
+ * SNAP assembly, with intrinsics for the event/coprocessor interface.
+ */
+
+#ifndef SNAPLE_CC_LEXER_HH
+#define SNAPLE_CC_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snaple::cc {
+
+enum class Tok
+{
+    // literals and names
+    Ident,
+    Number,
+    // keywords
+    KwInt,
+    KwVoid,
+    KwHandler,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,   // =
+    // operators
+    Plus,
+    Minus,
+    Star,     // reserved (multiplication unsupported; see parser)
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    End,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;       ///< for Ident
+    std::int32_t value = 0; ///< for Number
+    int line = 0;
+};
+
+/**
+ * Tokenize a full snapcc source text.
+ * @throws sim::FatalError on malformed input.
+ */
+std::vector<Token> lex(const std::string &source,
+                       const std::string &name = "<cc>");
+
+} // namespace snaple::cc
+
+#endif // SNAPLE_CC_LEXER_HH

@@ -1,0 +1,454 @@
+#include "cc/parser.hh"
+
+#include "sim/logging.hh"
+
+namespace snaple::cc {
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::vector<Token> &toks, const std::string &name)
+        : toks_(toks), name_(name)
+    {}
+
+    Program
+    run()
+    {
+        Program p;
+        while (peek().kind != Tok::End) {
+            if (peek().kind == Tok::KwInt && peekIsGlobal()) {
+                p.globals.push_back(global());
+            } else {
+                p.functions.push_back(function());
+            }
+        }
+        return p;
+    }
+
+  private:
+    const Token &peek(int ahead = 0) const
+    {
+        std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+        return toks_[i];
+    }
+
+    const Token &
+    next()
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind != Tok::End)
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (peek().kind == k) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok k, const char *what)
+    {
+        if (peek().kind != k)
+            fail(std::string("expected ") + what);
+        return next();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        sim::fatal(name_, ":", peek().line, ": ", msg);
+    }
+
+    /** 'int' IDENT then NOT '(' means a global declaration. */
+    bool
+    peekIsGlobal() const
+    {
+        return peek(1).kind == Tok::Ident &&
+               peek(2).kind != Tok::LParen;
+    }
+
+    Global
+    global()
+    {
+        Global g;
+        g.line = peek().line;
+        expect(Tok::KwInt, "'int'");
+        g.name = expect(Tok::Ident, "global name").text;
+        if (accept(Tok::LBracket)) {
+            const Token &n = expect(Tok::Number, "array size");
+            if (n.value <= 0 || n.value > 1024)
+                fail("bad array size");
+            g.words = static_cast<unsigned>(n.value);
+            expect(Tok::RBracket, "']'");
+        } else if (accept(Tok::Assign)) {
+            bool negative = accept(Tok::Minus);
+            const Token &n = expect(Tok::Number, "initializer");
+            g.init = negative ? -n.value : n.value;
+            g.hasInit = true;
+        }
+        expect(Tok::Semi, "';'");
+        return g;
+    }
+
+    Function
+    function()
+    {
+        Function f;
+        f.line = peek().line;
+        switch (peek().kind) {
+          case Tok::KwInt: f.kind = FnKind::Int; break;
+          case Tok::KwVoid: f.kind = FnKind::Void; break;
+          case Tok::KwHandler: f.kind = FnKind::Handler; break;
+          default: fail("expected function definition");
+        }
+        next();
+        f.name = expect(Tok::Ident, "function name").text;
+        expect(Tok::LParen, "'('");
+        if (!accept(Tok::RParen)) {
+            do {
+                expect(Tok::KwInt, "'int' parameter");
+                f.params.push_back(
+                    expect(Tok::Ident, "parameter name").text);
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        if (f.kind == FnKind::Handler && !f.params.empty())
+            fail("handlers take no parameters");
+        f.body = block();
+        return f;
+    }
+
+    std::vector<StmtPtr>
+    block()
+    {
+        expect(Tok::LBrace, "'{'");
+        std::vector<StmtPtr> stmts;
+        while (!accept(Tok::RBrace)) {
+            if (peek().kind == Tok::End)
+                fail("unterminated block");
+            stmts.push_back(statement());
+        }
+        return stmts;
+    }
+
+    StmtPtr
+    mkStmt(Stmt::Kind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = peek().line;
+        return s;
+    }
+
+    StmtPtr
+    statement()
+    {
+        if (peek().kind == Tok::KwInt) {
+            next();
+            auto s = mkStmt(Stmt::Kind::DeclLocal);
+            s->name = expect(Tok::Ident, "local name").text;
+            if (accept(Tok::Assign))
+                s->value = expression();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (peek().kind == Tok::KwIf) {
+            next();
+            auto s = mkStmt(Stmt::Kind::If);
+            expect(Tok::LParen, "'('");
+            s->value = expression();
+            expect(Tok::RParen, "')'");
+            s->body = block();
+            if (accept(Tok::KwElse)) {
+                if (peek().kind == Tok::KwIf) {
+                    s->elseBody.push_back(statement()); // else-if chain
+                } else {
+                    s->elseBody = block();
+                }
+            }
+            return s;
+        }
+        if (peek().kind == Tok::KwWhile) {
+            next();
+            auto s = mkStmt(Stmt::Kind::While);
+            expect(Tok::LParen, "'('");
+            s->value = expression();
+            expect(Tok::RParen, "')'");
+            s->body = block();
+            return s;
+        }
+        if (peek().kind == Tok::KwReturn) {
+            next();
+            auto s = mkStmt(Stmt::Kind::Return);
+            if (peek().kind != Tok::Semi)
+                s->value = expression();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        // Assignment or expression statement.
+        if (peek().kind == Tok::Ident) {
+            if (peek(1).kind == Tok::Assign) {
+                auto s = mkStmt(Stmt::Kind::Assign);
+                s->name = next().text;
+                next(); // '='
+                s->value = expression();
+                expect(Tok::Semi, "';'");
+                return s;
+            }
+            if (peek(1).kind == Tok::LBracket) {
+                // Could be a[i] = e; or an expression like a[i] + ...
+                // Scan for the matching ']' followed by '='.
+                std::size_t depth = 0;
+                std::size_t j = pos_ + 1;
+                while (j < toks_.size()) {
+                    if (toks_[j].kind == Tok::LBracket)
+                        ++depth;
+                    else if (toks_[j].kind == Tok::RBracket) {
+                        --depth;
+                        if (depth == 0)
+                            break;
+                    }
+                    ++j;
+                }
+                if (j + 1 < toks_.size() &&
+                    toks_[j + 1].kind == Tok::Assign) {
+                    auto s = mkStmt(Stmt::Kind::AssignIndex);
+                    s->name = next().text;
+                    expect(Tok::LBracket, "'['");
+                    s->index = expression();
+                    expect(Tok::RBracket, "']'");
+                    expect(Tok::Assign, "'='");
+                    s->value = expression();
+                    expect(Tok::Semi, "';'");
+                    return s;
+                }
+            }
+        }
+        auto s = mkStmt(Stmt::Kind::ExprStmt);
+        s->value = expression();
+        expect(Tok::Semi, "';'");
+        return s;
+    }
+
+    // ---- expressions, C precedence ----
+
+    ExprPtr
+    mkExpr(Expr::Kind k)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = peek().line;
+        return e;
+    }
+
+    ExprPtr
+    binary(ExprPtr l, BinOp op, ExprPtr r)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Binary;
+        e->line = l->line;
+        e->bin = op;
+        e->lhs = std::move(l);
+        e->rhs = std::move(r);
+        return e;
+    }
+
+    ExprPtr expression() { return logicalOr(); }
+
+    ExprPtr
+    logicalOr()
+    {
+        ExprPtr e = logicalAnd();
+        while (accept(Tok::OrOr))
+            e = binary(std::move(e), BinOp::LogOr, logicalAnd());
+        return e;
+    }
+
+    ExprPtr
+    logicalAnd()
+    {
+        ExprPtr e = bitOr();
+        while (accept(Tok::AndAnd))
+            e = binary(std::move(e), BinOp::LogAnd, bitOr());
+        return e;
+    }
+
+    ExprPtr
+    bitOr()
+    {
+        ExprPtr e = bitXor();
+        while (accept(Tok::Pipe))
+            e = binary(std::move(e), BinOp::Or, bitXor());
+        return e;
+    }
+
+    ExprPtr
+    bitXor()
+    {
+        ExprPtr e = bitAnd();
+        while (accept(Tok::Caret))
+            e = binary(std::move(e), BinOp::Xor, bitAnd());
+        return e;
+    }
+
+    ExprPtr
+    bitAnd()
+    {
+        ExprPtr e = equality();
+        while (accept(Tok::Amp))
+            e = binary(std::move(e), BinOp::And, equality());
+        return e;
+    }
+
+    ExprPtr
+    equality()
+    {
+        ExprPtr e = relational();
+        for (;;) {
+            if (accept(Tok::Eq))
+                e = binary(std::move(e), BinOp::Eq, relational());
+            else if (accept(Tok::Ne))
+                e = binary(std::move(e), BinOp::Ne, relational());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    relational()
+    {
+        ExprPtr e = shift();
+        for (;;) {
+            // a > b and a <= b normalize to swapped Lt / Ge. Operand
+            // evaluation order for the swapped forms follows the
+            // rewritten order (unspecified in C anyway).
+            if (accept(Tok::Lt))
+                e = binary(std::move(e), BinOp::Lt, shift());
+            else if (accept(Tok::Ge))
+                e = binary(std::move(e), BinOp::Ge, shift());
+            else if (accept(Tok::Gt))
+                e = binary(shift(), BinOp::Lt, std::move(e));
+            else if (accept(Tok::Le))
+                e = binary(shift(), BinOp::Ge, std::move(e));
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    shift()
+    {
+        ExprPtr e = additive();
+        for (;;) {
+            if (accept(Tok::Shl))
+                e = binary(std::move(e), BinOp::Shl, additive());
+            else if (accept(Tok::Shr))
+                e = binary(std::move(e), BinOp::Shr, additive());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    additive()
+    {
+        ExprPtr e = unary();
+        for (;;) {
+            if (accept(Tok::Plus))
+                e = binary(std::move(e), BinOp::Add, unary());
+            else if (accept(Tok::Minus))
+                e = binary(std::move(e), BinOp::Sub, unary());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    unary()
+    {
+        if (peek().kind == Tok::Star)
+            fail("multiplication/pointers unsupported (SNAP has no "
+                 "multiplier; use shifts and adds)");
+        if (accept(Tok::Minus)) {
+            auto e = mkExpr(Expr::Kind::Unary);
+            e->un = UnOp::Neg;
+            e->lhs = unary();
+            return e;
+        }
+        if (accept(Tok::Tilde)) {
+            auto e = mkExpr(Expr::Kind::Unary);
+            e->un = UnOp::Not;
+            e->lhs = unary();
+            return e;
+        }
+        if (accept(Tok::Bang)) {
+            auto e = mkExpr(Expr::Kind::Unary);
+            e->un = UnOp::LogNot;
+            e->lhs = unary();
+            return e;
+        }
+        return primary();
+    }
+
+    ExprPtr
+    primary()
+    {
+        if (peek().kind == Tok::Number) {
+            auto e = mkExpr(Expr::Kind::Number);
+            e->number = next().value;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = expression();
+            expect(Tok::RParen, "')'");
+            return e;
+        }
+        if (peek().kind == Tok::Ident) {
+            std::string name = next().text;
+            if (accept(Tok::LParen)) {
+                auto e = mkExpr(Expr::Kind::Call);
+                e->name = std::move(name);
+                if (!accept(Tok::RParen)) {
+                    do {
+                        e->args.push_back(expression());
+                    } while (accept(Tok::Comma));
+                    expect(Tok::RParen, "')'");
+                }
+                return e;
+            }
+            if (accept(Tok::LBracket)) {
+                auto e = mkExpr(Expr::Kind::Index);
+                e->name = std::move(name);
+                e->lhs = expression();
+                expect(Tok::RBracket, "']'");
+                return e;
+            }
+            auto e = mkExpr(Expr::Kind::Var);
+            e->name = std::move(name);
+            return e;
+        }
+        fail("expected expression");
+    }
+
+    const std::vector<Token> &toks_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::vector<Token> &tokens, const std::string &name)
+{
+    return Parser(tokens, name).run();
+}
+
+} // namespace snaple::cc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for the snapcc C subset.
+ *
+ * Grammar (no pointers, no multiplication — the SNAP ISA has no
+ * multiplier, exactly like the real chip; shift-and-add in source):
+ *
+ *   program   := (global | function)*
+ *   global    := 'int' IDENT ('[' NUM ']')? ('=' NUM)? ';'
+ *   function  := ('int'|'void'|'handler') IDENT '(' params? ')' block
+ *   params    := 'int' IDENT (',' 'int' IDENT)*
+ *   block     := '{' stmt* '}'
+ *   stmt      := 'int' IDENT ('=' expr)? ';'
+ *              | IDENT '=' expr ';'
+ *              | IDENT '[' expr ']' '=' expr ';'
+ *              | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+ *              | 'while' '(' expr ')' block
+ *              | 'return' expr? ';'
+ *              | expr ';'
+ *   expr      := logical-or with C precedence down to unary/primary
+ */
+
+#ifndef SNAPLE_CC_PARSER_HH
+#define SNAPLE_CC_PARSER_HH
+
+#include "cc/ast.hh"
+#include "cc/lexer.hh"
+
+namespace snaple::cc {
+
+/**
+ * Parse a token stream into a Program.
+ * @throws sim::FatalError on syntax errors.
+ */
+Program parse(const std::vector<Token> &tokens,
+              const std::string &name = "<cc>");
+
+} // namespace snaple::cc
+
+#endif // SNAPLE_CC_PARSER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Abstract interfaces between the message coprocessor and the node's
+ * radio and sensors. Concrete models live in src/radio and src/sensor;
+ * tests substitute scripted fakes.
+ */
+
+#ifndef SNAPLE_COPROC_IO_PORTS_HH
+#define SNAPLE_COPROC_IO_PORTS_HH
+
+#include <cstdint>
+
+#include "sim/channel.hh"
+#include "sim/task.hh"
+#include "sim/ticks.hh"
+
+namespace snaple::coproc {
+
+/** Radio transceiver operating mode (TR1000-style control pins). */
+enum class RadioMode
+{
+    Idle,
+    Rx,
+    Tx,
+};
+
+/** What the message coprocessor needs from a radio transceiver. */
+class RadioPort
+{
+  public:
+    virtual ~RadioPort() = default;
+
+    /** Select the transceiver mode. */
+    virtual void setMode(RadioMode mode) = 0;
+
+    /**
+     * Serialize one 16-bit word onto the air. Completes when the word
+     * has left the transmitter (at 19.2 kbps this is ~833 us, which is
+     * why the interface is word-level and event-driven, section 3.3).
+     */
+    virtual sim::Co<void> transmit(std::uint16_t word) = 0;
+
+    /** Words assembled from the receive bitstream. */
+    virtual sim::Fifo<std::uint16_t> &rxWords() = 0;
+
+    /** Carrier detect: is any transmission on the air right now? */
+    virtual bool channelBusy() const = 0;
+};
+
+/** What the message coprocessor needs from a sensor. */
+class SensorPort
+{
+  public:
+    virtual ~SensorPort() = default;
+
+    /** Sample the sensor's data pins (a Query command). */
+    virtual std::uint16_t query(sim::Tick now) = 0;
+};
+
+} // namespace snaple::coproc
+
+#endif // SNAPLE_COPROC_IO_PORTS_HH

@@ -1,0 +1,118 @@
+#include "coproc/message.hh"
+
+namespace snaple::coproc {
+
+using core::msgcmd::isQuery;
+using core::msgcmd::kIdle;
+using core::msgcmd::kRx;
+using core::msgcmd::kTx;
+using core::msgcmd::querySensor;
+using energy::Cat;
+
+MessageCoproc::MessageCoproc(core::NodeContext &ctx,
+                             core::WordFifo &msg_in,
+                             core::WordFifo &msg_out,
+                             core::EventQueue &event_queue)
+    : ctx_(ctx), msgIn_(msg_in), msgOut_(msg_out),
+      eventQueue_(event_queue)
+{}
+
+void
+MessageCoproc::attachRadio(RadioPort &radio)
+{
+    sim::panicIf(radio_ != nullptr, "radio already attached");
+    radio_ = &radio;
+}
+
+void
+MessageCoproc::attachSensor(unsigned id, SensorPort &sensor)
+{
+    sim::fatalIf(id >= kMaxSensors, "sensor id out of range: ", id);
+    sim::panicIf(sensors_[id] != nullptr, "sensor id already in use");
+    sensors_[id] = &sensor;
+}
+
+void
+MessageCoproc::start()
+{
+    ctx_.kernel.spawn(commandProcess(), "msg-coproc-cmd");
+    if (radio_)
+        ctx_.kernel.spawn(rxProcess(), "msg-coproc-rx");
+}
+
+void
+MessageCoproc::raiseSensorInterrupt()
+{
+    ++stats_.interrupts;
+    pushEvent(isa::EventNum::SensorIrq);
+}
+
+void
+MessageCoproc::pushEvent(isa::EventNum e)
+{
+    core::EventToken tok{static_cast<std::uint8_t>(e)};
+    if (!eventQueue_.tryPush(tok))
+        ++stats_.eventsDropped;
+}
+
+sim::Co<void>
+MessageCoproc::commandProcess()
+{
+    for (;;) {
+        std::uint16_t w = co_await msgIn_.recv();
+        ++stats_.commands;
+        ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
+        co_await ctx_.kernel.delay(ctx_.gd(4));
+
+        if (w == kRx) {
+            sim::fatalIf(!radio_, "RX command with no radio attached");
+            radio_->setMode(RadioMode::Rx);
+        } else if (w == kIdle) {
+            sim::fatalIf(!radio_, "Idle command with no radio attached");
+            radio_->setMode(RadioMode::Idle);
+        } else if (w == core::msgcmd::kCarrier) {
+            // Carrier sense for the MAC's CSMA: reply synchronously
+            // through the outgoing FIFO (no event token).
+            sim::fatalIf(!radio_, "carrier sense with no radio");
+            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            co_await msgOut_.send(radio_->channelBusy() ? 1 : 0);
+        } else if (w == kTx) {
+            sim::fatalIf(!radio_, "TX command with no radio attached");
+            std::uint16_t data = co_await msgIn_.recv();
+            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            ++stats_.txWords;
+            radio_->setMode(RadioMode::Tx);
+            co_await radio_->transmit(data);
+            // The transmitter can take the next word.
+            pushEvent(isa::EventNum::RadioTxRdy);
+        } else if (isQuery(w)) {
+            unsigned id = querySensor(w);
+            sim::fatalIf(!sensors_[id], "query of unattached sensor ",
+                         id);
+            ++stats_.queries;
+            // ADC-style conversion time before the value is ready.
+            co_await ctx_.kernel.delay(ctx_.cfg.sensorConvTime);
+            std::uint16_t v = sensors_[id]->query(ctx_.kernel.now());
+            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            co_await msgOut_.send(v);
+            pushEvent(isa::EventNum::SensorData);
+        } else {
+            sim::fatal("unknown message-coprocessor command word 0x",
+                       std::hex, w);
+        }
+    }
+}
+
+sim::Co<void>
+MessageCoproc::rxProcess()
+{
+    for (;;) {
+        std::uint16_t w = co_await radio_->rxWords().recv();
+        ++stats_.rxWords;
+        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+        co_await msgOut_.send(w);
+        pushEvent(isa::EventNum::RadioRx);
+    }
+}
+
+} // namespace snaple::coproc

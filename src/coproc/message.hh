@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The message coprocessor (paper section 3.3, Figure 3).
+ *
+ * All core I/O flows through the two 16-bit FIFOs mapped to r15. The
+ * coprocessor interprets command words from the incoming FIFO (RX / TX
+ * / Query / Idle), serializes transmit data to the radio word by word
+ * (raising a RadioTxRdy event when the transmitter can take the next
+ * word), assembles received words into the outgoing FIFO (raising
+ * RadioRx events), samples sensors on Query commands (SensorData
+ * events), and converts external sensor interrupts into SensorIrq
+ * event tokens — which is how SNAP/LE gets away without any interrupt
+ * support in the core.
+ */
+
+#ifndef SNAPLE_COPROC_MESSAGE_HH
+#define SNAPLE_COPROC_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/context.hh"
+#include "core/ports.hh"
+#include "coproc/io_ports.hh"
+
+namespace snaple::coproc {
+
+/** The radio/sensor message coprocessor. */
+class MessageCoproc
+{
+  public:
+    static constexpr std::size_t kMaxSensors = 16;
+
+    struct Stats
+    {
+        std::uint64_t commands = 0;
+        std::uint64_t txWords = 0;
+        std::uint64_t rxWords = 0;
+        std::uint64_t queries = 0;
+        std::uint64_t interrupts = 0;
+        std::uint64_t eventsDropped = 0;
+    };
+
+    MessageCoproc(core::NodeContext &ctx, core::WordFifo &msg_in,
+                  core::WordFifo &msg_out, core::EventQueue &event_queue);
+
+    MessageCoproc(const MessageCoproc &) = delete;
+    MessageCoproc &operator=(const MessageCoproc &) = delete;
+
+    /** Attach the node's radio (at most one). */
+    void attachRadio(RadioPort &radio);
+
+    /** Attach a sensor under a Query-addressable id. */
+    void attachSensor(unsigned id, SensorPort &sensor);
+
+    /** Spawn the command and receive processes. */
+    void start();
+
+    /**
+     * Signal the external-interrupt pin (passive sensing): inserts a
+     * SensorIrq event token.
+     */
+    void raiseSensorInterrupt();
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    sim::Co<void> commandProcess();
+    sim::Co<void> rxProcess();
+    void pushEvent(isa::EventNum e);
+
+    core::NodeContext &ctx_;
+    core::WordFifo &msgIn_;
+    core::WordFifo &msgOut_;
+    core::EventQueue &eventQueue_;
+    RadioPort *radio_ = nullptr;
+    std::array<SensorPort *, kMaxSensors> sensors_{};
+    Stats stats_;
+};
+
+} // namespace snaple::coproc
+
+#endif // SNAPLE_COPROC_MESSAGE_HH

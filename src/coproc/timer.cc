@@ -1,0 +1,90 @@
+#include "coproc/timer.hh"
+
+namespace snaple::coproc {
+
+using energy::Cat;
+using isa::TimerFn;
+
+TimerCoproc::TimerCoproc(core::NodeContext &ctx, core::TimerPort &port,
+                         core::EventQueue &event_queue)
+    : ctx_(ctx), port_(port), eventQueue_(event_queue)
+{}
+
+void
+TimerCoproc::start()
+{
+    ctx_.kernel.spawn(commandProcess(), "timer-coproc");
+}
+
+sim::Co<void>
+TimerCoproc::commandProcess()
+{
+    for (;;) {
+        core::TimerCmd cmd = co_await port_.recv();
+        Timer &t = timers_[cmd.timer];
+        switch (cmd.fn) {
+          case TimerFn::SchedHi:
+            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            t.stagedHi = static_cast<std::uint8_t>(cmd.value & 0xff);
+            break;
+          case TimerFn::SchedLo: {
+            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            std::uint32_t ticks =
+                (static_cast<std::uint32_t>(t.stagedHi) << 16) |
+                cmd.value;
+            arm(cmd.timer, ticks);
+            break;
+          }
+          case TimerFn::Cancel:
+            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            if (t.armed) {
+                // Disarm and still deliver the token: software sees
+                // exactly one token per schedule, expired or canceled.
+                t.armed = false;
+                ++t.generation;
+                ++stats_.canceled;
+                pushToken(cmd.timer);
+            }
+            break;
+        }
+    }
+}
+
+void
+TimerCoproc::arm(unsigned n, std::uint32_t ticks24)
+{
+    Timer &t = timers_[n];
+    // Re-scheduling an armed timer silently replaces the countdown.
+    ++t.generation;
+    t.armed = true;
+    ++stats_.scheduled;
+    const std::uint64_t this_generation = t.generation;
+    // A zero duration expires after one tick, not immediately: the
+    // register decrements through zero.
+    const std::uint64_t dur = (ticks24 == 0) ? 1 : ticks24;
+    ctx_.kernel.scheduleAfter(
+        dur * ctx_.cfg.timerTick,
+        [this, n, this_generation] { expire(n, this_generation); });
+}
+
+void
+TimerCoproc::expire(unsigned n, std::uint64_t generation)
+{
+    Timer &t = timers_[n];
+    if (!t.armed || t.generation != generation)
+        return; // canceled or re-armed meanwhile
+    t.armed = false;
+    ++stats_.expired;
+    ctx_.charge(Cat::Coproc, ctx_.ecal.timerExpirePj);
+    pushToken(n);
+}
+
+void
+TimerCoproc::pushToken(unsigned n)
+{
+    core::EventToken tok{static_cast<std::uint8_t>(n)};
+    if (!eventQueue_.tryPush(tok))
+        ++stats_.tokensDropped;
+}
+
+} // namespace snaple::coproc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The timer coprocessor (paper section 3.2).
+ *
+ * Three self-decrementing 24-bit timer registers. The core schedules a
+ * timeout by sending a timer number plus duration (`schedhi` stages the
+ * high 8 bits, `schedlo` supplies the low 16 bits and starts the
+ * countdown). When a timer reaches zero the coprocessor inserts an
+ * event token (Timer0/1/2) into the hardware event queue. `cancel` of
+ * an armed timer also inserts the token, so software observes exactly
+ * one token per scheduled timeout and the schedule/cancel/expire race
+ * is resolved in hardware — the software just tracks which timers it
+ * canceled, as the paper prescribes.
+ *
+ * Idle timers are modeled with no switching activity: a countdown is a
+ * single scheduled kernel event, not per-tick decrements. The tick
+ * period comes from a calibrated timing reference and therefore does
+ * not scale with the core supply voltage.
+ */
+
+#ifndef SNAPLE_COPROC_TIMER_HH
+#define SNAPLE_COPROC_TIMER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/context.hh"
+#include "core/ports.hh"
+
+namespace snaple::coproc {
+
+/** The three-register timer coprocessor. */
+class TimerCoproc
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t scheduled = 0;
+        std::uint64_t expired = 0;
+        std::uint64_t canceled = 0;
+        std::uint64_t tokensDropped = 0; ///< event queue full
+    };
+
+    TimerCoproc(core::NodeContext &ctx, core::TimerPort &port,
+                core::EventQueue &event_queue);
+
+    TimerCoproc(const TimerCoproc &) = delete;
+    TimerCoproc &operator=(const TimerCoproc &) = delete;
+
+    /** Spawn the command-processing process. */
+    void start();
+
+    /** True if timer @p n is counting down. */
+    bool armed(unsigned n) const { return timers_[n].armed; }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Timer
+    {
+        bool armed = false;
+        std::uint8_t stagedHi = 0;   ///< from schedhi, used by schedlo
+        std::uint64_t generation = 0;///< invalidates stale expirations
+    };
+
+    sim::Co<void> commandProcess();
+    void arm(unsigned n, std::uint32_t ticks24);
+    void expire(unsigned n, std::uint64_t generation);
+    void pushToken(unsigned n);
+
+    core::NodeContext &ctx_;
+    core::TimerPort &port_;
+    core::EventQueue &eventQueue_;
+    std::array<Timer, 3> timers_;
+    Stats stats_;
+};
+
+} // namespace snaple::coproc
+
+#endif // SNAPLE_COPROC_TIMER_HH

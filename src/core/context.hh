@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared per-node context: kernel, operating point, calibration and
+ * the energy ledger.
+ *
+ * Every model component of one node holds a reference to one
+ * NodeContext; sweeping supply voltage or running an ablation means
+ * constructing a node with a different CoreConfig.
+ */
+
+#ifndef SNAPLE_CORE_CONTEXT_HH
+#define SNAPLE_CORE_CONTEXT_HH
+
+#include <cstddef>
+
+#include "energy/calibration.hh"
+#include "energy/ledger.hh"
+#include "energy/voltage.hh"
+#include "sim/kernel.hh"
+
+namespace snaple::core {
+
+/** Build-time knobs for one SNAP/LE node. */
+struct CoreConfig
+{
+    /** Supply voltage (the paper evaluates 1.8, 0.9 and 0.6 V). */
+    double volts = energy::kNominalVolts;
+
+    /**
+     * Ablation: collapse the two-level bus hierarchy into one shared
+     * bus. All units then see the same, higher bus capacitance and
+     * latency instead of fast units seeing a cheap bus (section 3.1).
+     */
+    bool flatBus = false;
+    double flatBusGd = 6.0;   ///< per-transfer latency when flat
+    double flatBusPj = 9.0;   ///< per-transfer energy when flat
+
+    /** Stop the whole kernel when this core executes `halt`. */
+    bool stopOnHalt = true;
+
+    std::size_t eventQueueDepth = 8;
+    std::size_t msgFifoDepth = 4;
+    std::size_t fetchQueueDepth = 2;
+
+    /**
+     * Memory bank sizes in words. The architected size is 2K words
+     * (4 KB) per bank; microbenches that unroll long straight-line
+     * instruction sequences (Figure 4's 1000-instruction blocks) may
+     * enlarge the IMEM.
+     */
+    std::size_t imemWords = 2048;
+    std::size_t dmemWords = 2048;
+
+    /** Timer-coprocessor tick period (runs off a calibrated reference,
+     *  so it does not scale with the core supply voltage). */
+    sim::Tick timerTick = sim::kMicrosecond;
+
+    /** Sensor (ADC-style) conversion time for Query commands. */
+    sim::Tick sensorConvTime = 10 * sim::kMicrosecond;
+
+    /**
+     * Transistor-sizing knob (paper section 6: "we plan to redesign
+     * the processor to sacrifice its performance for even lower
+     * energy per instruction"). Low-energy sizing uses smaller
+     * devices: less switched capacitance (energy scale < 1) at the
+     * cost of longer gate delays (delay scale > 1). The defaults are
+     * the nominal design evaluated in the paper.
+     */
+    double sizingDelayScale = 1.0;
+    double sizingEnergyScale = 1.0;
+
+    /** A preset matching the paper's future-work direction. */
+    static CoreConfig
+    lowEnergySizing(CoreConfig base)
+    {
+        base.sizingDelayScale = 2.5;
+        base.sizingEnergyScale = 0.6;
+        return base;
+    }
+};
+
+/** Everything a node's components share. */
+struct NodeContext
+{
+    sim::Kernel &kernel;
+    CoreConfig cfg;
+    energy::OperatingPoint op;
+    energy::EnergyCal ecal;
+    energy::TimingCal tcal;
+    energy::EnergyLedger ledger;
+
+    NodeContext(sim::Kernel &k, const CoreConfig &c = {})
+        : kernel(k), cfg(c), op(c.volts)
+    {}
+
+    /** Ticks for @p n gate delays at this node's supply. */
+    sim::Tick
+    gd(double n) const
+    {
+        return op.gd(n * cfg.sizingDelayScale);
+    }
+
+    /** Charge @p pj_nominal (a 1.8 V calibration value) to @p cat. */
+    void
+    charge(energy::Cat cat, double pj_nominal)
+    {
+        ledger.add(cat,
+                   op.scalePj(pj_nominal) * cfg.sizingEnergyScale);
+    }
+
+    /** Static (leakage) power at this operating point, nanowatts. */
+    double
+    leakagePowerNw() const
+    {
+        return op.scaleLeakNw(ecal.leakLogicNw18 + ecal.leakMemNw18) *
+               cfg.sizingEnergyScale;
+    }
+
+    /**
+     * Accrue static energy up to the current simulated time into
+     * Cat::Leakage. Leakage flows whether the core is awake or
+     * asleep — the quantity the paper's future work measures. Call
+     * before reading totals; idempotent between time steps.
+     */
+    void
+    accrueLeakage()
+    {
+        sim::Tick now = kernel.now();
+        if (now <= leakAccruedTo_)
+            return;
+        double pj = leakagePowerNw() * 1e-9 /* W */ *
+                    sim::toSec(now - leakAccruedTo_) * 1e12 /* pJ */;
+        ledger.add(energy::Cat::Leakage, pj);
+        leakAccruedTo_ = now;
+    }
+
+  private:
+    sim::Tick leakAccruedTo_ = 0;
+};
+
+} // namespace snaple::core
+
+#endif // SNAPLE_CORE_CONTEXT_HH

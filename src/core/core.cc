@@ -1,0 +1,422 @@
+#include "core/core.hh"
+
+namespace snaple::core {
+
+using energy::Cat;
+using isa::AluFn;
+using isa::DecodedInst;
+using isa::EventFn;
+using isa::InstrClass;
+using isa::JmpFn;
+using isa::Op;
+using isa::SysFn;
+using isa::TimerFn;
+using isa::Unit;
+using sim::Co;
+using sim::Tick;
+
+SnapCore::SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
+                   EventQueue &event_queue, WordFifo &msg_in,
+                   WordFifo &msg_out, TimerPort &timer_port)
+    : ctx_(ctx), imem_(imem), dmem_(dmem), eventQueue_(event_queue),
+      msgIn_(msg_in), msgOut_(msg_out), timerPort_(timer_port),
+      fetchQ_(ctx.kernel, ctx.cfg.fetchQueueDepth, 0, "fetchq"),
+      redirect_(ctx.kernel, 0, "redirect")
+{}
+
+void
+SnapCore::start()
+{
+    ctx_.kernel.spawn(fetchProcess(), "fetch");
+    ctx_.kernel.spawn(executeProcess(), "execute");
+}
+
+std::uint16_t
+SnapCore::reg(unsigned i) const
+{
+    sim::fatalIf(i >= isa::kNumPhysRegs, "reg index out of range: ", i);
+    return regs_[i];
+}
+
+void
+SnapCore::setReg(unsigned i, std::uint16_t v)
+{
+    sim::fatalIf(i >= isa::kNumPhysRegs, "reg index out of range: ", i);
+    regs_[i] = v;
+}
+
+std::uint16_t
+SnapCore::handler(isa::EventNum e) const
+{
+    return handlerTable_[static_cast<std::size_t>(e)];
+}
+
+void
+SnapCore::setHandler(isa::EventNum e, std::uint16_t addr)
+{
+    handlerTable_[static_cast<std::size_t>(e)] = addr;
+}
+
+Co<void>
+SnapCore::fetchProcess()
+{
+    std::uint16_t pc = 0;
+    stats_.lastWake = ctx_.kernel.now();
+    for (;;) {
+        // Fetch (and minimally predecode) one instruction.
+        co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.fetchCycleGd));
+        ctx_.charge(Cat::Fetch, ctx_.ecal.fetchPerWordPj);
+        ctx_.charge(Cat::MemIf, ctx_.ecal.memIfPerWordPj);
+        std::uint16_t word = co_await imem_.read(pc);
+        ++stats_.wordsFetched;
+
+        DecodedInst d = isa::decodeFirst(word);
+        std::uint16_t pc_next = static_cast<std::uint16_t>(pc + 1);
+        if (d.twoWord) {
+            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.fetchCycleGd));
+            ctx_.charge(Cat::Fetch, ctx_.ecal.fetchPerWordPj);
+            ctx_.charge(Cat::MemIf, ctx_.ecal.memIfPerWordPj);
+            d.imm = co_await imem_.read(pc_next);
+            ++stats_.wordsFetched;
+            pc_next = static_cast<std::uint16_t>(pc_next + 1);
+        }
+
+        const bool control = d.isControl();
+        co_await fetchQ_.send(InstPacket{d, pc_next});
+        if (!control) {
+            pc = pc_next;
+            continue;
+        }
+
+        // Non-speculative: wait for the execute process to resolve.
+        Redirect r = co_await redirect_.recv();
+        switch (r.kind) {
+          case Redirect::Kind::Goto:
+            pc = r.pc;
+            break;
+          case Redirect::Kind::Halt:
+            halted_ = true;
+            stats_.activeTime +=
+                ctx_.kernel.now() - stats_.lastWake;
+            if (ctx_.cfg.stopOnHalt)
+                ctx_.kernel.stop();
+            co_return;
+          case Redirect::Kind::Done: {
+            // End of handler: return to the event queue. With no
+            // pending token all switching activity ceases — SNAP/LE's
+            // single, zero-power sleep state.
+            const bool sleeping = eventQueue_.empty();
+            Tick slept_at = ctx_.kernel.now();
+            if (sleeping) {
+                asleep_ = true;
+                ++stats_.sleeps;
+                stats_.lastSleepStart = slept_at;
+                stats_.activeTime += slept_at - stats_.lastWake;
+                if (recordTimeline_) {
+                    timeline_.push_back(ActivitySpan{
+                        stats_.lastWake, slept_at, currentEvent_});
+                }
+            }
+            EventToken tok = co_await eventQueue_.recv();
+            if (sleeping) {
+                asleep_ = false;
+                ++stats_.wakeups;
+                stats_.lastWake = ctx_.kernel.now();
+            }
+            currentEvent_ = tok.num;
+            ++stats_.perEvent[tok.num].activations;
+            // Handler-table dispatch.
+            ctx_.charge(Cat::Fetch, ctx_.ecal.eventDispatchPj);
+            co_await ctx_.kernel.delay(ctx_.gd(4));
+            ++stats_.handlers;
+            sim::fatalIf(tok.num >= isa::kNumEvents,
+                         "bad event token ", int(tok.num));
+            pc = handlerTable_[tok.num];
+            break;
+          }
+        }
+    }
+}
+
+Co<std::uint16_t>
+SnapCore::readOperand(unsigned r)
+{
+    if (r == isa::kMsgReg) {
+        // Reading r15 dequeues the message coprocessor's outgoing
+        // FIFO; the core stalls while it is empty (section 3.3).
+        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+        std::uint16_t v = co_await msgOut_.recv();
+        co_return v;
+    }
+    ctx_.charge(Cat::Datapath, ctx_.ecal.regReadPj);
+    co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regReadGd));
+    co_return regs_[r];
+}
+
+Co<void>
+SnapCore::writeResult(unsigned r, std::uint16_t v)
+{
+    if (r == isa::kMsgReg) {
+        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+        co_await msgIn_.send(v);
+        co_return;
+    }
+    ctx_.charge(Cat::Datapath, ctx_.ecal.regWritePj);
+    co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regWriteGd));
+    regs_[r] = v;
+}
+
+Co<void>
+SnapCore::busTransfer(Unit u)
+{
+    double gd;
+    double pj;
+    if (ctx_.cfg.flatBus) {
+        // Ablation: every unit hangs off one heavily loaded bus.
+        gd = ctx_.cfg.flatBusGd;
+        pj = ctx_.cfg.flatBusPj;
+    } else if (isa::onFastBus(u)) {
+        gd = ctx_.tcal.busFastGd;
+        pj = ctx_.ecal.busFastPj;
+    } else {
+        // Slow-bus units reach the register file through the fast bus.
+        gd = ctx_.tcal.busFastGd + ctx_.tcal.busSlowGd;
+        pj = ctx_.ecal.busFastPj + ctx_.ecal.busSlowPj;
+    }
+    ctx_.charge(Cat::Datapath, pj);
+    co_await ctx_.kernel.delay(ctx_.gd(gd));
+}
+
+Co<void>
+SnapCore::unitOp(Unit u)
+{
+    double gd = 0;
+    double pj = 0;
+    switch (u) {
+      case Unit::Adder:
+        gd = ctx_.tcal.adderGd;
+        pj = ctx_.ecal.adderPj;
+        break;
+      case Unit::Logic:
+        gd = ctx_.tcal.logicGd;
+        pj = ctx_.ecal.logicPj;
+        break;
+      case Unit::Shifter:
+        gd = ctx_.tcal.shifterGd;
+        pj = ctx_.ecal.shifterPj;
+        break;
+      case Unit::Lfsr:
+        gd = ctx_.tcal.lfsrGd;
+        pj = ctx_.ecal.lfsrPj;
+        break;
+      case Unit::Branch:
+        gd = ctx_.tcal.branchGd;
+        pj = ctx_.ecal.branchPj;
+        break;
+      case Unit::LdStD:
+      case Unit::LdStI:
+        gd = ctx_.tcal.ldstGd;
+        pj = ctx_.ecal.ldstPj;
+        break;
+      case Unit::TimerIf:
+        gd = ctx_.tcal.timerIfGd;
+        pj = ctx_.ecal.timerIfPj;
+        break;
+      default:
+        sim::panic("unitOp on unknown unit");
+    }
+    ctx_.charge(Cat::Datapath, pj);
+    co_await ctx_.kernel.delay(ctx_.gd(gd));
+}
+
+Co<void>
+SnapCore::executeProcess()
+{
+    for (;;) {
+        InstPacket p = co_await fetchQ_.recv();
+        const DecodedInst &d = p.inst;
+
+        co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.decodeGd));
+        ctx_.charge(Cat::Decode, ctx_.ecal.decodePj);
+        ctx_.charge(Cat::Misc, ctx_.ecal.miscPj);
+
+        std::uint16_t vd = 0;
+        std::uint16_t vs = 0;
+        if (d.readsRd)
+            vd = co_await readOperand(d.rd);
+        if (d.readsRs)
+            vs = co_await readOperand(d.rs);
+
+        const bool usesUnit =
+            !(d.op == Op::Event && d.eventFn() == EventFn::Done) &&
+            !(d.op == Op::Sys);
+        if (usesUnit) {
+            co_await busTransfer(d.unit); // operands to the unit
+            co_await unitOp(d.unit);
+        }
+
+        bool write_result = d.writesRd;
+        std::uint16_t result = 0;
+        Redirect redir;
+        bool send_redirect = false;
+
+        auto set_arith = [&](std::uint32_t wide) {
+            carry_ = (wide >> 16) & 1;
+            result = static_cast<std::uint16_t>(wide);
+        };
+
+        switch (d.op) {
+          case Op::AluR:
+          case Op::AluI: {
+            const std::uint16_t b = (d.op == Op::AluI) ? d.imm : vs;
+            switch (d.aluFn()) {
+              case AluFn::Add:
+                set_arith(std::uint32_t(vd) + b);
+                break;
+              case AluFn::Addc:
+                set_arith(std::uint32_t(vd) + b + (carry_ ? 1 : 0));
+                break;
+              case AluFn::Sub:
+                // Subtraction as vd + ~b + 1; carry is "no borrow".
+                set_arith(std::uint32_t(vd) + (~b & 0xffffu) + 1);
+                break;
+              case AluFn::Subc:
+                set_arith(std::uint32_t(vd) + (~b & 0xffffu) +
+                          (carry_ ? 1 : 0));
+                break;
+              case AluFn::And: result = vd & b; break;
+              case AluFn::Or: result = vd | b; break;
+              case AluFn::Xor: result = vd ^ b; break;
+              case AluFn::Not: result = ~b; break;
+              case AluFn::Sll:
+                result = static_cast<std::uint16_t>(vd << (b & 15));
+                break;
+              case AluFn::Srl:
+                result = static_cast<std::uint16_t>(vd >> (b & 15));
+                break;
+              case AluFn::Sra:
+                result = static_cast<std::uint16_t>(
+                    static_cast<std::int16_t>(vd) >> (b & 15));
+                break;
+              case AluFn::Mov: result = b; break;
+              case AluFn::Neg:
+                result = static_cast<std::uint16_t>(-b);
+                break;
+              case AluFn::Rand: result = lfsr_.next(); break;
+              case AluFn::Seed: lfsr_.seed(vs); break;
+            }
+            break;
+          }
+          case Op::Ldw:
+            result = co_await dmem_.read(
+                static_cast<std::uint16_t>(vs + d.imm));
+            break;
+          case Op::Stw:
+            co_await dmem_.write(static_cast<std::uint16_t>(vs + d.imm),
+                                 vd);
+            break;
+          case Op::Ldi:
+            result = co_await imem_.read(
+                static_cast<std::uint16_t>(vs + d.imm));
+            break;
+          case Op::Sti:
+            co_await imem_.write(static_cast<std::uint16_t>(vs + d.imm),
+                                 vd);
+            break;
+          case Op::Beqz:
+          case Op::Bnez:
+          case Op::Bltz:
+          case Op::Bgez: {
+            const std::int16_t sv = static_cast<std::int16_t>(vd);
+            bool taken = false;
+            switch (d.op) {
+              case Op::Beqz: taken = (vd == 0); break;
+              case Op::Bnez: taken = (vd != 0); break;
+              case Op::Bltz: taken = (sv < 0); break;
+              case Op::Bgez: taken = (sv >= 0); break;
+              default: break;
+            }
+            redir.kind = Redirect::Kind::Goto;
+            redir.pc = taken ? static_cast<std::uint16_t>(p.pcNext +
+                                                          d.off8)
+                             : p.pcNext;
+            send_redirect = true;
+            break;
+          }
+          case Op::Jmp:
+            redir.kind = Redirect::Kind::Goto;
+            switch (d.jmpFn()) {
+              case JmpFn::Jmp:
+                redir.pc = d.imm;
+                break;
+              case JmpFn::Jal:
+                result = p.pcNext;
+                redir.pc = d.imm;
+                break;
+              case JmpFn::Jr:
+                redir.pc = vs;
+                break;
+              case JmpFn::Jalr:
+                result = p.pcNext;
+                redir.pc = vs;
+                break;
+            }
+            send_redirect = true;
+            break;
+          case Op::Bfs:
+            result = static_cast<std::uint16_t>((vd & ~d.imm) |
+                                                (vs & d.imm));
+            break;
+          case Op::Timer: {
+            sim::fatalIf(vd > 2, "timer register out of range: ", vd);
+            co_await timerPort_.send(
+                TimerCmd{d.timerFn(), static_cast<std::uint8_t>(vd), vs});
+            break;
+          }
+          case Op::Event:
+            if (d.eventFn() == EventFn::Done) {
+                redir.kind = Redirect::Kind::Done;
+                send_redirect = true;
+            } else {
+                sim::fatalIf(vd >= isa::kNumEvents,
+                             "setaddr event out of range: ", vd);
+                handlerTable_[vd] = vs;
+            }
+            break;
+          case Op::Sys:
+            switch (d.sysFn()) {
+              case SysFn::Nop:
+                break;
+              case SysFn::Halt:
+                redir.kind = Redirect::Kind::Halt;
+                send_redirect = true;
+                break;
+              case SysFn::DbgOut:
+                debugOut_.push_back(vd);
+                break;
+            }
+            break;
+          default:
+            sim::panic("unreachable opcode in execute");
+        }
+
+        if (usesUnit)
+            co_await busTransfer(d.unit); // result back / completion
+
+        if (write_result)
+            co_await writeResult(d.rd, result);
+
+        ++stats_.instructions;
+        ++stats_.perClass[static_cast<std::size_t>(d.cls)];
+        if (currentEvent_ < isa::kNumEvents)
+            ++stats_.perEvent[currentEvent_].instructions;
+
+        if (send_redirect)
+            co_await redirect_.send(redir);
+
+        if (d.op == Op::Sys && d.sysFn() == SysFn::Halt)
+            co_return;
+    }
+}
+
+} // namespace snaple::core

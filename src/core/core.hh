@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The SNAP/LE processor core.
+ *
+ * The core is modeled as two communicating hardware processes in the
+ * CHP style, mirroring Figure 2 of the paper:
+ *
+ *  - the *fetch* process reads instruction words from the IMEM and
+ *    streams decoded instructions to the execute process through a
+ *    short token FIFO (the in-flight instruction tokens of Figure 2).
+ *    On a control-transfer instruction it blocks until the execute
+ *    process sends back a redirect token (SNAP/LE never speculates).
+ *    On `done` it turns to the hardware event queue: if the queue is
+ *    empty the whole core is quiescent — that *is* the sleep state —
+ *    and the arrival of an event token restarts fetch after the
+ *    18-gate-delay queue propagation (the paper's wake-up latency).
+ *
+ *  - the *execute* process decodes, reads operands (reads of r15
+ *    dequeue the message coprocessor's outgoing FIFO), dispatches to
+ *    the execution units over the fast or slow bus, performs memory
+ *    accesses, and writes results back (writes to r15 enqueue into the
+ *    incoming FIFO).
+ *
+ * Energy is charged per operation to the ledger categories that
+ * reproduce the paper's section 4.4 breakdown.
+ */
+
+#ifndef SNAPLE_CORE_CORE_HH
+#define SNAPLE_CORE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hh"
+#include "core/lfsr.hh"
+#include "core/ports.hh"
+#include "isa/instruction.hh"
+#include "mem/sram.hh"
+#include "sim/stats.hh"
+
+namespace snaple::core {
+
+/** The SNAP/LE processor core (fetch + execute + register state). */
+class SnapCore
+{
+  public:
+    /** Per-event-type handler accounting. */
+    struct HandlerStats
+    {
+        std::uint64_t activations = 0;
+        std::uint64_t instructions = 0;
+
+        double
+        instructionsPerActivation() const
+        {
+            return activations
+                       ? double(instructions) / double(activations)
+                       : 0.0;
+        }
+    };
+
+    /** Core statistics, the raw material for every experiment. */
+    struct Stats
+    {
+        std::uint64_t instructions = 0;
+        std::array<std::uint64_t, isa::kNumClasses> perClass{};
+        std::uint64_t wordsFetched = 0;
+        std::uint64_t handlers = 0; ///< event tokens dispatched
+        std::uint64_t sleeps = 0;   ///< active -> sleep transitions
+        std::uint64_t wakeups = 0;  ///< sleep -> active transitions
+        sim::Tick activeTime = 0;   ///< accumulated non-sleep time
+        sim::Tick lastWake = 0;     ///< internal bookkeeping
+        sim::Tick lastSleepStart = 0; ///< when the core last went idle
+        /** Instruction counts attributed to each event's handler
+         *  (index = isa::EventNum; boot code is unattributed). */
+        std::array<HandlerStats, isa::kNumEvents> perEvent{};
+    };
+
+    /** One wake/sleep interval, for activity timelines. */
+    struct ActivitySpan
+    {
+        sim::Tick wake = 0;
+        sim::Tick sleep = 0;
+        std::uint8_t firstEvent = 0xff; ///< event that caused the wake
+    };
+
+    SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
+             EventQueue &event_queue, WordFifo &msg_in, WordFifo &msg_out,
+             TimerPort &timer_port);
+
+    SnapCore(const SnapCore &) = delete;
+    SnapCore &operator=(const SnapCore &) = delete;
+
+    /** Spawn the fetch and execute processes onto the kernel. */
+    void start();
+
+    /** @name Host-side architectural state access (tests, loaders) */
+    ///@{
+    std::uint16_t reg(unsigned i) const;
+    void setReg(unsigned i, std::uint16_t v);
+    bool carry() const { return carry_; }
+    void setCarry(bool c) { carry_ = c; }
+    std::uint16_t handler(isa::EventNum e) const;
+    void setHandler(isa::EventNum e, std::uint16_t addr);
+    std::uint16_t lfsrState() const { return lfsr_.state(); }
+    ///@}
+
+    /** Values emitted by `dbgout` (test/bench harness channel). */
+    const std::vector<std::uint16_t> &debugOut() const
+    {
+        return debugOut_;
+    }
+
+    bool halted() const { return halted_; }
+    bool asleep() const { return asleep_; }
+    const Stats &stats() const { return stats_; }
+
+    /** Enable wake/sleep interval recording (off by default). */
+    void recordTimeline(bool on) { recordTimeline_ = on; }
+    const std::vector<ActivitySpan> &timeline() const
+    {
+        return timeline_;
+    }
+
+    /** Active time including the current active period, if any. */
+    sim::Tick
+    activeTimeNow() const
+    {
+        if (asleep_ || halted_)
+            return stats_.activeTime;
+        return stats_.activeTime + (ctx_.kernel.now() - stats_.lastWake);
+    }
+
+  private:
+    /** Instruction packet flowing from fetch to execute. */
+    struct InstPacket
+    {
+        isa::DecodedInst inst;
+        std::uint16_t pcNext = 0; ///< address after this instruction
+    };
+
+    /** Control-flow resolution from execute back to fetch. */
+    struct Redirect
+    {
+        enum class Kind
+        {
+            Goto,
+            Done,
+            Halt,
+        };
+        Kind kind = Kind::Goto;
+        std::uint16_t pc = 0;
+    };
+
+    sim::Co<void> fetchProcess();
+    sim::Co<void> executeProcess();
+
+    /** Read an operand register (r15 dequeues the message FIFO). */
+    sim::Co<std::uint16_t> readOperand(unsigned r);
+    /** Write a result register (r15 enqueues into the message FIFO). */
+    sim::Co<void> writeResult(unsigned r, std::uint16_t v);
+    /** Bus transfer to/from the unit: latency + energy, one direction. */
+    sim::Co<void> busTransfer(isa::Unit u);
+    /** Execution-unit operation: latency + energy. */
+    sim::Co<void> unitOp(isa::Unit u);
+
+    NodeContext &ctx_;
+    mem::Sram &imem_;
+    mem::Sram &dmem_;
+    EventQueue &eventQueue_;
+    WordFifo &msgIn_;
+    WordFifo &msgOut_;
+    TimerPort &timerPort_;
+
+    sim::Fifo<InstPacket> fetchQ_;
+    sim::Channel<Redirect> redirect_;
+
+    std::array<std::uint16_t, isa::kNumPhysRegs> regs_{};
+    bool carry_ = false;
+    Lfsr16 lfsr_;
+    std::array<std::uint16_t, isa::kNumEvents> handlerTable_{};
+
+    bool halted_ = false;
+    bool asleep_ = false;
+    /** Event whose handler is currently executing (0xff = boot). */
+    std::uint8_t currentEvent_ = 0xff;
+    bool recordTimeline_ = false;
+    std::vector<ActivitySpan> timeline_;
+    std::vector<std::uint16_t> debugOut_;
+    Stats stats_;
+};
+
+} // namespace snaple::core
+
+#endif // SNAPLE_CORE_CORE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The guest-visible pseudo-random number generator.
+ *
+ * SNAP/LE exposes a hardware linear-feedback shift register through the
+ * `rand` and `seed` instructions (section 3.4). We model a 16-bit
+ * Galois LFSR with the maximal-length tap polynomial
+ * x^16 + x^14 + x^13 + x^11 + 1 (mask 0xB400), period 65535.
+ */
+
+#ifndef SNAPLE_CORE_LFSR_HH
+#define SNAPLE_CORE_LFSR_HH
+
+#include <cstdint>
+
+namespace snaple::core {
+
+/** 16-bit maximal-length Galois LFSR. */
+class Lfsr16
+{
+  public:
+    static constexpr std::uint16_t kTaps = 0xB400;
+    static constexpr std::uint16_t kDefaultSeed = 0xACE1;
+
+    explicit Lfsr16(std::uint16_t seed = kDefaultSeed)
+        : state_(seed ? seed : kDefaultSeed)
+    {}
+
+    /** Reseed; a zero seed is coerced to the default (state 0 locks). */
+    void
+    seed(std::uint16_t s)
+    {
+        state_ = s ? s : kDefaultSeed;
+    }
+
+    /** Advance one step and return the new state. */
+    std::uint16_t
+    next()
+    {
+        std::uint16_t lsb = state_ & 1u;
+        state_ >>= 1;
+        if (lsb)
+            state_ ^= kTaps;
+        return state_;
+    }
+
+    std::uint16_t state() const { return state_; }
+
+  private:
+    std::uint16_t state_;
+};
+
+} // namespace snaple::core
+
+#endif // SNAPLE_CORE_LFSR_HH

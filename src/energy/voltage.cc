@@ -1,0 +1,24 @@
+#include "voltage.hh"
+
+#include <cmath>
+
+namespace snaple::energy {
+
+double
+VoltageModel::delayFactor(double volts) const
+{
+    // Log-linear interpolation of the delay factor against voltage,
+    // with end-segment extrapolation for sweeps outside [0.6, 1.8] V.
+    const auto &p = kPoints;
+    std::size_t hi = 1;
+    if (volts >= p[1].volts)
+        hi = 2;
+    const Point &a = p[hi - 1];
+    const Point &b = p[hi];
+    double t = (volts - a.volts) / (b.volts - a.volts);
+    double lf = std::log(a.delayFactor) +
+                t * (std::log(b.delayFactor) - std::log(a.delayFactor));
+    return std::exp(lf);
+}
+
+} // namespace snaple::energy

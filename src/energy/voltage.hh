@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Voltage-dependent delay and energy scaling.
+ *
+ * The paper evaluates SNAP/LE at 1.8 V (nominal for TSMC 180 nm), 0.9 V
+ * and 0.6 V and publishes, at each point, the wake-up latency of the 18
+ * gate-delay event path (2.5 / 9.8 / 21.4 ns) and the average
+ * throughput (240 / 61 / 28 MIPS). We take the wake-up latencies as the
+ * calibration for the gate delay:
+ *
+ *     gd(1.8 V) = 2.5 ns / 18 = 138.9 ps      (delay factor 1.00)
+ *     gd(0.9 V) = 9.8 ns / 18 = 544.4 ps      (delay factor 3.92)
+ *     gd(0.6 V) = 21.4 ns / 18 = 1188.9 ps    (delay factor 8.56)
+ *
+ * Between calibration points the delay factor is interpolated
+ * log-linearly in voltage (delay rises smoothly and super-linearly as
+ * the supply approaches threshold, which log-linear interpolation over
+ * this range captures well enough for sweeps).
+ *
+ * Dynamic energy scales as Ceff * V^2; the paper's own per-instruction
+ * energies follow this closely (218 -> 55 -> 24 pJ/ins track
+ * (1.8/0.9)^2 = 4.0 and (0.9/0.6)^2 = 2.25), which is what justifies
+ * replacing the SPICE calibration with an analytical CV^2 model.
+ */
+
+#ifndef SNAPLE_ENERGY_VOLTAGE_HH
+#define SNAPLE_ENERGY_VOLTAGE_HH
+
+#include <array>
+#include <cmath>
+
+#include "sim/ticks.hh"
+
+namespace snaple::energy {
+
+/** Nominal supply for the TSMC 180 nm process the paper targets. */
+inline constexpr double kNominalVolts = 1.8;
+
+/** Gate delay at nominal supply (2.5 ns wake-up / 18 gate delays). */
+inline constexpr double kGateDelayPsNominal = 2500.0 / 18.0;
+
+/**
+ * Maps supply voltage to delay and energy scale factors, calibrated at
+ * the paper's three published operating points.
+ */
+class VoltageModel
+{
+  public:
+    /** A (voltage, delay factor) calibration point. */
+    struct Point
+    {
+        double volts;
+        double delayFactor;
+    };
+
+    VoltageModel() = default;
+
+    /**
+     * Delay scale factor relative to nominal (1.0 at 1.8 V).
+     * Interpolates log-linearly between calibration points and
+     * extrapolates the end segments.
+     */
+    double delayFactor(double volts) const;
+
+    /** Dynamic-energy scale factor: (V / 1.8)^2. */
+    double
+    energyFactor(double volts) const
+    {
+        double r = volts / kNominalVolts;
+        return r * r;
+    }
+
+    /**
+     * Static (leakage) power scale factor relative to nominal.
+     * Subthreshold leakage current falls with the supply through
+     * DIBL; we model P_leak ~ V * 10^((V - 1.8) / 1.8), i.e. roughly
+     * one decade of leakage current across the 1.8 -> 0.6 V sweep,
+     * a typical 180 nm figure. (A placeholder for the SPICE idle
+     * power estimates the paper defers to future work.)
+     */
+    double
+    leakageFactor(double volts) const
+    {
+        return (volts / kNominalVolts) *
+               std::pow(10.0, (volts - kNominalVolts) / kNominalVolts);
+    }
+
+    /** One gate delay at the given supply, in ticks (picoseconds). */
+    sim::Tick
+    gateDelay(double volts) const
+    {
+        return static_cast<sim::Tick>(
+            kGateDelayPsNominal * delayFactor(volts) + 0.5);
+    }
+
+  private:
+    // Published operating points, ascending voltage.
+    static constexpr std::array<Point, 3> kPoints{{
+        {0.6, 21.4 / 2.5},
+        {0.9, 9.8 / 2.5},
+        {1.8, 1.0},
+    }};
+};
+
+/**
+ * An operating point: a supply voltage plus the scaling model. This is
+ * the object the core and memories consult for every delay and energy
+ * number, so sweeping voltage means swapping one OperatingPoint.
+ */
+class OperatingPoint
+{
+  public:
+    explicit OperatingPoint(double volts = kNominalVolts)
+        : model_(), volts_(volts), gateDelay_(model_.gateDelay(volts)),
+          energyFactor_(model_.energyFactor(volts))
+    {}
+
+    double volts() const { return volts_; }
+
+    /** Ticks for @p n gate delays at this supply. */
+    sim::Tick
+    gd(double n) const
+    {
+        return static_cast<sim::Tick>(
+            static_cast<double>(gateDelay_) * n + 0.5);
+    }
+
+    /** Scale an energy calibrated at 1.8 V to this supply, in pJ. */
+    double scalePj(double pj_at_nominal) const
+    {
+        return pj_at_nominal * energyFactor_;
+    }
+
+    /** Scale a leakage power calibrated at 1.8 V, in nW. */
+    double
+    scaleLeakNw(double nw_at_nominal) const
+    {
+        return nw_at_nominal * model_.leakageFactor(volts_);
+    }
+
+  private:
+    // model_ must precede the members whose initializers consult it.
+    VoltageModel model_;
+    double volts_;
+    sim::Tick gateDelay_;
+    double energyFactor_;
+};
+
+} // namespace snaple::energy
+
+#endif // SNAPLE_ENERGY_VOLTAGE_HH

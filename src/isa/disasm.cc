@@ -1,0 +1,134 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace snaple::isa {
+
+namespace {
+
+const char *
+aluName(AluFn fn, bool immediate)
+{
+    switch (fn) {
+      case AluFn::Add: return immediate ? "addi" : "add";
+      case AluFn::Sub: return immediate ? "subi" : "sub";
+      case AluFn::Addc: return immediate ? "addci" : "addc";
+      case AluFn::Subc: return immediate ? "subci" : "subc";
+      case AluFn::And: return immediate ? "andi" : "and";
+      case AluFn::Or: return immediate ? "ori" : "or";
+      case AluFn::Xor: return immediate ? "xori" : "xor";
+      case AluFn::Not: return "not";
+      case AluFn::Sll: return immediate ? "slli" : "sll";
+      case AluFn::Srl: return immediate ? "srli" : "srl";
+      case AluFn::Sra: return immediate ? "srai" : "sra";
+      case AluFn::Mov: return immediate ? "li" : "mov";
+      case AluFn::Neg: return "neg";
+      case AluFn::Rand: return "rand";
+      case AluFn::Seed: return "seed";
+      default: return "alu?";
+    }
+}
+
+std::string
+reg(std::uint8_t r)
+{
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const DecodedInst &d)
+{
+    std::ostringstream os;
+    switch (d.op) {
+      case Op::AluR:
+        os << aluName(d.aluFn(), false);
+        if (d.aluFn() == AluFn::Rand)
+            os << ' ' << reg(d.rd);
+        else if (d.aluFn() == AluFn::Seed)
+            os << ' ' << reg(d.rs);
+        else
+            os << ' ' << reg(d.rd) << ", " << reg(d.rs);
+        break;
+      case Op::AluI:
+        os << aluName(d.aluFn(), true) << ' ' << reg(d.rd) << ", "
+           << d.imm;
+        break;
+      case Op::Ldw:
+        os << "ldw " << reg(d.rd) << ", " << d.imm << '(' << reg(d.rs)
+           << ')';
+        break;
+      case Op::Stw:
+        os << "stw " << reg(d.rd) << ", " << d.imm << '(' << reg(d.rs)
+           << ')';
+        break;
+      case Op::Ldi:
+        os << "ldi " << reg(d.rd) << ", " << d.imm << '(' << reg(d.rs)
+           << ')';
+        break;
+      case Op::Sti:
+        os << "sti " << reg(d.rd) << ", " << d.imm << '(' << reg(d.rs)
+           << ')';
+        break;
+      case Op::Beqz:
+      case Op::Bnez:
+      case Op::Bltz:
+      case Op::Bgez: {
+        const char *name = d.op == Op::Beqz   ? "beqz"
+                           : d.op == Op::Bnez ? "bnez"
+                           : d.op == Op::Bltz ? "bltz"
+                                              : "bgez";
+        os << name << ' ' << reg(d.rd) << ", " << int(d.off8);
+        break;
+      }
+      case Op::Jmp:
+        switch (d.jmpFn()) {
+          case JmpFn::Jmp: os << "jmp " << d.imm; break;
+          case JmpFn::Jal:
+            os << "jal " << reg(d.rd) << ", " << d.imm;
+            break;
+          case JmpFn::Jr: os << "jr " << reg(d.rs); break;
+          case JmpFn::Jalr:
+            os << "jalr " << reg(d.rd) << ", " << reg(d.rs);
+            break;
+        }
+        break;
+      case Op::Bfs:
+        os << "bfs " << reg(d.rd) << ", " << reg(d.rs) << ", 0x"
+           << std::hex << d.imm;
+        break;
+      case Op::Timer:
+        switch (d.timerFn()) {
+          case TimerFn::SchedHi:
+            os << "schedhi " << reg(d.rd) << ", " << reg(d.rs);
+            break;
+          case TimerFn::SchedLo:
+            os << "schedlo " << reg(d.rd) << ", " << reg(d.rs);
+            break;
+          case TimerFn::Cancel:
+            os << "cancel " << reg(d.rd);
+            break;
+        }
+        break;
+      case Op::Event:
+        if (d.eventFn() == EventFn::Done)
+            os << "done";
+        else
+            os << "setaddr " << reg(d.rd) << ", " << reg(d.rs);
+        break;
+      case Op::Sys:
+        switch (d.sysFn()) {
+          case SysFn::Nop: os << "nop"; break;
+          case SysFn::Halt: os << "halt"; break;
+          case SysFn::DbgOut: os << "dbgout " << reg(d.rd); break;
+        }
+        break;
+      default:
+        os << ".word ?";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace snaple::isa

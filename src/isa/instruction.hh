@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Decoded-instruction representation, encoders and the decoder.
+ */
+
+#ifndef SNAPLE_ISA_INSTRUCTION_HH
+#define SNAPLE_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace snaple::isa {
+
+/**
+ * A fully decoded SNAP instruction, together with the semantic
+ * properties the core needs (operand usage, target unit, statistics
+ * class).
+ */
+struct DecodedInst
+{
+    Op op = Op::Sys;
+    std::uint8_t fn = 0;    ///< raw sub-function field
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::int8_t off8 = 0;   ///< branch word displacement
+    std::uint16_t imm = 0;  ///< trailing immediate (two-word forms)
+    bool twoWord = false;
+
+    // Semantic summary, filled by decodeFirst().
+    bool readsRd = false;
+    bool readsRs = false;
+    bool writesRd = false;
+    Unit unit = Unit::Logic;
+    InstrClass cls = InstrClass::Sys;
+
+    AluFn aluFn() const { return static_cast<AluFn>(fn); }
+    JmpFn jmpFn() const { return static_cast<JmpFn>(fn); }
+    TimerFn timerFn() const { return static_cast<TimerFn>(fn); }
+    EventFn eventFn() const { return static_cast<EventFn>(fn); }
+    SysFn sysFn() const { return static_cast<SysFn>(fn); }
+
+    /** True for control-transfer instructions (fetch must wait). */
+    bool
+    isControl() const
+    {
+        return op == Op::Beqz || op == Op::Bnez || op == Op::Bltz ||
+               op == Op::Bgez || op == Op::Jmp ||
+               (op == Op::Event && eventFn() == EventFn::Done) ||
+               (op == Op::Sys && sysFn() == SysFn::Halt);
+    }
+};
+
+/**
+ * Decode the first word of an instruction. For two-word forms the
+ * caller must fetch the next word and store it into @c imm.
+ * @throws sim::FatalError on an illegal encoding.
+ */
+DecodedInst decodeFirst(std::uint16_t word);
+
+/** @name Encoders (used by the assembler and tests) */
+///@{
+std::uint16_t encodeAluR(AluFn fn, std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeAluI(AluFn fn, std::uint8_t rd);
+std::uint16_t encodeMem(Op op, std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeBranch(Op op, std::uint8_t rd, std::int8_t off8);
+std::uint16_t encodeJmp(JmpFn fn, std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeBfs(std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeTimer(TimerFn fn, std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeEvent(EventFn fn, std::uint8_t rd, std::uint8_t rs);
+std::uint16_t encodeSys(SysFn fn, std::uint8_t rd);
+///@}
+
+/**
+ * Disassemble one instruction (pass the immediate for two-word forms).
+ */
+std::string disassemble(const DecodedInst &inst);
+
+} // namespace snaple::isa
+
+#endif // SNAPLE_ISA_INSTRUCTION_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The SNAP instruction set architecture.
+ *
+ * The paper (section 3.4) describes the SNAP ISA's instruction
+ * categories but does not publish bit-level encodings, so this is our
+ * concrete realization. Instruction words are 16 bits with the layout
+ *
+ *     [15:12] op   [11:8] rd   [7:4] rs   [3:0] fn
+ *
+ * except for branches, whose low byte is a signed word displacement.
+ * ALU operations are two-address (rd <- rd op rs), which is what makes
+ * a full RISC instruction set fit a 16-bit word. Two-word instructions
+ * carry a trailing 16-bit immediate.
+ *
+ * Architectural state: registers r0-r14 (r13 is the software link
+ * register, r14 the software stack pointer by convention), a carry flag
+ * set by add/sub and consumed by addc/subc, the LFSR state behind
+ * rand/seed, and the event-handler table written by setaddr. Register
+ * r15 is not a register at all: reading it dequeues a word from the
+ * message coprocessor's outgoing FIFO and writing it enqueues a word
+ * into the incoming (command) FIFO.
+ *
+ * Memories are word-addressed: IMEM and DMEM are each 2K x 16 bits
+ * (4 KB), matching the paper's two on-chip 4 KB banks.
+ */
+
+#ifndef SNAPLE_ISA_ISA_HH
+#define SNAPLE_ISA_ISA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace snaple::isa {
+
+/** Word-addressed size of each on-chip memory bank (2K words = 4KB). */
+inline constexpr std::uint16_t kMemWords = 2048;
+
+/** Register indices with architectural meaning. */
+inline constexpr std::uint8_t kNumRegs = 16;   ///< encodable names
+inline constexpr std::uint8_t kNumPhysRegs = 15; ///< physical registers
+inline constexpr std::uint8_t kLinkReg = 13;   ///< software convention
+inline constexpr std::uint8_t kStackReg = 14;  ///< software convention
+inline constexpr std::uint8_t kMsgReg = 15;    ///< message FIFO window
+
+/** Primary opcode field, bits [15:12]. */
+enum class Op : std::uint8_t
+{
+    AluR = 0x0,   ///< rd <- rd fn rs (one word)
+    AluI = 0x1,   ///< rd <- rd fn imm16 (two words)
+    Ldw = 0x2,    ///< rd <- DMEM[rs + imm16] (two words)
+    Stw = 0x3,    ///< DMEM[rs + imm16] <- rd (two words)
+    Ldi = 0x4,    ///< rd <- IMEM[rs + imm16] (two words)
+    Sti = 0x5,    ///< IMEM[rs + imm16] <- rd (two words)
+    Beqz = 0x6,   ///< branch if reg[rd] == 0 (one word, off8)
+    Bnez = 0x7,   ///< branch if reg[rd] != 0
+    Bltz = 0x8,   ///< branch if reg[rd] < 0 (signed)
+    Bgez = 0x9,   ///< branch if reg[rd] >= 0 (signed)
+    Jmp = 0xA,    ///< jump group, see JmpFn
+    Bfs = 0xB,    ///< rd <- (rd & ~mask) | (rs & mask) (two words)
+    Timer = 0xC,  ///< timer coprocessor group, see TimerFn
+    Event = 0xD,  ///< event group, see EventFn
+    Sys = 0xE,    ///< nop / simulation-control group, see SysFn
+    Reserved = 0xF,
+};
+
+/** ALU function field for Op::AluR / Op::AluI. */
+enum class AluFn : std::uint8_t
+{
+    Add = 0,
+    Sub = 1,
+    Addc = 2,  ///< add with carry-in
+    Subc = 3,  ///< subtract with borrow-in
+    And = 4,
+    Or = 5,
+    Xor = 6,
+    Not = 7,   ///< rd <- ~rs (unary; AluI form invalid)
+    Sll = 8,
+    Srl = 9,
+    Sra = 10,
+    Mov = 11,  ///< rd <- rs; AluI form is li rd, imm
+    Neg = 12,  ///< rd <- -rs (unary; AluI form invalid)
+    Rand = 13, ///< rd <- LFSR next (AluR only, rs ignored)
+    Seed = 14, ///< LFSR <- rs (AluR only, rd ignored)
+};
+
+/** Function field for Op::Jmp. */
+enum class JmpFn : std::uint8_t
+{
+    Jmp = 0,   ///< pc <- imm16 (two words)
+    Jal = 1,   ///< rd <- return addr; pc <- imm16 (two words)
+    Jr = 2,    ///< pc <- reg[rs] (one word)
+    Jalr = 3,  ///< rd <- return addr; pc <- reg[rs] (one word)
+};
+
+/** Function field for Op::Timer. */
+enum class TimerFn : std::uint8_t
+{
+    SchedHi = 0, ///< timer[reg[rd]].hi8 <- reg[rs], start decrementing
+    SchedLo = 1, ///< timer[reg[rd]].lo16 <- reg[rs]
+    Cancel = 2,  ///< cancel timer reg[rd] (a cancel token still arrives)
+};
+
+/** Function field for Op::Event. */
+enum class EventFn : std::uint8_t
+{
+    Done = 0,    ///< end of handler: fetch returns to the event queue
+    SetAddr = 1, ///< handler_table[reg[rd]] <- reg[rs]
+};
+
+/** Function field for Op::Sys. */
+enum class SysFn : std::uint8_t
+{
+    Nop = 0,
+    Halt = 1,   ///< stop the simulation (test/bench harness aid)
+    DbgOut = 2, ///< append reg[rd] to the host debug buffer (tests)
+};
+
+/** Hardware event numbers (indices into the event-handler table). */
+enum class EventNum : std::uint8_t
+{
+    Timer0 = 0,
+    Timer1 = 1,
+    Timer2 = 2,
+    RadioRx = 3,   ///< a 16-bit word arrived from the radio
+    SensorIrq = 4, ///< a sensor asserted the external-interrupt pin
+    SensorData = 5,///< reply to a Query command is in the r15 FIFO
+    RadioTxRdy = 6,///< transmitter can accept the next word
+    NumEvents = 7,
+};
+
+inline constexpr std::size_t kNumEvents =
+    static_cast<std::size_t>(EventNum::NumEvents);
+
+/** Depth of the hardware event queue (tokens beyond this are dropped). */
+inline constexpr std::size_t kEventQueueDepth = 8;
+
+/**
+ * Execution units (paper section 3.1). The fast bus hosts the
+ * commonly used units; the others sit behind the slow bus.
+ */
+enum class Unit : std::uint8_t
+{
+    Adder,    ///< fast
+    Logic,    ///< fast (includes the bfs merge network)
+    Shifter,  ///< fast
+    LdStD,    ///< fast: DMEM load/store
+    Branch,   ///< fast: jump/branch unit
+    LdStI,    ///< slow: IMEM load/store
+    Lfsr,     ///< slow: pseudo-random number generator
+    TimerIf,  ///< slow: timer-coprocessor interface
+    NumUnits,
+};
+
+/** True if the unit sits on the fast bus. */
+constexpr bool
+onFastBus(Unit u)
+{
+    switch (u) {
+      case Unit::Adder:
+      case Unit::Logic:
+      case Unit::Shifter:
+      case Unit::LdStD:
+      case Unit::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Instruction classes for statistics and Figure 4 style reporting. */
+enum class InstrClass : std::uint8_t
+{
+    ArithReg,
+    LogicalReg,
+    Shift,
+    ArithImm,
+    LogicalImm,
+    ShiftImm,
+    Load,
+    Store,
+    LoadI,
+    StoreI,
+    Branch,
+    Jump,
+    BitField,
+    Rand,
+    Timer,
+    EventCtl,
+    Sys,
+    NumClasses,
+};
+
+inline constexpr std::size_t kNumClasses =
+    static_cast<std::size_t>(InstrClass::NumClasses);
+
+/** Human-readable class name, matching Figure 4's bar labels. */
+constexpr std::string_view
+className(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::ArithReg: return "Arith Reg";
+      case InstrClass::LogicalReg: return "Logical Reg";
+      case InstrClass::Shift: return "Shift";
+      case InstrClass::ArithImm: return "Arith Imm";
+      case InstrClass::LogicalImm: return "Logical Imm";
+      case InstrClass::ShiftImm: return "Shift Imm";
+      case InstrClass::Load: return "Load";
+      case InstrClass::Store: return "Store";
+      case InstrClass::LoadI: return "Load IMEM";
+      case InstrClass::StoreI: return "Store IMEM";
+      case InstrClass::Branch: return "Branch";
+      case InstrClass::Jump: return "Jump";
+      case InstrClass::BitField: return "Bit-field";
+      case InstrClass::Rand: return "Rand";
+      case InstrClass::Timer: return "Timer";
+      case InstrClass::EventCtl: return "Event";
+      case InstrClass::Sys: return "Sys";
+      default: return "?";
+    }
+}
+
+} // namespace snaple::isa
+
+#endif // SNAPLE_ISA_ISA_HH

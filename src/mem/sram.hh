@@ -1,0 +1,117 @@
+/**
+ * @file
+ * On-chip asynchronous SRAM bank model.
+ *
+ * SNAP/LE has two 4 KB banks (IMEM and DMEM) and no caches. The model
+ * charges per-access energy and delay; an idle bank has no switching
+ * activity, consistent with the QDI design style (the paper cites an
+ * asynchronous on-chip memory design [18]).
+ *
+ * Timed accesses (read/write) are coroutines; peek/poke/load are
+ * zero-cost host-side accessors for loaders and tests.
+ */
+
+#ifndef SNAPLE_MEM_SRAM_HH
+#define SNAPLE_MEM_SRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hh"
+#include "isa/isa.hh"
+#include "sim/task.hh"
+
+namespace snaple::mem {
+
+/** Which bank a Sram instance models (selects calibration values). */
+enum class Bank
+{
+    Imem,
+    Dmem,
+};
+
+/** One word-addressed on-chip SRAM bank. */
+class Sram
+{
+  public:
+    Sram(core::NodeContext &ctx, Bank bank,
+         std::size_t words = isa::kMemWords)
+        : ctx_(ctx), bank_(bank), data_(words, 0)
+    {}
+
+    std::size_t words() const { return data_.size(); }
+
+    /** Timed read: access delay plus per-access energy. */
+    sim::Co<std::uint16_t>
+    read(std::uint16_t addr)
+    {
+        check(addr);
+        if (bank_ == Bank::Imem) {
+            ctx_.charge(energy::Cat::Imem, ctx_.ecal.imemReadPj);
+            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.imemReadGd));
+        } else {
+            ctx_.charge(energy::Cat::Dmem, ctx_.ecal.dmemReadPj);
+            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.dmemReadGd));
+        }
+        co_return data_[addr];
+    }
+
+    /** Timed write. */
+    sim::Co<void>
+    write(std::uint16_t addr, std::uint16_t value)
+    {
+        check(addr);
+        if (bank_ == Bank::Imem) {
+            ctx_.charge(energy::Cat::Imem, ctx_.ecal.imemWritePj);
+            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.imemWriteGd));
+        } else {
+            ctx_.charge(energy::Cat::Dmem, ctx_.ecal.dmemWritePj);
+            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.dmemWriteGd));
+        }
+        data_[addr] = value;
+    }
+
+    /** Host-side read without cost (loaders, tests, benches). */
+    std::uint16_t
+    peek(std::uint16_t addr) const
+    {
+        check(addr);
+        return data_[addr];
+    }
+
+    /** Host-side write without cost. */
+    void
+    poke(std::uint16_t addr, std::uint16_t value)
+    {
+        check(addr);
+        data_[addr] = value;
+    }
+
+    /** Load an image starting at address 0 (program loader). */
+    void
+    load(const std::vector<std::uint16_t> &image)
+    {
+        sim::fatalIf(image.size() > data_.size(),
+                     "program image (", image.size(),
+                     " words) exceeds memory bank (", data_.size(), ")");
+        for (std::size_t i = 0; i < image.size(); ++i)
+            data_[i] = image[i];
+    }
+
+  private:
+    void
+    check(std::uint16_t addr) const
+    {
+        sim::fatalIf(addr >= data_.size(),
+                     bank_ == Bank::Imem ? "IMEM" : "DMEM",
+                     " address out of range: ", addr);
+    }
+
+    core::NodeContext &ctx_;
+    Bank bank_;
+    std::vector<std::uint16_t> data_;
+};
+
+} // namespace snaple::mem
+
+#endif // SNAPLE_MEM_SRAM_HH

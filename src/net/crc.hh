@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CRC-16-CCITT reference implementation.
+ *
+ * The MICA high-speed radio stack the paper ports (section 4.6)
+ * protects packets with a 16-bit CRC. The guest (SNAP assembly)
+ * implementation in src/apps is verified against this host reference.
+ */
+
+#ifndef SNAPLE_NET_CRC_HH
+#define SNAPLE_NET_CRC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace snaple::net {
+
+/** CRC-16-CCITT polynomial (x^16 + x^12 + x^5 + 1). */
+inline constexpr std::uint16_t kCrcCcittPoly = 0x1021;
+
+/** Update a running CRC with one byte (MSB-first, init 0xFFFF). */
+constexpr std::uint16_t
+crc16Update(std::uint16_t crc, std::uint8_t byte)
+{
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int i = 0; i < 8; ++i) {
+        if (crc & 0x8000)
+            crc = static_cast<std::uint16_t>((crc << 1) ^ kCrcCcittPoly);
+        else
+            crc = static_cast<std::uint16_t>(crc << 1);
+    }
+    return crc;
+}
+
+/** CRC over a byte buffer, init 0xFFFF. */
+inline std::uint16_t
+crc16(const std::vector<std::uint8_t> &bytes,
+      std::uint16_t init = 0xffff)
+{
+    std::uint16_t crc = init;
+    for (std::uint8_t b : bytes)
+        crc = crc16Update(crc, b);
+    return crc;
+}
+
+} // namespace snaple::net
+
+#endif // SNAPLE_NET_CRC_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Multi-node network harness.
+ *
+ * Owns one kernel, one shared radio medium, and a set of SNAP/LE
+ * nodes; keeps a host-side trace of every word put on the air. This is
+ * the rig behind the AODV benchmarks and the multi-hop examples.
+ */
+
+#ifndef SNAPLE_NET_NETWORK_HH
+#define SNAPLE_NET_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/node.hh"
+#include "radio/medium.hh"
+#include "sim/kernel.hh"
+
+namespace snaple::net {
+
+/** One sniffed on-air word. */
+struct AirWord
+{
+    sim::Tick at;
+    std::string from;
+    std::uint16_t word;
+    bool collided;
+};
+
+/** A simulated network of SNAP/LE nodes on one shared medium. */
+class Network
+{
+  public:
+    explicit Network(sim::Tick propagation = 1 * sim::kMicrosecond)
+        : medium_(kernel_, propagation)
+    {
+        medium_.setSniffer([this](const radio::Transceiver *src,
+                                  std::uint16_t w, bool collided) {
+            trace_.push_back(
+                AirWord{kernel_.now(), nameOf(src), w, collided});
+        });
+    }
+
+    /** Create and register a node; returns a stable reference. */
+    node::SnapNode &
+    addNode(const node::NodeConfig &cfg, const assembler::Program &prog)
+    {
+        nodes_.push_back(std::make_unique<node::SnapNode>(
+            kernel_, &medium_, cfg, prog));
+        return *nodes_.back();
+    }
+
+    /** Spawn every node's processes. */
+    void
+    start()
+    {
+        for (auto &n : nodes_)
+            n->start();
+    }
+
+    sim::Kernel &kernel() { return kernel_; }
+    radio::Medium &medium() { return medium_; }
+    node::SnapNode &node(std::size_t i) { return *nodes_.at(i); }
+    std::size_t size() const { return nodes_.size(); }
+    const std::vector<AirWord> &trace() const { return trace_; }
+
+    /** Run for a stretch of simulated time. */
+    void runFor(sim::Tick t) { kernel_.runFor(t); }
+
+    /**
+     * Restrict connectivity to adjacent nodes in creation order: node
+     * i hears only nodes i-1 and i+1. Call after all addNode()s.
+     */
+    void
+    setLineTopology()
+    {
+        medium_.setLinkFilter([this](const radio::Transceiver *s,
+                                     const radio::Transceiver *d) {
+            int si = indexOf(s);
+            int di = indexOf(d);
+            if (si < 0 || di < 0)
+                return false;
+            return si - di == 1 || di - si == 1;
+        });
+    }
+
+  private:
+    int
+    indexOf(const radio::Transceiver *t) const
+    {
+        for (std::size_t i = 0; i < nodes_.size(); ++i)
+            if (nodes_[i]->transceiver() == t)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    std::string
+    nameOf(const radio::Transceiver *src) const
+    {
+        for (const auto &n : nodes_)
+            if (n->transceiver() == src)
+                return n->name();
+        return "?";
+    }
+
+    sim::Kernel kernel_;
+    radio::Medium medium_;
+    std::vector<std::unique_ptr<node::SnapNode>> nodes_;
+    std::vector<AirWord> trace_;
+};
+
+} // namespace snaple::net
+
+#endif // SNAPLE_NET_NETWORK_HH

@@ -1,0 +1,93 @@
+#include "net/secded.hh"
+
+#include <bit>
+
+namespace snaple::net {
+
+namespace {
+
+/** Hamming positions (1-based) of the eight data bits d0..d7. */
+constexpr int kDataPos[8] = {3, 5, 6, 7, 9, 10, 11, 12};
+constexpr int kParityPos[4] = {1, 2, 4, 8};
+
+constexpr int
+bitAt(std::uint16_t cw, int pos) // pos is 1-based Hamming position
+{
+    return (cw >> (pos - 1)) & 1;
+}
+
+std::uint8_t
+extractData(std::uint16_t cw)
+{
+    std::uint8_t d = 0;
+    for (int i = 0; i < 8; ++i)
+        if (bitAt(cw, kDataPos[i]))
+            d |= static_cast<std::uint8_t>(1u << i);
+    return d;
+}
+
+} // namespace
+
+std::uint16_t
+secdedEncode(std::uint8_t data)
+{
+    std::uint16_t cw = 0;
+    for (int i = 0; i < 8; ++i)
+        if ((data >> i) & 1)
+            cw |= static_cast<std::uint16_t>(1u << (kDataPos[i] - 1));
+
+    for (int p : kParityPos) {
+        int par = 0;
+        for (int pos = 1; pos <= 12; ++pos)
+            if (pos & p)
+                par ^= bitAt(cw, pos);
+        if (par)
+            cw |= static_cast<std::uint16_t>(1u << (p - 1));
+    }
+
+    // Overall parity over Hamming positions 1..12, stored at bit 12.
+    if (std::popcount(static_cast<unsigned>(cw & 0x0fff)) & 1)
+        cw |= 1u << 12;
+    return cw;
+}
+
+SecdedResult
+secdedDecode(std::uint16_t codeword)
+{
+    SecdedResult r;
+    int syndrome = 0;
+    for (int p : kParityPos) {
+        int par = 0;
+        for (int pos = 1; pos <= 12; ++pos)
+            if (pos & p)
+                par ^= bitAt(codeword, pos);
+        if (par)
+            syndrome |= p;
+    }
+    const int overall =
+        std::popcount(static_cast<unsigned>(codeword & 0x1fff)) & 1;
+
+    if (syndrome == 0 && overall == 0) {
+        r.status = SecdedStatus::Ok;
+        r.data = extractData(codeword);
+        return r;
+    }
+    if (overall == 1) {
+        // A single-bit error: either a code bit (syndrome names it) or
+        // the overall parity bit itself (syndrome zero).
+        std::uint16_t fixed = codeword;
+        if (syndrome == 0)
+            fixed ^= 1u << 12;
+        else
+            fixed ^= static_cast<std::uint16_t>(1u << (syndrome - 1));
+        r.status = SecdedStatus::Corrected;
+        r.data = extractData(fixed);
+        return r;
+    }
+    // Even overall parity with a non-zero syndrome: two bit errors.
+    r.status = SecdedStatus::Uncorrectable;
+    r.data = extractData(codeword);
+    return r;
+}
+
+} // namespace snaple::net

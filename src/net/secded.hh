@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SEC-DED (single-error-correct, double-error-detect) byte coding.
+ *
+ * The MICA high-speed stack error-encodes each payload byte before it
+ * goes on the air (section 4.6). We use an extended Hamming(13,8)
+ * code: 8 data bits, 4 Hamming parity bits, 1 overall parity bit,
+ * packed into the low 13 bits of a 16-bit codeword — matching the
+ * stack's byte-in / word-out structure. This header is the host
+ * reference; the guest implementation is verified against it.
+ */
+
+#ifndef SNAPLE_NET_SECDED_HH
+#define SNAPLE_NET_SECDED_HH
+
+#include <cstdint>
+
+namespace snaple::net {
+
+/** Decode outcome. */
+enum class SecdedStatus
+{
+    Ok,            ///< no error
+    Corrected,     ///< single-bit error corrected
+    Uncorrectable, ///< double-bit error detected
+};
+
+struct SecdedResult
+{
+    std::uint8_t data = 0;
+    SecdedStatus status = SecdedStatus::Ok;
+};
+
+/**
+ * Encode one byte.
+ *
+ * Codeword layout (bit index = Hamming position - 1):
+ * positions 1,2,4,8 are parity; 3,5,6,7,9,10,11,12 carry data bits
+ * d0..d7; bit 12 (index) holds the overall parity over positions 1-12.
+ */
+std::uint16_t secdedEncode(std::uint8_t data);
+
+/** Decode one codeword, correcting a single-bit error if present. */
+SecdedResult secdedDecode(std::uint16_t codeword);
+
+} // namespace snaple::net
+
+#endif // SNAPLE_NET_SECDED_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A complete SNAP/LE sensor-network node (Figure 1 of the paper):
+ * processor core, memories, event queue, timer and message
+ * coprocessors, radio transceiver and sensors.
+ */
+
+#ifndef SNAPLE_NODE_NODE_HH
+#define SNAPLE_NODE_NODE_HH
+
+#include <memory>
+#include <string>
+
+#include "asm/program.hh"
+#include "coproc/message.hh"
+#include "coproc/timer.hh"
+#include "core/context.hh"
+#include "core/core.hh"
+#include "core/ports.hh"
+#include "mem/sram.hh"
+#include "radio/transceiver.hh"
+
+namespace snaple::node {
+
+/** Configuration for one node. */
+struct NodeConfig
+{
+    core::CoreConfig core;
+    radio::RadioConfig radio;
+    bool attachRadio = true;
+    std::string name = "node";
+};
+
+/** One fully assembled sensor node. */
+class SnapNode
+{
+  public:
+    /**
+     * @param kernel shared simulation kernel.
+     * @param medium shared radio medium; may be null when
+     *        cfg.attachRadio is false (bench rigs without radio).
+     * @param cfg node configuration.
+     * @param prog program to load into IMEM/DMEM.
+     */
+    SnapNode(sim::Kernel &kernel, radio::Medium *medium,
+             const NodeConfig &cfg, const assembler::Program &prog)
+        : cfg_(cfg), ctx_(kernel, cfg.core),
+          imem_(ctx_, mem::Bank::Imem, cfg.core.imemWords),
+          dmem_(ctx_, mem::Bank::Dmem, cfg.core.dmemWords),
+          eventQueue_(kernel, cfg.core.eventQueueDepth,
+                      ctx_.gd(ctx_.tcal.eventWakeGd), cfg.name + ".evq"),
+          msgIn_(kernel, cfg.core.msgFifoDepth, 0, cfg.name + ".msgin"),
+          msgOut_(kernel, cfg.core.msgFifoDepth, 0, cfg.name + ".msgout"),
+          timerPort_(kernel, ctx_.gd(4), cfg.name + ".tport"),
+          core_(ctx_, imem_, dmem_, eventQueue_, msgIn_, msgOut_,
+                timerPort_),
+          timer_(ctx_, timerPort_, eventQueue_),
+          msgCoproc_(ctx_, msgIn_, msgOut_, eventQueue_)
+    {
+        if (cfg.attachRadio) {
+            sim::fatalIf(medium == nullptr,
+                         "node wants a radio but no medium given");
+            radio_ = std::make_unique<radio::Transceiver>(ctx_, *medium,
+                                                          cfg.radio);
+            msgCoproc_.attachRadio(*radio_);
+        }
+        imem_.load(prog.imem);
+        dmem_.load(prog.dmem);
+    }
+
+    /** Attach a sensor under a Query-addressable id. */
+    void
+    attachSensor(unsigned id, coproc::SensorPort &sensor)
+    {
+        msgCoproc_.attachSensor(id, sensor);
+    }
+
+    /** Spawn all of the node's hardware processes. */
+    void
+    start()
+    {
+        core_.start();
+        timer_.start();
+        msgCoproc_.start();
+    }
+
+    core::NodeContext &ctx() { return ctx_; }
+    const core::NodeContext &ctx() const { return ctx_; }
+    core::SnapCore &core() { return core_; }
+    const core::SnapCore &core() const { return core_; }
+    coproc::TimerCoproc &timer() { return timer_; }
+    coproc::MessageCoproc &msgCoproc() { return msgCoproc_; }
+    radio::Transceiver *transceiver() { return radio_.get(); }
+    mem::Sram &imem() { return imem_; }
+    mem::Sram &dmem() { return dmem_; }
+    const std::string &name() const { return cfg_.name; }
+
+  private:
+    NodeConfig cfg_;
+    core::NodeContext ctx_;
+    mem::Sram imem_;
+    mem::Sram dmem_;
+    core::EventQueue eventQueue_;
+    core::WordFifo msgIn_;
+    core::WordFifo msgOut_;
+    core::TimerPort timerPort_;
+    core::SnapCore core_;
+    coproc::TimerCoproc timer_;
+    coproc::MessageCoproc msgCoproc_;
+    std::unique_ptr<radio::Transceiver> radio_;
+};
+
+} // namespace snaple::node
+
+#endif // SNAPLE_NODE_NODE_HH

@@ -1,0 +1,65 @@
+#include "radio/medium.hh"
+
+#include <algorithm>
+
+#include "radio/transceiver.hh"
+
+namespace snaple::radio {
+
+void
+Medium::beginTransmit(Transceiver *src, std::uint16_t word,
+                      sim::Tick airtime)
+{
+    ++stats_.wordsSent;
+    std::size_t id = flights_.size();
+    flights_.push_back(Flight{src, word, false});
+
+    // Any overlap collides everything currently on the air.
+    if (active_ > 0) {
+        flights_[id].collided = true;
+        for (std::size_t a : activeFlights_)
+            flights_[a].collided = true;
+    }
+    activeFlights_.push_back(id);
+    ++active_;
+
+    // The collision window is the airtime only; delivery lands one
+    // propagation delay after the last bit leaves the antenna, so
+    // back-to-back words from one transmitter never self-collide.
+    kernel_.schedule(kernel_.now() + airtime,
+                     [this, id] { endTransmit(id); });
+}
+
+void
+Medium::endTransmit(std::size_t id)
+{
+    --active_;
+    activeFlights_.erase(std::remove(activeFlights_.begin(),
+                                     activeFlights_.end(), id),
+                         activeFlights_.end());
+    kernel_.schedule(kernel_.now() + propagation_,
+                     [this, id] { deliver(id); });
+}
+
+void
+Medium::deliver(std::size_t id)
+{
+    Flight &f = flights_[id];
+    if (sniffer_)
+        sniffer_(f.src, f.word, f.collided);
+
+    if (f.collided) {
+        ++stats_.collisions;
+        return; // garbled on the air; receivers see nothing usable
+    }
+    for (Transceiver *t : nodes_) {
+        if (t == f.src)
+            continue;
+        if (linkFilter_ && !linkFilter_(f.src, t))
+            continue;
+        t->deliver(f.word);
+        ++stats_.wordsDelivered;
+    }
+}
+
+} // namespace snaple::radio

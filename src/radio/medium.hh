@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared radio medium.
+ *
+ * The paper's nodes use an RFM TR1000-class transceiver on a single
+ * shared channel. The medium broadcasts each transmitted word to every
+ * attached transceiver after a propagation delay; transmissions that
+ * overlap in time collide, and collided words are not delivered
+ * (the MAC layer's CSMA and ACKs exist to cope with exactly this).
+ */
+
+#ifndef SNAPLE_RADIO_MEDIUM_HH
+#define SNAPLE_RADIO_MEDIUM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/kernel.hh"
+#include "sim/ticks.hh"
+
+namespace snaple::radio {
+
+class Transceiver;
+
+/** One shared broadcast channel. */
+class Medium
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t wordsSent = 0;
+        std::uint64_t wordsDelivered = 0;
+        std::uint64_t collisions = 0; ///< transmissions lost to overlap
+    };
+
+    /** Observer invoked for every word put on the air (sniffing). */
+    using Sniffer = std::function<void(const Transceiver *src,
+                                       std::uint16_t word,
+                                       bool collided)>;
+
+    /**
+     * Connectivity predicate: deliver from @p src to @p dst only when
+     * it returns true. Lets tests and examples build line/grid
+     * topologies (every real deployment is partially connected, which
+     * is what makes AODV forwarding do anything).
+     */
+    using LinkFilter = std::function<bool(const Transceiver *src,
+                                          const Transceiver *dst)>;
+
+    explicit Medium(sim::Kernel &kernel,
+                    sim::Tick propagation = 1 * sim::kMicrosecond)
+        : kernel_(kernel), propagation_(propagation)
+    {}
+
+    Medium(const Medium &) = delete;
+    Medium &operator=(const Medium &) = delete;
+
+    void attach(Transceiver *t) { nodes_.push_back(t); }
+
+    void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
+    void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
+
+    /** True if any transmission is currently on the air (CSMA sense). */
+    bool busy() const { return active_ > 0; }
+
+    /**
+     * Called by a transceiver: put @p word on the air for @p airtime.
+     * Handles collision detection and eventual delivery.
+     */
+    void beginTransmit(Transceiver *src, std::uint16_t word,
+                       sim::Tick airtime);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Flight
+    {
+        Transceiver *src;
+        std::uint16_t word;
+        bool collided = false;
+    };
+
+    void endTransmit(std::size_t id);
+    void deliver(std::size_t id);
+
+    sim::Kernel &kernel_;
+    sim::Tick propagation_;
+    std::vector<Transceiver *> nodes_;
+    std::vector<Flight> flights_; ///< indexed by flight id, grows
+    std::vector<std::size_t> activeFlights_;
+    unsigned active_ = 0;
+    Stats stats_;
+    Sniffer sniffer_;
+    LinkFilter linkFilter_;
+};
+
+} // namespace snaple::radio
+
+#endif // SNAPLE_RADIO_MEDIUM_HH

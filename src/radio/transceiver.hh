@@ -1,0 +1,157 @@
+/**
+ * @file
+ * TR1000-class radio transceiver model.
+ *
+ * The interface matches section 3.3: mode control (idle / receive /
+ * transmit), a word-serial transmit path whose completion time is set
+ * by the 19.2 kbps air rate, and a receive path that assembles words
+ * for the message coprocessor. Radio energy is charged to the Radio
+ * ledger category at the transceiver's own (fixed, off-chip) supply —
+ * it does not scale with the core voltage.
+ */
+
+#ifndef SNAPLE_RADIO_TRANSCEIVER_HH
+#define SNAPLE_RADIO_TRANSCEIVER_HH
+
+#include <cstdint>
+
+#include "coproc/io_ports.hh"
+#include "core/context.hh"
+#include "radio/medium.hh"
+#include "sim/channel.hh"
+
+namespace snaple::radio {
+
+/** Radio electrical/air parameters (RFM TR1000 defaults). */
+struct RadioConfig
+{
+    double bitrateBps = 19200.0; ///< OOK air rate used by the motes
+    unsigned wordBits = 16;      ///< word-serial interface width
+
+    // Energy per word on the air, in picojoules, from the TR1000
+    // datasheet operating points at 3 V: TX ~12 mA (36 mW), RX ~3.8 mA
+    // (11.4 mW); one word takes wordBits / bitrate = 833 us.
+    double txPjPerWord = 30.0e6;
+    double rxPjPerWord = 9.5e6;
+
+    /**
+     * Continuous receive-mode (idle listening) power, nanowatts.
+     * TR1000 RX draws ~3.8 mA at 3 V ~ 11.4 mW whether or not bits
+     * arrive — in real deployments this, not computation, dominates
+     * unless the MAC duty-cycles the receiver. Accrued over the time
+     * spent in Rx mode (accrueListenEnergy()).
+     */
+    double rxListenNw = 11.4e6;
+
+    /**
+     * Model the self-powered MEMS RF link of the paper's
+     * introduction and future work ([13]): the radio draws nothing
+     * from the node's battery, shifting the entire energy budget to
+     * computation. Timing is unchanged.
+     */
+    bool selfPowered = false;
+};
+
+/** One node's transceiver. */
+class Transceiver : public coproc::RadioPort
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t txWords = 0;
+        std::uint64_t rxWords = 0;
+        std::uint64_t rxDroppedFifoFull = 0;
+        std::uint64_t rxMissedWrongMode = 0;
+    };
+
+    Transceiver(core::NodeContext &ctx, Medium &medium,
+                const RadioConfig &cfg = {},
+                std::size_t rx_fifo_depth = 8)
+        : ctx_(ctx), medium_(medium), cfg_(cfg),
+          rxFifo_(ctx.kernel, rx_fifo_depth, 0, "radio-rx")
+    {
+        medium_.attach(this);
+    }
+
+    /** Airtime of one word at the configured bit rate. */
+    sim::Tick
+    wordAirtime() const
+    {
+        return sim::fromSec(cfg_.wordBits / cfg_.bitrateBps);
+    }
+
+    // RadioPort interface -------------------------------------------
+    void
+    setMode(coproc::RadioMode mode) override
+    {
+        accrueListenEnergy();
+        mode_ = mode;
+    }
+
+    /**
+     * Accrue idle-listening energy for time spent in Rx mode up to
+     * now (Cat::Radio). Called on every mode change; call once more
+     * before reading energy totals.
+     */
+    void
+    accrueListenEnergy()
+    {
+        sim::Tick now = ctx_.kernel.now();
+        if (mode_ == coproc::RadioMode::Rx && !cfg_.selfPowered &&
+            now > listenAccruedTo_) {
+            double pj = cfg_.rxListenNw * 1e-9 *
+                        sim::toSec(now - listenAccruedTo_) * 1e12;
+            ctx_.ledger.add(energy::Cat::Radio, pj);
+        }
+        listenAccruedTo_ = now;
+    }
+
+    sim::Co<void>
+    transmit(std::uint16_t word) override
+    {
+        ++stats_.txWords;
+        if (!cfg_.selfPowered)
+            ctx_.ledger.add(energy::Cat::Radio, cfg_.txPjPerWord);
+        medium_.beginTransmit(this, word, wordAirtime());
+        // The serial interface is busy for the full word airtime.
+        co_await ctx_.kernel.delay(wordAirtime());
+    }
+
+    sim::Fifo<std::uint16_t> &rxWords() override { return rxFifo_; }
+
+    bool channelBusy() const override { return medium_.busy(); }
+
+    // Medium-side interface ------------------------------------------
+    /** Deliver a word that arrived over the air. */
+    void
+    deliver(std::uint16_t word)
+    {
+        if (mode_ != coproc::RadioMode::Rx) {
+            ++stats_.rxMissedWrongMode;
+            return;
+        }
+        if (!cfg_.selfPowered)
+            ctx_.ledger.add(energy::Cat::Radio, cfg_.rxPjPerWord);
+        if (rxFifo_.tryPush(word))
+            ++stats_.rxWords;
+        else
+            ++stats_.rxDroppedFifoFull;
+    }
+
+    coproc::RadioMode mode() const { return mode_; }
+    const Stats &stats() const { return stats_; }
+    const RadioConfig &config() const { return cfg_; }
+
+  private:
+    core::NodeContext &ctx_;
+    Medium &medium_;
+    RadioConfig cfg_;
+    coproc::RadioMode mode_ = coproc::RadioMode::Idle;
+    sim::Tick listenAccruedTo_ = 0;
+    sim::Fifo<std::uint16_t> rxFifo_;
+    Stats stats_;
+};
+
+} // namespace snaple::radio
+
+#endif // SNAPLE_RADIO_TRANSCEIVER_HH

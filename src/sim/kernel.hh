@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel owns a time-ordered event list and the set of free-running
+ * hardware processes (coroutines). Events at equal ticks fire in
+ * insertion order, which makes every simulation bit-reproducible.
+ */
+
+#ifndef SNAPLE_SIM_KERNEL_HH
+#define SNAPLE_SIM_KERNEL_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "task.hh"
+#include "ticks.hh"
+
+namespace snaple::sim {
+
+/**
+ * The discrete-event simulation kernel.
+ *
+ * Usage: construct, spawn() processes, then run()/runFor()/runUntil().
+ * Processes interact with simulated time through awaitables: the
+ * kernel's delay(), and channel send/recv operations.
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+    ~Kernel() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        panicIf(when < now_, "scheduling event in the past");
+        events_.push(Event{when, seq_++, std::move(fn), {}});
+    }
+
+    /** Schedule a callback a relative number of ticks in the future. */
+    void
+    scheduleAfter(Tick delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Schedule the resumption of a suspended coroutine. */
+    void
+    scheduleResume(Tick when, std::coroutine_handle<> h)
+    {
+        panicIf(when < now_, "scheduling resume in the past");
+        events_.push(Event{when, seq_++, nullptr, h});
+    }
+
+    /**
+     * Adopt and start a free-running process. The kernel owns the
+     * coroutine frame for the rest of its life.
+     */
+    void
+    spawn(Co<void> proc, std::string name = "proc")
+    {
+        panicIf(!proc.valid(), "spawning an invalid process");
+        proc.handle_.promise().rootKernel = this;
+        processes_.push_back(Process{std::move(proc), std::move(name)});
+        // Start it at the current time, in event order.
+        scheduleResume(now_, processes_.back().co.handle_);
+    }
+
+    /** Awaitable: suspend the calling process for @p delta ticks. */
+    struct DelayAwaiter
+    {
+        Kernel &kernel;
+        Tick delta;
+
+        // Always suspend, even for zero delays: a zero-delay await still
+        // yields to other events scheduled at the same tick.
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            kernel.scheduleResume(kernel.now_ + delta, h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend the calling process for @p delta ticks. */
+    DelayAwaiter delay(Tick delta) { return DelayAwaiter{*this, delta}; }
+
+    /**
+     * Run until the event list drains, stop() is called, or simulated
+     * time would pass @p until.
+     * @return true if stopped or drained before @p until, false if the
+     *         time limit was the reason for returning.
+     */
+    bool
+    run(Tick until = kMaxTick)
+    {
+        stopped_ = false;
+        while (!stopped_) {
+            rethrowPending();
+            if (events_.empty()) {
+                // Drained early: simulated time still advances to the
+                // requested limit so callers can interleave runFor()
+                // with external stimulus at predictable times.
+                if (until != kMaxTick)
+                    now_ = until;
+                return true;
+            }
+            const Event &top = events_.top();
+            if (top.when > until) {
+                now_ = until;
+                return false;
+            }
+            Event ev = top;
+            events_.pop();
+            now_ = ev.when;
+            dispatch(ev);
+        }
+        rethrowPending();
+        return true;
+    }
+
+    /** Run for a relative amount of simulated time. */
+    bool runFor(Tick delta) { return run(now_ + delta); }
+
+    /** Request that run() return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** True if no events remain. */
+    bool idle() const { return events_.empty(); }
+
+    /** Number of events dispatched so far (for host-side profiling). */
+    std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Record an error escaping a root process (internal use). */
+    void
+    recordError(std::exception_ptr e)
+    {
+        if (!error_)
+            error_ = e;
+        stopped_ = true;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::coroutine_handle<> resume;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    struct Process
+    {
+        Co<void> co;
+        std::string name;
+    };
+
+    void
+    dispatch(const Event &ev)
+    {
+        ++dispatched_;
+        if (ev.resume) {
+            if (!ev.resume.done())
+                ev.resume.resume();
+        } else if (ev.fn) {
+            ev.fn();
+        }
+    }
+
+    void
+    rethrowPending()
+    {
+        if (error_) {
+            auto e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    bool stopped_ = false;
+    std::exception_ptr error_;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+    std::vector<Process> processes_;
+};
+
+template <typename T>
+void
+Co<T>::promise_type::unhandled_exception()
+{
+    this->exception = std::current_exception();
+    if (this->rootKernel)
+        this->rootKernel->recordError(this->exception);
+}
+
+inline void
+Co<void>::promise_type::unhandled_exception()
+{
+    this->exception = std::current_exception();
+    if (this->rootKernel)
+        this->rootKernel->recordError(this->exception);
+}
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_KERNEL_HH

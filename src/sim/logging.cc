@@ -1,0 +1,19 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace snaple::sim {
+
+void
+warnStr(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+informStr(const std::string &msg)
+{
+    std::cout << "info: " << msg << '\n';
+}
+
+} // namespace snaple::sim

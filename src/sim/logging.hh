@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Error reporting and status messages, in the gem5 spirit.
+ *
+ * fatal() is for user errors (bad program, bad configuration): the
+ * simulation cannot continue, but the simulator itself is fine. panic()
+ * is for conditions that indicate a bug in the simulator itself. Both
+ * throw typed exceptions rather than exiting, because snaple is a library
+ * and its hosts (tests, benches, examples) need to observe failures.
+ */
+
+#ifndef SNAPLE_SIM_LOGGING_HH
+#define SNAPLE_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snaple::sim {
+
+/** Thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Thrown by panic(): a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user error (bad guest program, bad parameters).
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition that should be impossible: a simulator bug.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless a simulator invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() when a user-facing precondition is violated. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Print a non-fatal warning to stderr. */
+void warnStr(const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informStr(const std::string &msg);
+
+/** Streamable variant of warnStr(). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    warnStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Streamable variant of informStr(). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    informStr(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_LOGGING_HH

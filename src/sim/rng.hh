@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for host-side use
+ * (workload generation, random operand sweeps).
+ *
+ * This is xorshift64*, chosen for speed and reproducibility across
+ * platforms; it is unrelated to the guest-visible LFSR behind the SNAP
+ * `rand` instruction (see core/lfsr.hh).
+ */
+
+#ifndef SNAPLE_SIM_RNG_HH
+#define SNAPLE_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace snaple::sim {
+
+/** Deterministic xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        panicIf(lo > hi, "uniformInt with lo > hi");
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next();
+        return lo + next() % span;
+    }
+
+    /** Uniform 16-bit value (the common case for SNAP operands). */
+    std::uint16_t uniform16() { return static_cast<std::uint16_t>(next()); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform01() < p; }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform01();
+        // Guard the log() singularity at u == 0.
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_RNG_HH

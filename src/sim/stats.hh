@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics helpers shared by the simulator models.
+ */
+
+#ifndef SNAPLE_SIM_STATS_HH
+#define SNAPLE_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace snaple::sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max over a stream of samples. */
+class SampleStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named bag of scalar statistics for human-readable dumps; models keep
+ * typed stat structs internally and export into one of these.
+ */
+class StatDump
+{
+  public:
+    void set(const std::string &name, double v) { values_[name] = v; }
+    const std::map<std::string, double> &values() const { return values_; }
+
+    void
+    print(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[k, v] : values_)
+            os << prefix << k << " = " << v << '\n';
+    }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_STATS_HH

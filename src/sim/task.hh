@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Coroutine task type for CHP-style hardware processes.
+ *
+ * A hardware process (a CHP process in the QDI design methodology the
+ * paper's group uses) is modeled as a C++20 coroutine returning Co<T>.
+ * Co<void> processes can be spawned onto a Kernel as free-running
+ * processes; Co<T> coroutines can also be awaited from other coroutines
+ * as sequential sub-computations (e.g. a memory access subroutine).
+ */
+
+#ifndef SNAPLE_SIM_TASK_HH
+#define SNAPLE_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "logging.hh"
+
+namespace snaple::sim {
+
+class Kernel;
+
+namespace detail {
+
+/** State shared by all Co promises. */
+struct PromiseBase
+{
+    /** Coroutine to resume when this one completes (awaiting parent). */
+    std::coroutine_handle<> continuation;
+    /** Exception escaping the coroutine body, if any. */
+    std::exception_ptr exception;
+    /** Set for root (spawned) processes so errors reach the kernel. */
+    Kernel *rootKernel = nullptr;
+
+    /** Final awaiter: transfer control back to the awaiting parent. */
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+};
+
+} // namespace detail
+
+/**
+ * An awaitable coroutine producing a value of type T.
+ *
+ * Co starts suspended. Awaiting it starts the child and resumes the
+ * parent when the child completes (symmetric transfer, no host-stack
+ * growth). The Co object owns the coroutine frame.
+ */
+template <typename T>
+class [[nodiscard]] Co
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Co
+        get_return_object()
+        {
+            return Co(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void
+        return_value(T v)
+        {
+            value.emplace(std::move(v));
+        }
+
+        void unhandled_exception();
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Co() = default;
+    explicit Co(Handle h) : handle_(h) {}
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+
+    Co(Co &&other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+
+    Co &
+    operator=(Co &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    ~Co() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    /** Awaiter interface: start the child, resume parent on completion. */
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> awaiting) noexcept
+    {
+        handle_.promise().continuation = awaiting;
+        return handle_;
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        return std::move(*p.value);
+    }
+
+  private:
+    friend class Kernel;
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+/** Void specialization: a process with no produced value. */
+template <>
+class [[nodiscard]] Co<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Co
+        get_return_object()
+        {
+            return Co(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception();
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Co() = default;
+    explicit Co(Handle h) : handle_(h) {}
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+
+    Co(Co &&other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+
+    Co &
+    operator=(Co &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    ~Co() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> awaiting) noexcept
+    {
+        handle_.promise().continuation = awaiting;
+        return handle_;
+    }
+
+    void
+    await_resume()
+    {
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+    }
+
+  private:
+    friend class Kernel;
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_TASK_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the assembler framework and the SNAP backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/snap_backend.hh"
+#include "isa/instruction.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace snaple;
+using assembler::assembleSnap;
+using assembler::Program;
+
+TEST(LexerTest, TokenKinds)
+{
+    auto toks = assembler::lexLine("loop: addi r1, 0x10 ; comment", "t:1");
+    ASSERT_GE(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, assembler::TokKind::Ident);
+    EXPECT_EQ(toks[0].text, "loop");
+    EXPECT_EQ(toks[1].kind, assembler::TokKind::Colon);
+    EXPECT_EQ(toks[2].text, "addi");
+    EXPECT_EQ(toks[3].text, "r1");
+    EXPECT_EQ(toks[4].kind, assembler::TokKind::Comma);
+    EXPECT_EQ(toks[5].kind, assembler::TokKind::Number);
+    EXPECT_EQ(toks[5].value, 16);
+    EXPECT_EQ(toks[6].kind, assembler::TokKind::End);
+}
+
+TEST(LexerTest, NumberBasesAndChars)
+{
+    auto toks = assembler::lexLine("0b1010 42 0xff 'A' '\\n'", "t:1");
+    EXPECT_EQ(toks[0].value, 10);
+    EXPECT_EQ(toks[1].value, 42);
+    EXPECT_EQ(toks[2].value, 255);
+    EXPECT_EQ(toks[3].value, 'A');
+    EXPECT_EQ(toks[4].value, '\n');
+}
+
+TEST(LexerTest, MalformedLiteralsAreFatal)
+{
+    EXPECT_THROW(assembler::lexLine("0x", "t:1"), sim::FatalError);
+    EXPECT_THROW(assembler::lexLine("12abc", "t:1"), sim::FatalError);
+    EXPECT_THROW(assembler::lexLine("'a", "t:1"), sim::FatalError);
+    EXPECT_THROW(assembler::lexLine("@", "t:1"), sim::FatalError);
+}
+
+TEST(AssemblerTest, BasicProgramLayout)
+{
+    Program p = assembleSnap(R"(
+        ; boot
+        li   r1, 5
+        add  r1, r1
+        done
+    )");
+    ASSERT_EQ(p.imemWords(), 4u);
+    EXPECT_EQ(p.imem[0], isa::encodeAluI(isa::AluFn::Mov, 1));
+    EXPECT_EQ(p.imem[1], 5);
+    EXPECT_EQ(p.imem[2], isa::encodeAluR(isa::AluFn::Add, 1, 1));
+    EXPECT_EQ(p.imem[3], isa::encodeEvent(isa::EventFn::Done, 0, 0));
+}
+
+TEST(AssemblerTest, LabelsAndForwardReferences)
+{
+    Program p = assembleSnap(R"(
+        jmp  start
+    pad:.word 0xdead
+    start:
+        li   r2, pad
+        done
+    )");
+    EXPECT_EQ(p.symbol("start"), 3u);
+    EXPECT_EQ(p.symbol("pad"), 2u);
+    EXPECT_EQ(p.imem[1], 3u);       // jmp target
+    EXPECT_EQ(p.imem[2], 0xdead);
+    EXPECT_EQ(p.imem[4], 2u);       // li r2, pad
+}
+
+TEST(AssemblerTest, BranchOffsetsAreRelativeToNextWord)
+{
+    Program p = assembleSnap(R"(
+    loop:
+        sub  r1, r2
+        bnez r1, loop
+        done
+    )");
+    // bnez at word 1; target 0; off = 0 - 2 = -2.
+    snaple::isa::DecodedInst d = isa::decodeFirst(p.imem[1]);
+    EXPECT_EQ(d.op, isa::Op::Bnez);
+    EXPECT_EQ(d.off8, -2);
+}
+
+TEST(AssemblerTest, BranchOutOfRangeIsFatal)
+{
+    std::string src = "beqz r1, far\n";
+    for (int i = 0; i < 200; ++i)
+        src += "nop\n";
+    src += "far: done\n";
+    EXPECT_THROW(assembleSnap(src), sim::FatalError);
+}
+
+TEST(AssemblerTest, DmemSegmentAndEqu)
+{
+    Program p = assembleSnap(R"(
+        .equ MAGIC, 0x1234
+        .dmem
+        .org 16
+    table:
+        .word MAGIC, MAGIC + 1, 7
+        .space 3
+    after:
+        .word 1
+        .imem
+        li r1, table
+        done
+    )");
+    EXPECT_EQ(p.symbol("table"), 16u);
+    EXPECT_EQ(p.symbol("after"), 22u);
+    ASSERT_GE(p.dmem.size(), 23u);
+    EXPECT_EQ(p.dmem[16], 0x1234);
+    EXPECT_EQ(p.dmem[17], 0x1235);
+    EXPECT_EQ(p.dmem[18], 7);
+    EXPECT_EQ(p.dmem[19], 0);
+    EXPECT_EQ(p.dmem[22], 1);
+    EXPECT_EQ(p.imem[1], 16u);
+}
+
+TEST(AssemblerTest, InstructionsInDmemAreFatal)
+{
+    EXPECT_THROW(assembleSnap(".dmem\n nop\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, DuplicateSymbolIsFatal)
+{
+    EXPECT_THROW(assembleSnap("a: nop\na: nop\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap(".equ x, 1\nx: nop\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, UndefinedSymbolIsFatal)
+{
+    EXPECT_THROW(assembleSnap("jmp nowhere\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, UnknownMnemonicIsFatal)
+{
+    EXPECT_THROW(assembleSnap("frobnicate r1\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, OperandCountErrors)
+{
+    EXPECT_THROW(assembleSnap("add r1\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("done r1\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("ldw r1, r2\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, RegisterAliases)
+{
+    Program p = assembleSnap(R"(
+        mov sp, lr
+        mov r1, msg
+    )");
+    EXPECT_EQ(p.imem[0], isa::encodeAluR(isa::AluFn::Mov, 14, 13));
+    EXPECT_EQ(p.imem[1], isa::encodeAluR(isa::AluFn::Mov, 1, 15));
+}
+
+TEST(AssemblerTest, PseudoInstructionExpansions)
+{
+    Program p = assembleSnap(R"(
+        push r3
+        pop  r3
+        call fn
+        ret
+    fn: clr r1
+        inc r1
+        dec r1
+        done
+    )");
+    // push = subi sp,1 ; stw r3,0(sp)  (4 words)
+    EXPECT_EQ(p.imem[0], isa::encodeAluI(isa::AluFn::Sub, 14));
+    EXPECT_EQ(p.imem[1], 1);
+    EXPECT_EQ(p.imem[2], isa::encodeMem(isa::Op::Stw, 3, 14));
+    EXPECT_EQ(p.imem[3], 0);
+    // pop = ldw r3,0(sp) ; addi sp,1
+    EXPECT_EQ(p.imem[4], isa::encodeMem(isa::Op::Ldw, 3, 14));
+    EXPECT_EQ(p.imem[6], isa::encodeAluI(isa::AluFn::Add, 14));
+    // call = jal lr, fn
+    EXPECT_EQ(p.imem[8], isa::encodeJmp(isa::JmpFn::Jal, 13, 0));
+    EXPECT_EQ(p.imem[9], p.symbol("fn"));
+    // ret = jr lr
+    EXPECT_EQ(p.imem[10], isa::encodeJmp(isa::JmpFn::Jr, 0, 13));
+    EXPECT_EQ(p.symbol("fn"), 11u);
+}
+
+TEST(AssemblerTest, NegativeImmediatesWrapTo16Bits)
+{
+    Program p = assembleSnap("li r1, -2\n");
+    EXPECT_EQ(p.imem[1], 0xfffe);
+}
+
+TEST(AssemblerTest, ImmediateOutOfRangeIsFatal)
+{
+    EXPECT_THROW(assembleSnap("li r1, 70000\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("li r1, -40000\n"), sim::FatalError);
+}
+
+TEST(AssemblerTest, CodeSizeInBytesMatchesPaperUnits)
+{
+    Program p = assembleSnap("nop\nnop\nli r1, 1\n");
+    EXPECT_EQ(p.imemWords(), 4u);
+    EXPECT_EQ(p.imemBytes(), 8u);
+}
+
+TEST(AssemblerTest, MemOperandWithSymbolicDisplacement)
+{
+    Program p = assembleSnap(R"(
+        .equ BUF, 32
+        ldw r1, BUF(r2)
+        stw r1, BUF+1(r2)
+    )");
+    EXPECT_EQ(p.imem[1], 32u);
+    EXPECT_EQ(p.imem[3], 33u);
+}
+
+// Round-trip property: assemble, then disassemble every word and make
+// sure the decoder accepts the whole image.
+TEST(AssemblerTest, AssembledImageDecodesCleanly)
+{
+    Program p = assembleSnap(R"(
+        li   r1, 100
+        la   r2, data
+    loop:
+        ldw  r3, 0(r2)
+        add  r1, r3
+        bfs  r1, r3, 0x0f0f
+        rand r4
+        seed r4
+        schedhi r1, r2
+        schedlo r1, r2
+        cancel r1
+        sub  r1, r3
+        bnez r1, loop
+        done
+    data:
+        .word 1, 2, 3
+    )");
+    std::size_t i = 0;
+    std::size_t data = p.symbol("data");
+    while (i < data) {
+        snaple::isa::DecodedInst d = isa::decodeFirst(p.imem[i]);
+        ++i;
+        if (d.twoWord) {
+            d.imm = p.imem[i];
+            ++i;
+        }
+        EXPECT_FALSE(isa::disassemble(d).empty());
+    }
+    EXPECT_EQ(i, data);
+}
+
+} // namespace

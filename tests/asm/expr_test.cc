@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Expression and byte-select (lo8/hi8) tests for the assembler
+ * framework, exercised through the AVR backend (which consumes them)
+ * and the SNAP backend (for general expressions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/snap_backend.hh"
+#include "baseline/avr_backend.hh"
+
+namespace {
+
+using namespace snaple;
+using assembler::assembleSnap;
+using baseline::assembleAvr;
+
+TEST(ExprTest, Lo8Hi8SplitSymbols)
+{
+    auto p = assembleAvr(R"(
+        rjmp start
+    start:
+        ldi r30, lo8(target)
+        ldi r31, hi8(target)
+        halt
+        .org 0x321
+    target:
+        nop
+    )");
+    EXPECT_EQ(p.symbol("target"), 0x321u);
+    EXPECT_EQ(p.imem[3], 0x21); // lo8 operand word
+    EXPECT_EQ(p.imem[5], 0x03); // hi8 operand word
+}
+
+TEST(ExprTest, Lo8Hi8WithAddends)
+{
+    auto p = assembleAvr(R"(
+        ldi r16, lo8(base + 2)
+        ldi r17, hi8(base + 2)
+        halt
+        .equ base, 0x1FE
+    )");
+    EXPECT_EQ(p.imem[1], 0x00);
+    EXPECT_EQ(p.imem[3], 0x02);
+}
+
+TEST(ExprTest, NestedByteSelectIsFatal)
+{
+    EXPECT_THROW(assembleAvr("ldi r16, lo8(hi8(x))\n.equ x, 1\n"),
+                 sim::FatalError);
+}
+
+TEST(ExprTest, MultiTermExpressions)
+{
+    auto p = assembleSnap(R"(
+        .equ A, 100
+        li r1, A + 20 - 5
+        li r2, -3
+        li r3, 1 + 2 + 3
+        halt
+    )");
+    EXPECT_EQ(p.imem[1], 115u);
+    EXPECT_EQ(p.imem[3], 0xfffd);
+    EXPECT_EQ(p.imem[5], 6u);
+}
+
+TEST(ExprTest, TwoSymbolsInOneExpressionIsFatal)
+{
+    EXPECT_THROW(assembleSnap(".equ A, 1\n.equ B, 2\nli r1, A + B\n"),
+                 sim::FatalError);
+}
+
+TEST(ExprTest, NegatedSymbolIsFatal)
+{
+    EXPECT_THROW(assembleSnap(".equ A, 1\nli r1, -A\n"),
+                 sim::FatalError);
+}
+
+TEST(ExprTest, RegisterNameInsideExpressionIsFatal)
+{
+    EXPECT_THROW(assembleSnap("li r1, r2 + 1\n"), sim::FatalError);
+}
+
+TEST(ExprTest, AvrByteImmediateRangeChecked)
+{
+    EXPECT_THROW(assembleAvr("ldi r16, 300\n"), sim::FatalError);
+    EXPECT_NO_THROW(assembleAvr("ldi r16, 255\n halt\n"));
+    EXPECT_NO_THROW(assembleAvr("ldi r16, -128\n halt\n"));
+}
+
+TEST(ExprTest, AvrRegisterNamesBounded)
+{
+    baseline::AvrBackend b;
+    EXPECT_TRUE(b.regNumber("r0").has_value());
+    EXPECT_TRUE(b.regNumber("r31").has_value());
+    EXPECT_FALSE(b.regNumber("r32").has_value());
+    EXPECT_FALSE(b.regNumber("sp").has_value());
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the AVR-class baseline: instruction semantics, interrupt
+ * machinery, sleep, and the TinyOS-like runtime applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/avr_backend.hh"
+#include "baseline/avr_core.hh"
+#include "baseline/tinyos.hh"
+#include "net/crc.hh"
+#include "net/secded.hh"
+#include "sensor/sensor.hh"
+#include "sim/kernel.hh"
+
+namespace {
+
+using namespace snaple;
+using baseline::assembleAvr;
+using baseline::AvrMcu;
+
+struct Rig
+{
+    sim::Kernel kernel;
+    AvrMcu mcu;
+
+    explicit Rig(const std::string &src, AvrMcu::Config cfg = {})
+        : mcu(kernel, cfg, assembleAvr(src))
+    {
+        mcu.start();
+    }
+
+    void
+    runToHalt(sim::Tick limit = sim::kSecond)
+    {
+        kernel.run(kernel.now() + limit);
+        EXPECT_TRUE(mcu.halted()) << "AVR program did not halt";
+    }
+};
+
+TEST(AvrCoreTest, BasicArithmeticAndDebugPort)
+{
+    Rig r(R"(
+        ldi r16, 40
+        ldi r17, 2
+        add r16, r17
+        out 10, r16
+        halt
+    )");
+    r.runToHalt();
+    ASSERT_EQ(r.mcu.debugOut().size(), 1u);
+    EXPECT_EQ(r.mcu.debugOut()[0], 42);
+}
+
+TEST(AvrCoreTest, SixteenBitArithmeticWithCarry)
+{
+    // 0x12ff + 0x0101 = 0x1400 via add/adc.
+    Rig r(R"(
+        ldi r16, 0xff
+        ldi r17, 0x12
+        ldi r18, 0x01
+        ldi r19, 0x01
+        add r16, r18
+        adc r17, r19
+        out 10, r16
+        out 10, r17
+        halt
+    )");
+    r.runToHalt();
+    ASSERT_EQ(r.mcu.debugOut().size(), 2u);
+    EXPECT_EQ(r.mcu.debugOut()[0], 0x00);
+    EXPECT_EQ(r.mcu.debugOut()[1], 0x14);
+}
+
+TEST(AvrCoreTest, SubSbcBorrowChain)
+{
+    // 0x1000 - 0x0001 = 0x0FFF.
+    Rig r(R"(
+        ldi r16, 0x00
+        ldi r17, 0x10
+        ldi r18, 0x01
+        ldi r19, 0x00
+        sub r16, r18
+        sbc r17, r19
+        out 10, r16
+        out 10, r17
+        halt
+    )");
+    r.runToHalt();
+    EXPECT_EQ(r.mcu.debugOut()[0], 0xff);
+    EXPECT_EQ(r.mcu.debugOut()[1], 0x0f);
+}
+
+TEST(AvrCoreTest, MemoryAndPointerOps)
+{
+    Rig r(R"(
+        ldi r16, 77
+        sts 0x100, r16
+        lds r17, 0x100
+        out 10, r17
+        ldi r26, 0x00      ; X = 0x200
+        ldi r27, 0x02
+        ldi r16, 11
+        stxi r16
+        ldi r16, 22
+        stx r16
+        ldi r26, 0x00
+        ldi r27, 0x02
+        ldxi r18
+        ldx r19
+        out 10, r18
+        out 10, r19
+        halt
+    )");
+    r.runToHalt();
+    ASSERT_EQ(r.mcu.debugOut().size(), 3u);
+    EXPECT_EQ(r.mcu.debugOut()[0], 77);
+    EXPECT_EQ(r.mcu.debugOut()[1], 11);
+    EXPECT_EQ(r.mcu.debugOut()[2], 22);
+}
+
+TEST(AvrCoreTest, StackAndCalls)
+{
+    Rig r(R"(
+        ldi r16, 5
+        rcall double
+        out 10, r16
+        halt
+    double:
+        push r17
+        mov r17, r16
+        add r16, r17
+        pop r17
+        ret
+    )");
+    r.runToHalt();
+    EXPECT_EQ(r.mcu.debugOut()[0], 10);
+}
+
+TEST(AvrCoreTest, CycleCostsFollowTheDatasheet)
+{
+    // ldi(1) + ldi(1) + add(1) + rjmp(2) + halt(1) = 6 cycles.
+    Rig r(R"(
+        ldi r16, 1
+        ldi r17, 2
+        add r16, r17
+        rjmp fin
+    fin:
+        halt
+    )");
+    r.runToHalt();
+    EXPECT_EQ(r.mcu.stats().cyclesActive, 6u);
+    EXPECT_EQ(r.mcu.stats().instructions, 5u);
+}
+
+TEST(AvrCoreTest, BranchTakenCostsExtraCycle)
+{
+    Rig r1(R"(
+        ldi r16, 0
+        cpi r16, 0
+        breq t
+    t:  halt
+    )");
+    r1.runToHalt();
+    Rig r2(R"(
+        ldi r16, 1
+        cpi r16, 0
+        breq t
+    t:  halt
+    )");
+    r2.runToHalt();
+    EXPECT_EQ(r1.mcu.stats().cyclesActive,
+              r2.mcu.stats().cyclesActive + 1);
+}
+
+TEST(AvrCoreTest, TimerInterruptAndSleep)
+{
+    // Vectors, then a main that sleeps; the timer ISR counts to 3 and
+    // halts.
+    Rig r(R"(
+        rjmp start
+        rjmp isr_t
+        rjmp bad
+        rjmp bad
+    isr_t:
+        push r16
+        lds r16, 0x80
+        inc r16
+        sts 0x80, r16
+        out 10, r16
+        cpi r16, 3
+        breq fin
+        pop r16
+        reti
+    fin:
+        halt
+    bad:
+        halt
+    start:
+        ldi r16, 0
+        sts 0x80, r16
+        ldi r16, 100       ; period = 100 cycles
+        out 2, r16
+        ldi r16, 0
+        out 3, r16
+        out 4, r16
+        ldi r16, 1
+        out 5, r16
+        sei
+    loop:
+        sleep
+        rjmp loop
+    )");
+    r.runToHalt();
+    EXPECT_EQ(r.mcu.debugOut(),
+              (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(r.mcu.stats().interrupts, 3u);
+    // The MCU slept between interrupts: sleep cycles dominate.
+    EXPECT_GT(r.mcu.stats().cyclesSleep, r.mcu.stats().cyclesActive);
+}
+
+TEST(AvrCoreTest, AdcConversionReadsSensor)
+{
+    sim::Kernel k;
+    AvrMcu mcu(k, {}, assembleAvr(R"(
+        rjmp start
+        rjmp bad
+        rjmp isr_adc
+        rjmp bad
+    isr_adc:
+        in r16, 7
+        out 10, r16
+        in r16, 8
+        out 10, r16
+        halt
+    bad:
+        halt
+    start:
+        ldi r16, 1
+        out 6, r16        ; start conversion
+        sei
+    loop:
+        sleep
+        rjmp loop
+    )"));
+    sensor::ScriptedSensor sens({0x2AB});
+    mcu.attachSensor(sens);
+    mcu.start();
+    k.run(k.now() + sim::kSecond);
+    ASSERT_TRUE(mcu.halted());
+    ASSERT_EQ(mcu.debugOut().size(), 2u);
+    EXPECT_EQ(mcu.debugOut()[0], 0xAB);
+    EXPECT_EQ(mcu.debugOut()[1], 0x02);
+    EXPECT_EQ(mcu.stats().adcConversions, 1u);
+}
+
+TEST(AvrCoreTest, ActiveEnergyUsesDatasheetOperatingPoint)
+{
+    Rig r("ldi r16, 1\n halt\n");
+    r.runToHalt();
+    // 2 cycles at 3.75 nJ each.
+    EXPECT_DOUBLE_EQ(r.mcu.activeEnergyNj(), 7.5);
+}
+
+// ---------------------------------------------------------------
+// TinyOS-like runtime applications.
+// ---------------------------------------------------------------
+
+TEST(TinyOsTest, BlinkTogglesLedPeriodically)
+{
+    AvrMcu::Config cfg;
+    cfg.stopOnHalt = false;
+    sim::Kernel k;
+    auto prog = assembleAvr(baseline::avrBlinkProgram(4000));
+    AvrMcu mcu(k, cfg, prog);
+    mcu.start();
+    k.run(k.now() + 10500 * sim::kMicrosecond); // 10.5 ms: 10 periods
+    ASSERT_GE(mcu.ledTrace().size(), 9u);
+    for (std::size_t i = 0; i + 1 < mcu.ledTrace().size(); ++i) {
+        EXPECT_NE(mcu.ledTrace()[i].second,
+                  mcu.ledTrace()[i + 1].second);
+    }
+    // Period = 4000 cycles at 4 MHz = 1 ms.
+    auto dt = mcu.ledTrace()[2].first - mcu.ledTrace()[1].first;
+    EXPECT_NEAR(sim::toUs(dt), 1000.0, 40.0);
+}
+
+TEST(TinyOsTest, BlinkOverheadDominatesUsefulWork)
+{
+    AvrMcu::Config cfg;
+    cfg.stopOnHalt = false;
+    sim::Kernel k;
+    auto prog = assembleAvr(baseline::avrBlinkProgram(4000));
+    AvrMcu mcu(k, cfg, prog);
+    mcu.start();
+    k.run(k.now() + 10500 * sim::kMicrosecond);
+
+    auto os_cycles = mcu.cyclesInRange(
+        static_cast<std::uint16_t>(prog.symbol("os_begin")),
+        static_cast<std::uint16_t>(prog.symbol("os_end")));
+    auto task_cycles = mcu.cyclesInRange(
+        static_cast<std::uint16_t>(prog.symbol("task_blink")),
+        static_cast<std::uint16_t>(prog.symbol("isr_adc")));
+    // Figure 5's point: the scheduler + ISR machinery dwarfs the
+    // 16-cycle useful toggle.
+    EXPECT_GT(os_cycles, 10 * task_cycles);
+    double per_blink =
+        double(task_cycles) / double(mcu.ledTrace().size());
+    EXPECT_LT(per_blink, 20.0);
+    EXPECT_GT(per_blink, 8.0);
+}
+
+TEST(TinyOsTest, SenseComputesRunningAverageOnLeds)
+{
+    AvrMcu::Config cfg;
+    cfg.stopOnHalt = false;
+    sim::Kernel k;
+    auto prog = assembleAvr(baseline::avrSenseProgram(4000));
+    AvrMcu mcu(k, cfg, prog);
+    sensor::ScriptedSensor sens(
+        {1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000});
+    mcu.attachSensor(sens);
+    mcu.start();
+    k.run(k.now() + 10500 * sim::kMicrosecond);
+    ASSERT_GE(mcu.ledTrace().size(), 8u);
+    // Average converges to ~1000 -> top LED bits 0b111.
+    EXPECT_EQ(mcu.ledTrace().back().second, 7u);
+    EXPECT_LT(mcu.ledTrace().front().second, 7u);
+    EXPECT_GE(mcu.stats().adcConversions, 8u);
+}
+
+TEST(TinyOsTest, RadioStackProducesSameBitsAsSnapAndHost)
+{
+    const std::vector<std::uint8_t> msg = {0x12, 0xA5, 0xFF, 0x00};
+    AvrMcu::Config cfg;
+    cfg.stopOnHalt = false;
+    sim::Kernel k;
+    auto prog = assembleAvr(baseline::avrRadioStackProgram(msg));
+    AvrMcu mcu(k, cfg, prog);
+    mcu.start();
+    k.run(k.now() + sim::kSecond);
+    ASSERT_TRUE(mcu.halted());
+
+    // SPI stream: per byte, codeword lo then hi; finally CRC lo, hi.
+    const auto &spi = mcu.spiOut();
+    ASSERT_EQ(spi.size(), 2 * msg.size() + 2);
+    for (std::size_t i = 0; i < msg.size(); ++i) {
+        std::uint16_t cw = static_cast<std::uint16_t>(
+            spi[2 * i] | (spi[2 * i + 1] << 8));
+        EXPECT_EQ(cw, net::secdedEncode(msg[i])) << "byte " << i;
+    }
+    std::uint16_t crc = static_cast<std::uint16_t>(
+        spi[spi.size() - 2] | (spi.back() << 8));
+    EXPECT_EQ(crc, net::crc16(msg));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Calibration tests: the model must land on the paper's published
+ * operating points (section 4.3 throughput, Figure 4 / Table 1 energy,
+ * section 4.4 breakdown) on a representative handler-style mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "core/machine.hh"
+#include "sim/kernel.hh"
+
+namespace {
+
+using namespace snaple;
+using core::CoreConfig;
+using core::Machine;
+using energy::Cat;
+
+/**
+ * A handler-style workload: mostly one-word register arithmetic, then
+ * loads (the two most frequent classes per section 4.5), plus stores,
+ * immediates, branches and a couple of coprocessor-flavoured ops.
+ */
+std::string
+mixProgram(int iterations)
+{
+    std::string src = R"(
+        li  sp, 2000
+        li  r1, )" + std::to_string(iterations) +
+                      R"(
+        li  r2, 3
+        li  r4, 100     ; buffer base
+    loop:
+        add r2, r2      ; 4x arith reg
+        add r2, r1
+        sub r2, r1
+        add r2, r2
+        ldw r5, 0(r4)   ; 2x load
+        ldw r6, 1(r4)
+        add r5, r6
+        stw r5, 2(r4)   ; 1x store
+        andi r5, 0x00ff ; logical imm
+        slli r5, 2      ; shift imm
+        srl r5, r2      ; shift reg
+        dec r1
+        bnez r1, loop
+        halt
+    )";
+    return src;
+}
+
+struct MixResult
+{
+    double mips;
+    double pj_per_ins;
+    energy::EnergyLedger ledger;
+    std::uint64_t instructions;
+};
+
+MixResult
+runMix(double volts, bool flat_bus = false)
+{
+    CoreConfig cfg;
+    cfg.volts = volts;
+    cfg.flatBus = flat_bus;
+    sim::Kernel k;
+    Machine m(k, cfg);
+    m.load(assembler::assembleSnap(mixProgram(2000)));
+    m.start();
+    k.run(10 * sim::kSecond);
+    EXPECT_TRUE(m.core().halted());
+    const auto &st = m.core().stats();
+    MixResult r;
+    r.instructions = st.instructions;
+    double seconds = sim::toSec(st.activeTime);
+    r.mips = st.instructions / seconds / 1e6;
+    r.pj_per_ins =
+        m.ctx().ledger.processorPj() / double(st.instructions);
+    r.ledger = m.ctx().ledger;
+    return r;
+}
+
+TEST(CalibrationTest, ThroughputMatchesPaperAt18V)
+{
+    MixResult r = runMix(1.8);
+    // Paper: 240 MIPS average at 1.8 V. Allow 15%.
+    EXPECT_NEAR(r.mips, 240.0, 36.0) << "measured " << r.mips;
+}
+
+TEST(CalibrationTest, ThroughputScalesWithVoltage)
+{
+    MixResult v18 = runMix(1.8);
+    MixResult v09 = runMix(0.9);
+    MixResult v06 = runMix(0.6);
+    // Paper ratios: 240/61 = 3.93, 240/28 = 8.56.
+    EXPECT_NEAR(v18.mips / v09.mips, 3.93, 0.15);
+    EXPECT_NEAR(v18.mips / v06.mips, 8.56, 0.30);
+}
+
+TEST(CalibrationTest, EnergyPerInstructionMatchesTable1)
+{
+    MixResult r18 = runMix(1.8);
+    // Table 1: ~216-219 pJ/ins at 1.8 V on handler code. Allow 10%.
+    EXPECT_NEAR(r18.pj_per_ins, 218.0, 22.0)
+        << "measured " << r18.pj_per_ins;
+    MixResult r09 = runMix(0.9);
+    EXPECT_NEAR(r09.pj_per_ins, 55.0, 6.0);
+    MixResult r06 = runMix(0.6);
+    EXPECT_NEAR(r06.pj_per_ins, 24.0, 2.5);
+}
+
+TEST(CalibrationTest, CoreEnergyBreakdownMatchesSection44)
+{
+    MixResult r = runMix(1.8);
+    const auto &l = r.ledger;
+    double core = l.corePj();
+    // Paper: datapath 33%, fetch 20%, decode 16%, mem IF 9%, misc 22%.
+    EXPECT_NEAR(l.pj(Cat::Datapath) / core, 0.33, 0.05);
+    EXPECT_NEAR(l.pj(Cat::Fetch) / core, 0.20, 0.04);
+    EXPECT_NEAR(l.pj(Cat::Decode) / core, 0.16, 0.04);
+    EXPECT_NEAR(l.pj(Cat::MemIf) / core, 0.09, 0.03);
+    EXPECT_NEAR(l.pj(Cat::Misc) / core, 0.22, 0.04);
+    // Memories are about half of the processor total.
+    double mem_share = l.memPj() / (l.corePj() + l.memPj());
+    EXPECT_NEAR(mem_share, 0.5, 0.07);
+}
+
+TEST(CalibrationTest, FlatBusAblationCostsEnergyOnCommonOps)
+{
+    MixResult split = runMix(1.8, false);
+    MixResult flat = runMix(1.8, true);
+    // The mix uses fast-bus units almost exclusively, so a flat bus
+    // must cost more energy per instruction and more time.
+    EXPECT_GT(flat.pj_per_ins, split.pj_per_ins);
+    EXPECT_LT(flat.mips, split.mips);
+}
+
+} // namespace

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Event-driven execution tests: the hardware event queue, sleep/wake
+ * behaviour, handler dispatch, the timer coprocessor, and the r15
+ * message-FIFO window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asm/snap_backend.hh"
+#include "core/machine.hh"
+#include "sim/kernel.hh"
+
+namespace {
+
+using namespace snaple;
+using core::CoreConfig;
+using core::Machine;
+using isa::EventNum;
+
+// Boot installs two handlers and sleeps; handler T0 emits 0xA0,
+// handler T1 emits 0xA1.
+const char *kTwoHandlerProgram = R"(
+    .equ EV_T0, 0
+    .equ EV_T1, 1
+boot:
+    li r1, EV_T0
+    la r2, on_t0
+    setaddr r1, r2
+    li r1, EV_T1
+    la r2, on_t1
+    setaddr r1, r2
+    done
+on_t0:
+    li r3, 0xA0
+    dbgout r3
+    done
+on_t1:
+    li r3, 0xA1
+    dbgout r3
+    done
+)";
+
+TEST(CoreEventTest, BootRunsThenSleeps)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(kTwoHandlerProgram));
+    m.start();
+    k.runFor(sim::kMillisecond);
+    EXPECT_TRUE(m.core().asleep());
+    EXPECT_FALSE(m.core().halted());
+    EXPECT_EQ(m.core().stats().sleeps, 1u);
+    EXPECT_EQ(m.core().handler(EventNum::Timer0),
+              assembler::assembleSnap(kTwoHandlerProgram)
+                  .symbol("on_t0"));
+}
+
+TEST(CoreEventTest, EventTokensDispatchHandlersInFifoOrder)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(kTwoHandlerProgram));
+    m.start();
+    k.runFor(sim::kMillisecond);
+    // Post T1 then T0 then T1: handlers must run in that order.
+    m.postEvent(EventNum::Timer1);
+    m.postEvent(EventNum::Timer0);
+    m.postEvent(EventNum::Timer1);
+    k.runFor(sim::kMillisecond);
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{0xA1, 0xA0, 0xA1}));
+    EXPECT_EQ(m.core().stats().handlers, 3u);
+    EXPECT_TRUE(m.core().asleep());
+}
+
+TEST(CoreEventTest, WakeupLatencyIs18GateDelays)
+{
+    for (double volts : {1.8, 0.9, 0.6}) {
+        CoreConfig cfg;
+        cfg.volts = volts;
+        sim::Kernel k;
+        Machine m(k, cfg);
+        m.load(assembler::assembleSnap(kTwoHandlerProgram));
+        m.start();
+        k.runFor(10 * sim::kMillisecond);
+        ASSERT_TRUE(m.core().asleep());
+        const sim::Tick pushed_at = k.now();
+        m.postEvent(EventNum::Timer0);
+        k.runFor(10 * sim::kMillisecond);
+        // Wake-up latency = event-token propagation through the queue.
+        const double latency_ns =
+            sim::toNs(m.core().stats().lastWake - pushed_at);
+        const double expect_ns =
+            volts == 1.8 ? 2.5 : (volts == 0.9 ? 9.8 : 21.4);
+        EXPECT_NEAR(latency_ns, expect_ns, expect_ns * 0.02)
+            << "at " << volts << " V";
+    }
+}
+
+TEST(CoreEventTest, HandlerAtomicityNoPreemption)
+{
+    // A token arriving mid-handler must not preempt: the second
+    // handler starts only after the first one's `done`.
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 0
+        la r2, on_t0
+        setaddr r1, r2
+        li r1, 1
+        la r2, on_t1
+        setaddr r1, r2
+        done
+    on_t0:
+        li r3, 1
+        dbgout r3
+        li r4, 200      ; long busy loop
+    spin:
+        dec r4
+        bnez r4, spin
+        li r3, 2
+        dbgout r3
+        done
+    on_t1:
+        li r3, 3
+        dbgout r3
+        done
+    )"));
+    m.start();
+    k.runFor(sim::kMillisecond);
+    m.postEvent(EventNum::Timer0);
+    // Let the first handler get going, then inject the second event.
+    k.runFor(2 * sim::kMicrosecond);
+    EXPECT_FALSE(m.core().asleep());
+    m.postEvent(EventNum::Timer1);
+    k.runFor(10 * sim::kMillisecond);
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(CoreEventTest, EventQueueOverflowDropsTokens)
+{
+    CoreConfig cfg;
+    cfg.eventQueueDepth = 2;
+    sim::Kernel k;
+    Machine m(k, cfg);
+    m.load(assembler::assembleSnap(kTwoHandlerProgram)); // boots, sleeps
+    m.start();
+    // Do not run yet: the core has not drained anything, so the queue
+    // can only hold two tokens.
+    EXPECT_TRUE(m.postEvent(EventNum::Timer0));
+    EXPECT_TRUE(m.postEvent(EventNum::Timer0));
+    EXPECT_FALSE(m.postEvent(EventNum::Timer0));
+    EXPECT_EQ(m.eventQueue().dropped(), 1u);
+}
+
+TEST(CoreEventTest, ActiveTimeAccountingSeparatesSleep)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(kTwoHandlerProgram));
+    m.start();
+    k.runFor(10 * sim::kMillisecond);
+    sim::Tick active_after_boot = m.core().stats().activeTime;
+    EXPECT_GT(active_after_boot, 0u);
+    EXPECT_LT(active_after_boot, sim::kMillisecond);
+    m.postEvent(EventNum::Timer0);
+    k.runFor(10 * sim::kMillisecond);
+    sim::Tick active_after_handler = m.core().stats().activeTime;
+    EXPECT_GT(active_after_handler, active_after_boot);
+    // 20 ms of wall time, but only a tiny sliver active.
+    EXPECT_LT(active_after_handler, sim::kMillisecond);
+    EXPECT_EQ(m.core().stats().wakeups, 1u);
+}
+
+// ---------------------------------------------------------------
+// Timer coprocessor.
+// ---------------------------------------------------------------
+
+const char *kTimerProgram = R"(
+    .equ EV_T1, 1
+boot:
+    li r1, EV_T1
+    la r2, on_t1
+    setaddr r1, r2
+    li r1, 1          ; timer register 1
+    li r2, 50         ; 50 ticks = 50 us at the default tick
+    schedlo r1, r2
+    done
+on_t1:
+    li r3, 0xBEEF
+    dbgout r3
+    done
+)";
+
+TEST(CoreTimerTest, ScheduledTimerFiresAfterDuration)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(kTimerProgram));
+    m.start();
+    k.runFor(30 * sim::kMicrosecond);
+    EXPECT_TRUE(m.core().debugOut().empty());
+    EXPECT_TRUE(m.timer().armed(1));
+    k.runFor(40 * sim::kMicrosecond);
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{0xBEEF}));
+    EXPECT_FALSE(m.timer().armed(1));
+    EXPECT_EQ(m.timer().stats().expired, 1u);
+}
+
+TEST(CoreTimerTest, SchedHiExtendsTo24Bits)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 0
+        la r2, on_t0
+        setaddr r1, r2
+        li r1, 0
+        li r2, 2          ; high 8 bits = 2 -> 2*65536 ticks
+        schedhi r1, r2
+        li r2, 0
+        schedlo r1, r2
+        done
+    on_t0:
+        li r3, 1
+        dbgout r3
+        done
+    )"));
+    m.start();
+    // 2 * 65536 us = ~131 ms.
+    k.runFor(100 * sim::kMillisecond);
+    EXPECT_TRUE(m.core().debugOut().empty());
+    k.runFor(50 * sim::kMillisecond);
+    EXPECT_EQ(m.core().debugOut().size(), 1u);
+}
+
+TEST(CoreTimerTest, CancelDeliversTokenExactlyOnce)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 2
+        la r2, on_t2
+        setaddr r1, r2
+        li r1, 2
+        li r2, 1000      ; 1 ms
+        schedlo r1, r2
+        cancel r1
+        done
+    on_t2:
+        li r3, 0xCA
+        dbgout r3
+        done
+    )"));
+    m.start();
+    k.runFor(5 * sim::kMillisecond);
+    // Exactly one token: from the cancel, not from expiry.
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{0xCA}));
+    EXPECT_EQ(m.timer().stats().canceled, 1u);
+    EXPECT_EQ(m.timer().stats().expired, 0u);
+}
+
+TEST(CoreTimerTest, CancelOfIdleTimerIsSilent)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 0
+        la r2, on_t0
+        setaddr r1, r2
+        li r1, 0
+        cancel r1
+        done
+    on_t0:
+        li r3, 1
+        dbgout r3
+        done
+    )"));
+    m.start();
+    k.runFor(5 * sim::kMillisecond);
+    EXPECT_TRUE(m.core().debugOut().empty());
+    EXPECT_EQ(m.timer().stats().canceled, 0u);
+}
+
+TEST(CoreTimerTest, PeriodicRescheduleFromHandler)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 0
+        la r2, tick
+        setaddr r1, r2
+        li r1, 0
+        li r2, 100
+        schedlo r1, r2
+        done
+    tick:
+        dbgout r2        ; marker
+        li r1, 0
+        li r2, 100
+        schedlo r1, r2   ; re-arm: periodic timer
+        done
+    )"));
+    m.start();
+    k.runFor(sim::kMillisecond + 50 * sim::kMicrosecond);
+    // ~10 periods of 100 us in 1.05 ms.
+    EXPECT_EQ(m.core().debugOut().size(), 10u);
+    EXPECT_EQ(m.timer().stats().expired, 10u);
+}
+
+TEST(CoreTimerTest, BadTimerNumberIsFatal)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap("li r1, 3\n li r2, 10\n"
+                                   " schedlo r1, r2\n done\n"));
+    m.start();
+    EXPECT_THROW(k.run(5 * sim::kMillisecond), sim::FatalError);
+}
+
+// ---------------------------------------------------------------
+// The r15 message-FIFO window.
+// ---------------------------------------------------------------
+
+TEST(CoreMsgTest, WritingR15EnqueuesIntoIncomingFifo)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r15, 0x1111
+        li r1, 0x2222
+        mov r15, r1
+        halt
+    )"));
+    m.start();
+    k.run(10 * sim::kMillisecond);
+    ASSERT_EQ(m.msgIn().size(), 2u);
+}
+
+TEST(CoreMsgTest, ReadingR15DequeuesAndStallsWhenEmpty)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        mov r1, r15     ; stalls until a word arrives
+        dbgout r1
+        halt
+    )"));
+    m.start();
+    k.runFor(sim::kMillisecond);
+    EXPECT_FALSE(m.core().halted()); // stalled on empty FIFO
+    m.msgOut().tryPush(0x5a5a);
+    k.runFor(sim::kMillisecond);
+    EXPECT_TRUE(m.core().halted());
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{0x5a5a}));
+}
+
+TEST(CoreMsgTest, R15AsAluSourceOperand)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r1, 100
+        add r1, r15     ; r1 += dequeued word
+        dbgout r1
+        halt
+    )"));
+    m.msgOut().tryPush(23);
+    m.start();
+    k.run(10 * sim::kMillisecond);
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{123}));
+}
+
+TEST(CoreMsgTest, StoreFromR15ToMemory)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(R"(
+        li r2, 50
+        stw r15, 0(r2)   ; store dequeued word to DMEM[50]
+        ldw r3, 50(r0)
+        dbgout r3
+        halt
+    )"));
+    m.msgOut().tryPush(0x77aa);
+    m.start();
+    k.run(10 * sim::kMillisecond);
+    EXPECT_EQ(m.core().debugOut(),
+              (std::vector<std::uint16_t>{0x77aa}));
+}
+
+} // namespace

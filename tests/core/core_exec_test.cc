@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Instruction-semantics tests for the SNAP/LE core: every opcode is
+ * executed on the full machine model and observed through `dbgout`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/snap_backend.hh"
+#include "core/machine.hh"
+#include "sim/kernel.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace snaple;
+using core::CoreConfig;
+using core::Machine;
+
+/** Assemble, run to halt, and return the dbgout stream. */
+std::vector<std::uint16_t>
+runProgram(const std::string &src, const CoreConfig &cfg = {},
+           sim::Tick limit = 100 * sim::kMillisecond)
+{
+    sim::Kernel k;
+    Machine m(k, cfg);
+    m.load(assembler::assembleSnap(src));
+    m.start();
+    k.run(k.now() + limit);
+    EXPECT_TRUE(m.core().halted()) << "program did not halt";
+    return m.core().debugOut();
+}
+
+std::uint16_t
+runOne(const std::string &src)
+{
+    auto out = runProgram(src);
+    EXPECT_EQ(out.size(), 1u);
+    return out.empty() ? 0xdead : out[0];
+}
+
+TEST(CoreExecTest, MovLiAndDbgout)
+{
+    EXPECT_EQ(runOne("li r1, 1234\n dbgout r1\n halt\n"), 1234);
+    EXPECT_EQ(runOne("li r2, 7\n mov r3, r2\n dbgout r3\n halt\n"), 7);
+}
+
+TEST(CoreExecTest, ArithmeticRegisterForms)
+{
+    EXPECT_EQ(runOne("li r1, 40\n li r2, 2\n add r1, r2\n dbgout r1\n"
+                     " halt\n"),
+              42);
+    EXPECT_EQ(runOne("li r1, 40\n li r2, 2\n sub r1, r2\n dbgout r1\n"
+                     " halt\n"),
+              38);
+    EXPECT_EQ(runOne("li r1, 5\n neg r2, r1\n dbgout r2\n halt\n"),
+              0xfffb);
+}
+
+TEST(CoreExecTest, ArithmeticImmediateForms)
+{
+    EXPECT_EQ(runOne("li r1, 10\n addi r1, 32\n dbgout r1\n halt\n"), 42);
+    EXPECT_EQ(runOne("li r1, 10\n subi r1, 11\n dbgout r1\n halt\n"),
+              0xffff);
+}
+
+TEST(CoreExecTest, LogicalOperations)
+{
+    EXPECT_EQ(runOne("li r1, 0x0ff0\n li r2, 0x00ff\n and r1, r2\n"
+                     " dbgout r1\n halt\n"),
+              0x00f0);
+    EXPECT_EQ(runOne("li r1, 0x0ff0\n ori r1, 0x000f\n dbgout r1\n"
+                     " halt\n"),
+              0x0fff);
+    EXPECT_EQ(runOne("li r1, 0xaaaa\n xori r1, 0xffff\n dbgout r1\n"
+                     " halt\n"),
+              0x5555);
+    EXPECT_EQ(runOne("li r1, 0x00ff\n not r2, r1\n dbgout r2\n halt\n"),
+              0xff00);
+}
+
+TEST(CoreExecTest, Shifts)
+{
+    EXPECT_EQ(runOne("li r1, 1\n slli r1, 4\n dbgout r1\n halt\n"), 16);
+    EXPECT_EQ(runOne("li r1, 0x8000\n srli r1, 15\n dbgout r1\n halt\n"),
+              1);
+    // Arithmetic right shift sign-extends.
+    EXPECT_EQ(runOne("li r1, 0x8000\n srai r1, 15\n dbgout r1\n halt\n"),
+              0xffff);
+    // Register shift amount is taken modulo 16.
+    EXPECT_EQ(runOne("li r1, 2\n li r2, 17\n sll r1, r2\n dbgout r1\n"
+                     " halt\n"),
+              4);
+}
+
+TEST(CoreExecTest, CarryChainAcrossAddSubtract)
+{
+    // 0xffff + 1 = 0x10000: low word 0, carry out 1.
+    auto out = runProgram("li r1, 0xffff\n li r2, 1\n li r3, 0\n"
+                          " add r1, r2\n"   // sets carry
+                          " addc r3, r3\n"  // r3 = 0 + 0 + carry
+                          " dbgout r1\n dbgout r3\n halt\n");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 1);
+}
+
+TEST(CoreExecTest, BorrowChainAcrossSubtract)
+{
+    // 0x0000 - 1 borrows: carry (no-borrow flag) clears.
+    auto out = runProgram("li r1, 0\n li r2, 1\n li r3, 5\n li r4, 0\n"
+                          " sub r1, r2\n"   // borrow -> carry = 0
+                          " subc r3, r4\n"  // r3 = 5 - 0 - 1 = 4
+                          " dbgout r1\n dbgout r3\n halt\n");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0xffff);
+    EXPECT_EQ(out[1], 4);
+}
+
+TEST(CoreExecTest, BitFieldSet)
+{
+    // bfs rd, rs, mask: selected bits come from rs.
+    EXPECT_EQ(runOne("li r1, 0xab00\n li r2, 0x00cd\n"
+                     " bfs r1, r2, 0x00ff\n dbgout r1\n halt\n"),
+              0xabcd);
+    EXPECT_EQ(runOne("li r1, 0x1234\n li r2, 0xff00\n"
+                     " bfs r1, r2, 0xf000\n dbgout r1\n halt\n"),
+              0xf234);
+}
+
+TEST(CoreExecTest, DataMemoryLoadStore)
+{
+    auto out = runProgram(R"(
+        li  r1, 0xbeef
+        li  r2, 100
+        stw r1, 5(r2)
+        ldw r3, 105(r0)
+        dbgout r3
+        halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0xbeef);
+}
+
+TEST(CoreExecTest, DmemImageIsVisibleToLoads)
+{
+    EXPECT_EQ(runOne(R"(
+        ldw r1, val(r0)
+        dbgout r1
+        halt
+        .dmem
+        .org 8
+    val:.word 777
+    )"),
+              777);
+}
+
+TEST(CoreExecTest, InstructionMemoryLoadStoreAndSelfModify)
+{
+    // Overwrite the `li r5, 1` immediate (word at patch+1) before it
+    // executes: SNAP/LE allows self-modifying code (section 3.1).
+    // Because fetch runs ahead of execute, the patch must be separated
+    // from the store by a control transfer: fetch blocks on the jmp
+    // until execute (which has already performed the sti) resolves it.
+    auto out = runProgram(R"(
+        li  r1, 42
+        la  r2, patch
+        sti r1, 1(r2)
+        jmp patch
+    patch:
+        li  r5, 1
+        dbgout r5
+        halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42);
+}
+
+TEST(CoreExecTest, LdiReadsProgramText)
+{
+    EXPECT_EQ(runOne(R"(
+        ldi r1, tbl(r0)
+        dbgout r1
+        halt
+    tbl:.word 0x1289
+    )"),
+              0x1289);
+}
+
+TEST(CoreExecTest, BranchesTakenAndNotTaken)
+{
+    EXPECT_EQ(runOne(R"(
+        li r1, 0
+        beqz r1, yes
+        li r2, 1
+        dbgout r2
+        halt
+    yes:
+        li r2, 2
+        dbgout r2
+        halt
+    )"),
+              2);
+    EXPECT_EQ(runOne(R"(
+        li r1, 3
+        beqz r1, yes
+        li r2, 1
+        dbgout r2
+        halt
+    yes:
+        li r2, 2
+        dbgout r2
+        halt
+    )"),
+              1);
+}
+
+TEST(CoreExecTest, SignedBranches)
+{
+    EXPECT_EQ(runOne("li r1, 0x8000\n bltz r1, neg\n li r2, 0\n"
+                     " dbgout r2\n halt\nneg: li r2, 1\n dbgout r2\n"
+                     " halt\n"),
+              1);
+    EXPECT_EQ(runOne("li r1, 0x7fff\n bgez r1, pos\n li r2, 0\n"
+                     " dbgout r2\n halt\npos: li r2, 1\n dbgout r2\n"
+                     " halt\n"),
+              1);
+}
+
+TEST(CoreExecTest, LoopComputesSum)
+{
+    // Sum 1..10 = 55.
+    EXPECT_EQ(runOne(R"(
+        li r1, 10
+        clr r2
+    loop:
+        add r2, r1
+        dec r1
+        bnez r1, loop
+        dbgout r2
+        halt
+    )"),
+              55);
+}
+
+TEST(CoreExecTest, JalAndJrImplementCalls)
+{
+    auto out = runProgram(R"(
+        li r1, 5
+        call double
+        dbgout r1
+        halt
+    double:
+        add r1, r1
+        ret
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 10);
+}
+
+TEST(CoreExecTest, JalrLinksAndJumps)
+{
+    auto out = runProgram(R"(
+        la r2, target
+        jalr r3, r2
+        halt            ; skipped
+    target:
+        dbgout r3       ; link = address of the halt above
+        halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    // jalr is at word 2 (after la = 2 words), link = 3.
+    EXPECT_EQ(out[0], 3u);
+}
+
+TEST(CoreExecTest, StackPushPop)
+{
+    auto out = runProgram(R"(
+        li sp, 1024
+        li r1, 111
+        li r2, 222
+        push r1
+        push r2
+        clr r1
+        clr r2
+        pop r2
+        pop r1
+        dbgout r1
+        dbgout r2
+        halt
+    )");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 111);
+    EXPECT_EQ(out[1], 222);
+}
+
+TEST(CoreExecTest, RandProducesLfsrSequenceAndSeedResets)
+{
+    auto out = runProgram(R"(
+        li r1, 0x1
+        seed r1
+        rand r2
+        dbgout r2
+        rand r2
+        dbgout r2
+        seed r1
+        rand r2
+        dbgout r2
+        halt
+    )");
+    ASSERT_EQ(out.size(), 3u);
+    core::Lfsr16 ref(1);
+    std::uint16_t a = ref.next();
+    std::uint16_t b = ref.next();
+    EXPECT_EQ(out[0], a);
+    EXPECT_EQ(out[1], b);
+    EXPECT_EQ(out[2], a); // reseeded
+    EXPECT_NE(out[0], out[1]);
+}
+
+TEST(CoreExecTest, MemoryOutOfRangeIsFatal)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap("li r1, 4000\n ldw r2, 0(r1)\n"
+                                   " halt\n"));
+    m.start();
+    EXPECT_THROW(k.run(), sim::FatalError);
+}
+
+TEST(CoreExecTest, IllegalOpcodeIsFatal)
+{
+    sim::Kernel k;
+    Machine m(k);
+    assembler::Program p;
+    p.imem = {0xF000}; // reserved opcode
+    m.load(p);
+    m.start();
+    EXPECT_THROW(k.run(), sim::FatalError);
+}
+
+TEST(CoreExecTest, InstructionStatsCountClasses)
+{
+    sim::Kernel k;
+    Machine m(k);
+    m.load(assembler::assembleSnap(
+        "li r1, 1\n li r2, 2\n add r1, r2\n add r1, r2\n"
+        " ldw r3, 0(r0)\n halt\n"));
+    m.start();
+    k.run();
+    const auto &st = m.core().stats();
+    EXPECT_EQ(st.instructions, 6u);
+    using isa::InstrClass;
+    EXPECT_EQ(st.perClass[size_t(InstrClass::ArithImm)], 2u); // li x2
+    EXPECT_EQ(st.perClass[size_t(InstrClass::ArithReg)], 2u);
+    EXPECT_EQ(st.perClass[size_t(InstrClass::Load)], 1u);
+    EXPECT_EQ(st.perClass[size_t(InstrClass::Sys)], 1u);
+    // li/ldw are two words each: 2*2 + 2*1 + 1*2 + 1 = 9 words.
+    EXPECT_EQ(st.wordsFetched, 9u);
+}
+
+// ---------------------------------------------------------------
+// Property tests: multi-word arithmetic against a 32-bit reference.
+// ---------------------------------------------------------------
+
+class CarryChainProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CarryChainProperty, Add32MatchesReference)
+{
+    sim::Rng rng(GetParam());
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t expect = a + b;
+
+    std::string src;
+    src += "li r1, " + std::to_string(a & 0xffff) + "\n";
+    src += "li r2, " + std::to_string(a >> 16) + "\n";
+    src += "li r3, " + std::to_string(b & 0xffff) + "\n";
+    src += "li r4, " + std::to_string(b >> 16) + "\n";
+    src += "add r1, r3\n";  // low halves; sets carry
+    src += "addc r2, r4\n"; // high halves + carry
+    src += "dbgout r1\n dbgout r2\n halt\n";
+
+    auto out = runProgram(src);
+    ASSERT_EQ(out.size(), 2u);
+    std::uint32_t got = (std::uint32_t(out[1]) << 16) | out[0];
+    EXPECT_EQ(got, expect) << a << " + " << b;
+}
+
+TEST_P(CarryChainProperty, Sub32MatchesReference)
+{
+    sim::Rng rng(GetParam() * 31 + 7);
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t expect = a - b;
+
+    std::string src;
+    src += "li r1, " + std::to_string(a & 0xffff) + "\n";
+    src += "li r2, " + std::to_string(a >> 16) + "\n";
+    src += "li r3, " + std::to_string(b & 0xffff) + "\n";
+    src += "li r4, " + std::to_string(b >> 16) + "\n";
+    src += "sub r1, r3\n";
+    src += "subc r2, r4\n";
+    src += "dbgout r1\n dbgout r2\n halt\n";
+
+    auto out = runProgram(src);
+    ASSERT_EQ(out.size(), 2u);
+    std::uint32_t got = (std::uint32_t(out[1]) << 16) | out[0];
+    EXPECT_EQ(got, expect) << a << " - " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOperands, CarryChainProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{25}));
+
+class BfsProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BfsProperty, MatchesReferenceMerge)
+{
+    sim::Rng rng(GetParam() * 1337);
+    std::uint16_t dst = rng.uniform16();
+    std::uint16_t src_v = rng.uniform16();
+    std::uint16_t mask = rng.uniform16();
+    std::uint16_t expect = (dst & ~mask) | (src_v & mask);
+
+    std::string src;
+    src += "li r1, " + std::to_string(dst) + "\n";
+    src += "li r2, " + std::to_string(src_v) + "\n";
+    src += "bfs r1, r2, " + std::to_string(mask) + "\n";
+    src += "dbgout r1\n halt\n";
+    EXPECT_EQ(runOne(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMasks, BfsProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{17}));
+
+} // namespace

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Differential test: a second, independent implementation of the SNAP
+ * ISA semantics (a host-side golden model with no timing, no
+ * pipeline, no coprocessors) executes the same randomly generated
+ * programs as the full SNAP/LE machine model; architectural results
+ * (debug stream, registers via dbgout, data memory) must agree
+ * exactly.
+ *
+ * The generator emits loads/stores, the full ALU, forward branches
+ * and jumps, LFSR ops and bfs — everything except the coprocessor and
+ * r15 paths, which have their own integration tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asm/snap_backend.hh"
+#include "core/lfsr.hh"
+#include "core/machine.hh"
+#include "isa/instruction.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace snaple;
+
+/** The golden model: untimed architectural interpreter. */
+class RefMachine
+{
+  public:
+    explicit RefMachine(const assembler::Program &prog)
+        : imem_(prog.imem), dmem_(2048, 0)
+    {
+        imem_.resize(2048, 0);
+        for (std::size_t i = 0; i < prog.dmem.size(); ++i)
+            dmem_[i] = prog.dmem[i];
+    }
+
+    /** Run until halt; returns false on runaway (bug in generator). */
+    bool
+    run(std::uint64_t max_steps = 200000)
+    {
+        while (max_steps--) {
+            isa::DecodedInst d = isa::decodeFirst(imem_.at(pc_));
+            std::uint16_t pc_next =
+                static_cast<std::uint16_t>(pc_ + 1);
+            if (d.twoWord) {
+                d.imm = imem_.at(pc_next);
+                ++pc_next;
+            }
+            if (!step(d, pc_next))
+                return true; // halted
+        }
+        return false;
+    }
+
+    std::vector<std::uint16_t> dbg;
+    std::uint16_t dmemAt(std::uint16_t a) const { return dmem_[a]; }
+
+  private:
+    bool
+    step(const isa::DecodedInst &d, std::uint16_t pc_next)
+    {
+        using isa::AluFn;
+        using isa::Op;
+        std::uint16_t vd = d.readsRd ? regs_[d.rd] : 0;
+        std::uint16_t vs = d.readsRs ? regs_[d.rs] : 0;
+        std::uint16_t result = 0;
+        std::uint16_t new_pc = pc_next;
+        auto arith = [&](std::uint32_t wide) {
+            carry_ = (wide >> 16) & 1;
+            result = static_cast<std::uint16_t>(wide);
+        };
+        switch (d.op) {
+          case Op::AluR:
+          case Op::AluI: {
+            std::uint16_t b = (d.op == Op::AluI) ? d.imm : vs;
+            switch (d.aluFn()) {
+              case AluFn::Add: arith(std::uint32_t(vd) + b); break;
+              case AluFn::Addc:
+                arith(std::uint32_t(vd) + b + carry_);
+                break;
+              case AluFn::Sub:
+                arith(std::uint32_t(vd) + (~b & 0xffffu) + 1);
+                break;
+              case AluFn::Subc:
+                arith(std::uint32_t(vd) + (~b & 0xffffu) + carry_);
+                break;
+              case AluFn::And: result = vd & b; break;
+              case AluFn::Or: result = vd | b; break;
+              case AluFn::Xor: result = vd ^ b; break;
+              case AluFn::Not: result = ~b; break;
+              case AluFn::Sll:
+                result = static_cast<std::uint16_t>(vd << (b & 15));
+                break;
+              case AluFn::Srl:
+                result = static_cast<std::uint16_t>(vd >> (b & 15));
+                break;
+              case AluFn::Sra:
+                result = static_cast<std::uint16_t>(
+                    static_cast<std::int16_t>(vd) >> (b & 15));
+                break;
+              case AluFn::Mov: result = b; break;
+              case AluFn::Neg:
+                result = static_cast<std::uint16_t>(-b);
+                break;
+              case AluFn::Rand: result = lfsr_.next(); break;
+              case AluFn::Seed: lfsr_.seed(vs); break;
+            }
+            break;
+          }
+          case Op::Ldw:
+            result = dmem_.at(static_cast<std::uint16_t>(vs + d.imm));
+            break;
+          case Op::Stw:
+            dmem_.at(static_cast<std::uint16_t>(vs + d.imm)) = vd;
+            break;
+          case Op::Ldi:
+            result = imem_.at(static_cast<std::uint16_t>(vs + d.imm));
+            break;
+          case Op::Sti:
+            imem_.at(static_cast<std::uint16_t>(vs + d.imm)) = vd;
+            break;
+          case Op::Beqz:
+          case Op::Bnez:
+          case Op::Bltz:
+          case Op::Bgez: {
+            std::int16_t sv = static_cast<std::int16_t>(vd);
+            bool taken = (d.op == Op::Beqz && vd == 0) ||
+                         (d.op == Op::Bnez && vd != 0) ||
+                         (d.op == Op::Bltz && sv < 0) ||
+                         (d.op == Op::Bgez && sv >= 0);
+            if (taken)
+                new_pc =
+                    static_cast<std::uint16_t>(pc_next + d.off8);
+            break;
+          }
+          case Op::Jmp:
+            switch (d.jmpFn()) {
+              case isa::JmpFn::Jmp: new_pc = d.imm; break;
+              case isa::JmpFn::Jal:
+                result = pc_next;
+                new_pc = d.imm;
+                break;
+              case isa::JmpFn::Jr: new_pc = vs; break;
+              case isa::JmpFn::Jalr:
+                result = pc_next;
+                new_pc = vs;
+                break;
+            }
+            break;
+          case Op::Bfs:
+            result = static_cast<std::uint16_t>((vd & ~d.imm) |
+                                                (vs & d.imm));
+            break;
+          case Op::Sys:
+            if (d.sysFn() == isa::SysFn::Halt)
+                return false;
+            if (d.sysFn() == isa::SysFn::DbgOut)
+                dbg.push_back(vd);
+            break;
+          default:
+            ADD_FAILURE() << "unsupported op in golden model";
+            return false;
+        }
+        if (d.writesRd)
+            regs_[d.rd] = result;
+        pc_ = new_pc;
+        return true;
+    }
+
+    std::vector<std::uint16_t> imem_;
+    std::vector<std::uint16_t> dmem_;
+    std::array<std::uint16_t, 15> regs_{};
+    bool carry_ = false;
+    core::Lfsr16 lfsr_;
+    std::uint16_t pc_ = 0;
+};
+
+/** Random-program generator: straight-line + forward branches. */
+std::string
+generate(sim::Rng &rng, int blocks)
+{
+    std::string src;
+    for (int r = 1; r <= 9; ++r)
+        src += "li r" + std::to_string(r) + ", " +
+               std::to_string(rng.uniform16()) + "\n";
+    src += "seed r1\n";
+    int label = 0;
+    auto reg = [&] {
+        return "r" + std::to_string(1 + rng.uniformInt(0, 8));
+    };
+    for (int b = 0; b < blocks; ++b) {
+        switch (rng.uniformInt(0, 9)) {
+          case 0:
+            src += "add " + reg() + ", " + reg() + "\n";
+            break;
+          case 1:
+            src += "subc " + reg() + ", " + reg() + "\n";
+            break;
+          case 2:
+            src += "xori " + reg() + ", " +
+                   std::to_string(rng.uniform16()) + "\n";
+            break;
+          case 3:
+            src += "sra " + reg() + ", " + reg() + "\n";
+            break;
+          case 4:
+            src += "stw " + reg() + ", " +
+                   std::to_string(rng.uniformInt(0, 255)) + "(r0)\n";
+            break;
+          case 5:
+            src += "ldw " + reg() + ", " +
+                   std::to_string(rng.uniformInt(0, 255)) + "(r0)\n";
+            break;
+          case 6:
+            src += "bfs " + reg() + ", " + reg() + ", " +
+                   std::to_string(rng.uniform16()) + "\n";
+            break;
+          case 7:
+            src += "rand " + reg() + "\n";
+            break;
+          case 8: {
+            // Forward branch over a couple of instructions.
+            std::string l = "L" + std::to_string(label++);
+            const char *cond =
+                rng.chance(0.5) ? "bnez" : "bgez";
+            src += std::string(cond) + " " + reg() + ", " + l + "\n";
+            src += "addi " + reg() + ", 1\n";
+            src += "neg " + reg() + ", " + reg() + "\n";
+            src += l + ":\n";
+            break;
+          }
+          case 9:
+            src += "dbgout " + reg() + "\n";
+            break;
+        }
+    }
+    // Emit all registers, then some memory, then halt.
+    for (int r = 1; r <= 9; ++r)
+        src += "dbgout r" + std::to_string(r) + "\n";
+    src += "halt\n";
+    return src;
+}
+
+class GoldenModel : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GoldenModel, MachineAgreesWithUntimedReference)
+{
+    sim::Rng rng(GetParam() * 48271 + 11);
+    std::string src = generate(rng, 120);
+    assembler::Program prog = assembler::assembleSnap(src);
+
+    RefMachine ref(prog);
+    ASSERT_TRUE(ref.run()) << "golden model did not halt";
+
+    sim::Kernel k;
+    core::Machine m(k);
+    m.load(prog);
+    m.start();
+    k.run(k.now() + 10 * sim::kSecond);
+    ASSERT_TRUE(m.core().halted()) << "machine did not halt";
+
+    EXPECT_EQ(m.core().debugOut(), ref.dbg);
+    for (std::uint16_t a = 0; a < 256; ++a)
+        ASSERT_EQ(m.dmem().peek(a), ref.dmemAt(a)) << "dmem[" << a
+                                                   << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenModel,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{31}));
+
+} // namespace

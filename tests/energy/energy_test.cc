@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the voltage scaling model and the energy ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/calibration.hh"
+#include "energy/ledger.hh"
+#include "energy/voltage.hh"
+
+namespace {
+
+using namespace snaple::energy;
+
+TEST(VoltageTest, GateDelayMatchesPaperAtCalibrationPoints)
+{
+    VoltageModel m;
+    // 18 gate delays must reproduce the published wake-up latencies.
+    EXPECT_NEAR(18.0 * m.gateDelay(1.8), 2500.0, 20.0);
+    EXPECT_NEAR(18.0 * m.gateDelay(0.9), 9800.0, 20.0);
+    EXPECT_NEAR(18.0 * m.gateDelay(0.6), 21400.0, 20.0);
+}
+
+TEST(VoltageTest, DelayFactorIsMonotoneDecreasingInVoltage)
+{
+    VoltageModel m;
+    double prev = 1e9;
+    for (double v = 0.5; v <= 2.0; v += 0.05) {
+        double f = m.delayFactor(v);
+        EXPECT_LT(f, prev) << "at " << v << " V";
+        prev = f;
+    }
+}
+
+TEST(VoltageTest, EnergyFactorIsVSquared)
+{
+    VoltageModel m;
+    EXPECT_DOUBLE_EQ(m.energyFactor(1.8), 1.0);
+    EXPECT_NEAR(m.energyFactor(0.9), 0.25, 1e-12);
+    EXPECT_NEAR(m.energyFactor(0.6), 1.0 / 9.0, 1e-12);
+}
+
+TEST(VoltageTest, OperatingPointScalesDelaysAndEnergies)
+{
+    OperatingPoint op06(0.6);
+    OperatingPoint op18(1.8);
+    EXPECT_NEAR(static_cast<double>(op18.gd(18)), 2500.0, 20.0);
+    EXPECT_NEAR(static_cast<double>(op06.gd(18)), 21400.0, 40.0);
+    EXPECT_NEAR(op06.scalePj(218.0), 218.0 / 9.0, 0.01);
+    EXPECT_DOUBLE_EQ(op18.scalePj(218.0), 218.0);
+}
+
+TEST(VoltageTest, InterpolationIsSaneBetweenPoints)
+{
+    VoltageModel m;
+    // 1.2 V sits between 0.9 and 1.8 V: factor between their factors.
+    double f = m.delayFactor(1.2);
+    EXPECT_GT(f, 1.0);
+    EXPECT_LT(f, 9.8 / 2.5);
+}
+
+TEST(LedgerTest, CategoriesAccumulateIndependently)
+{
+    EnergyLedger l;
+    l.add(Cat::Datapath, 10.0);
+    l.add(Cat::Fetch, 5.0);
+    l.add(Cat::Imem, 20.0);
+    l.add(Cat::Datapath, 2.5);
+    EXPECT_DOUBLE_EQ(l.pj(Cat::Datapath), 12.5);
+    EXPECT_DOUBLE_EQ(l.pj(Cat::Fetch), 5.0);
+    EXPECT_DOUBLE_EQ(l.corePj(), 17.5);
+    EXPECT_DOUBLE_EQ(l.memPj(), 20.0);
+    EXPECT_DOUBLE_EQ(l.totalPj(), 37.5);
+}
+
+TEST(LedgerTest, SinceComputesDeltas)
+{
+    EnergyLedger l;
+    l.add(Cat::Dmem, 7.0);
+    EnergyLedger snapshot = l;
+    l.add(Cat::Dmem, 3.0);
+    l.add(Cat::Misc, 1.0);
+    EnergyLedger d = l.since(snapshot);
+    EXPECT_DOUBLE_EQ(d.pj(Cat::Dmem), 3.0);
+    EXPECT_DOUBLE_EQ(d.pj(Cat::Misc), 1.0);
+    EXPECT_DOUBLE_EQ(d.totalPj(), 4.0);
+}
+
+TEST(CalibrationTest, WorkedExampleOneWordAluIsInFigure4Tier)
+{
+    // The header's worked example: a one-word register add.
+    EnergyCal c;
+    double pj = c.imemReadPj + c.fetchPerWordPj + c.memIfPerWordPj +
+                c.decodePj + c.miscPj + 2 * c.regReadPj + c.regWritePj +
+                2 * c.busFastPj + c.adderPj;
+    EXPECT_GT(pj, 140.0);
+    EXPECT_LT(pj, 180.0);
+}
+
+TEST(CalibrationTest, MemoryOpTierIsUnder300pJ)
+{
+    EnergyCal c;
+    double pj = 2 * (c.imemReadPj + c.fetchPerWordPj + c.memIfPerWordPj) +
+                c.decodePj + c.miscPj + c.regReadPj + c.regWritePj +
+                2 * c.busFastPj + c.ldstPj + c.dmemReadPj;
+    EXPECT_GT(pj, 250.0);
+    EXPECT_LT(pj, 300.0);
+}
+
+TEST(CalibrationTest, WakeupPathIs18GateDelays)
+{
+    TimingCal t;
+    EXPECT_DOUBLE_EQ(t.eventWakeGd, 18.0);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the CRC-16 and SEC-DED reference codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/crc.hh"
+#include "net/secded.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace snaple::net;
+
+TEST(CrcTest, KnownVectors)
+{
+    // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    std::vector<std::uint8_t> msg = {'1', '2', '3', '4', '5',
+                                     '6', '7', '8', '9'};
+    EXPECT_EQ(crc16(msg), 0x29B1);
+    EXPECT_EQ(crc16({}), 0xFFFF);
+}
+
+TEST(CrcTest, SingleBitFlipsChangeCrc)
+{
+    std::vector<std::uint8_t> msg = {0xDE, 0xAD, 0xBE, 0xEF};
+    std::uint16_t base = crc16(msg);
+    for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto tampered = msg;
+            tampered[byte] ^= (1u << bit);
+            EXPECT_NE(crc16(tampered), base)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(CrcTest, IncrementalEqualsBulk)
+{
+    std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5, 6};
+    std::uint16_t inc = 0xffff;
+    for (auto b : msg)
+        inc = crc16Update(inc, b);
+    EXPECT_EQ(inc, crc16(msg));
+}
+
+TEST(SecdedTest, RoundTripAllBytes)
+{
+    for (int d = 0; d < 256; ++d) {
+        auto cw = secdedEncode(static_cast<std::uint8_t>(d));
+        EXPECT_LT(cw, 1u << 13) << "codeword uses only 13 bits";
+        auto r = secdedDecode(cw);
+        EXPECT_EQ(r.status, SecdedStatus::Ok);
+        EXPECT_EQ(r.data, d);
+    }
+}
+
+TEST(SecdedTest, EverySingleBitErrorIsCorrected)
+{
+    for (int d = 0; d < 256; ++d) {
+        std::uint16_t cw = secdedEncode(static_cast<std::uint8_t>(d));
+        for (int bit = 0; bit < 13; ++bit) {
+            auto r = secdedDecode(cw ^ (1u << bit));
+            EXPECT_EQ(r.status, SecdedStatus::Corrected)
+                << "data " << d << " bit " << bit;
+            EXPECT_EQ(r.data, d) << "data " << d << " bit " << bit;
+        }
+    }
+}
+
+TEST(SecdedTest, EveryDoubleBitErrorIsDetected)
+{
+    // Exhaustive over a sample of bytes, all bit pairs.
+    for (int d : {0x00, 0x5a, 0xa5, 0xff, 0x13, 0xc7}) {
+        std::uint16_t cw = secdedEncode(static_cast<std::uint8_t>(d));
+        for (int i = 0; i < 13; ++i) {
+            for (int j = i + 1; j < 13; ++j) {
+                auto r =
+                    secdedDecode(cw ^ (1u << i) ^ (1u << j));
+                EXPECT_EQ(r.status, SecdedStatus::Uncorrectable)
+                    << "data " << d << " bits " << i << "," << j;
+            }
+        }
+    }
+}
+
+class SecdedProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SecdedProperty, RandomNoiseNeverMiscorrectsSilently)
+{
+    snaple::sim::Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint8_t d = static_cast<std::uint8_t>(rng.next());
+        std::uint16_t cw = secdedEncode(d);
+        int flips = static_cast<int>(rng.uniformInt(0, 2));
+        std::uint16_t noisy = cw;
+        int b1 = -1;
+        for (int f = 0; f < flips; ++f) {
+            int bit;
+            do {
+                bit = static_cast<int>(rng.uniformInt(0, 12));
+            } while (bit == b1);
+            b1 = bit;
+            noisy ^= (1u << bit);
+        }
+        auto r = secdedDecode(noisy);
+        switch (flips) {
+          case 0:
+            EXPECT_EQ(r.status, SecdedStatus::Ok);
+            EXPECT_EQ(r.data, d);
+            break;
+          case 1:
+            EXPECT_EQ(r.status, SecdedStatus::Corrected);
+            EXPECT_EQ(r.data, d);
+            break;
+          case 2:
+            EXPECT_EQ(r.status, SecdedStatus::Uncorrectable);
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecdedProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{9}));
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Radio medium and transceiver tests (host-driven, no guest code).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/context.hh"
+#include "radio/medium.hh"
+#include "radio/transceiver.hh"
+
+namespace {
+
+using namespace snaple;
+using coproc::RadioMode;
+using radio::Medium;
+using radio::RadioConfig;
+using radio::Transceiver;
+
+struct Rig
+{
+    sim::Kernel kernel;
+    core::NodeContext ctxA;
+    core::NodeContext ctxB;
+    Medium medium;
+    Transceiver a;
+    Transceiver b;
+
+    Rig()
+        : ctxA(kernel), ctxB(kernel), medium(kernel),
+          a(ctxA, medium), b(ctxB, medium)
+    {}
+};
+
+sim::Co<void>
+txWords(Transceiver &t, std::vector<std::uint16_t> words)
+{
+    for (auto w : words)
+        co_await t.transmit(w);
+}
+
+TEST(RadioTest, WordAirtimeMatches19200Bps)
+{
+    Rig r;
+    // 16 bits / 19200 bps = 833.3 us: "almost a millisecond per word".
+    EXPECT_NEAR(sim::toUs(r.a.wordAirtime()), 833.3, 0.5);
+}
+
+TEST(RadioTest, WordsDeliverToReceiversInRxMode)
+{
+    Rig r;
+    r.b.setMode(RadioMode::Rx);
+    r.kernel.spawn(txWords(r.a, {0x1234, 0x5678}));
+    r.kernel.runFor(3 * sim::kMillisecond);
+    ASSERT_EQ(r.b.rxWords().size(), 2u);
+    EXPECT_EQ(r.b.stats().rxWords, 2u);
+    EXPECT_EQ(r.medium.stats().collisions, 0u);
+}
+
+TEST(RadioTest, IdleReceiversMissWords)
+{
+    Rig r;
+    r.b.setMode(RadioMode::Idle);
+    r.kernel.spawn(txWords(r.a, {0x1234}));
+    r.kernel.runFor(3 * sim::kMillisecond);
+    EXPECT_EQ(r.b.rxWords().size(), 0u);
+    EXPECT_EQ(r.b.stats().rxMissedWrongMode, 1u);
+}
+
+TEST(RadioTest, TransmitterDoesNotHearItself)
+{
+    Rig r;
+    r.a.setMode(RadioMode::Rx); // even in RX mode
+    r.kernel.spawn(txWords(r.a, {0x42}));
+    r.kernel.runFor(3 * sim::kMillisecond);
+    EXPECT_EQ(r.a.rxWords().size(), 0u);
+}
+
+TEST(RadioTest, OverlappingTransmissionsCollide)
+{
+    Rig r;
+    sim::Kernel &k = r.kernel;
+    core::NodeContext ctxC(k);
+    Transceiver c(ctxC, r.medium);
+    c.setMode(RadioMode::Rx);
+    k.spawn(txWords(r.a, {0xAAAA}));
+    k.spawn(txWords(r.b, {0xBBBB}));
+    k.runFor(5 * sim::kMillisecond);
+    EXPECT_EQ(c.rxWords().size(), 0u);
+    EXPECT_EQ(r.medium.stats().collisions, 2u);
+}
+
+TEST(RadioTest, CarrierSenseSeesBusyMedium)
+{
+    Rig r;
+    r.kernel.spawn(txWords(r.a, {0x1}));
+    r.kernel.runFor(100 * sim::kMicrosecond);
+    EXPECT_TRUE(r.medium.busy());
+    r.kernel.runFor(2 * sim::kMillisecond);
+    EXPECT_FALSE(r.medium.busy());
+}
+
+TEST(RadioTest, RadioEnergyChargedPerWord)
+{
+    Rig r;
+    r.b.setMode(RadioMode::Rx);
+    r.kernel.spawn(txWords(r.a, {1, 2, 3}));
+    r.kernel.runFor(5 * sim::kMillisecond);
+    RadioConfig cfg;
+    EXPECT_DOUBLE_EQ(r.ctxA.ledger.pj(energy::Cat::Radio),
+                     3 * cfg.txPjPerWord);
+    EXPECT_DOUBLE_EQ(r.ctxB.ledger.pj(energy::Cat::Radio),
+                     3 * cfg.rxPjPerWord);
+}
+
+TEST(RadioTest, BackToBackWordsSpaceByAirtime)
+{
+    Rig r;
+    r.b.setMode(RadioMode::Rx);
+    std::vector<sim::Tick> arrivals;
+    r.medium.setSniffer([&](const Transceiver *, std::uint16_t, bool) {
+        arrivals.push_back(r.kernel.now());
+    });
+    r.kernel.spawn(txWords(r.a, {1, 2}));
+    r.kernel.runFor(5 * sim::kMillisecond);
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_NEAR(sim::toUs(arrivals[1] - arrivals[0]), 833.3, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Link-filter / topology tests for the radio medium and the carrier
+ * sense surface used by the guest MAC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/context.hh"
+#include "radio/medium.hh"
+#include "radio/transceiver.hh"
+
+namespace {
+
+using namespace snaple;
+using coproc::RadioMode;
+using radio::Medium;
+using radio::Transceiver;
+
+sim::Co<void>
+txOne(Transceiver &t, std::uint16_t w)
+{
+    co_await t.transmit(w);
+}
+
+TEST(TopologyTest, LinkFilterRestrictsDelivery)
+{
+    sim::Kernel k;
+    core::NodeContext ca(k), cb(k), cc(k);
+    Medium medium(k);
+    Transceiver a(ca, medium), b(cb, medium), c(cc, medium);
+    b.setMode(RadioMode::Rx);
+    c.setMode(RadioMode::Rx);
+    // Only a -> b is connected.
+    medium.setLinkFilter([&](const Transceiver *src,
+                             const Transceiver *dst) {
+        return src == &a && dst == &b;
+    });
+    k.spawn(txOne(a, 0x1234));
+    k.runFor(5 * sim::kMillisecond);
+    EXPECT_EQ(b.rxWords().size(), 1u);
+    EXPECT_EQ(c.rxWords().size(), 0u);
+    // The filter gates delivery, not the energy of listening... the
+    // out-of-range node never saw the word at all.
+    EXPECT_EQ(c.stats().rxWords, 0u);
+}
+
+TEST(TopologyTest, CollisionsAreGlobalEvenWithTopology)
+{
+    // One shared channel: two transmissions overlap in time and
+    // garble each other even if their receivers don't overlap.
+    sim::Kernel k;
+    core::NodeContext ca(k), cb(k), cc(k), cd(k);
+    Medium medium(k);
+    Transceiver a(ca, medium), b(cb, medium), c(cc, medium),
+        d(cd, medium);
+    b.setMode(RadioMode::Rx);
+    d.setMode(RadioMode::Rx);
+    medium.setLinkFilter([&](const Transceiver *src,
+                             const Transceiver *dst) {
+        return (src == &a && dst == &b) || (src == &c && dst == &d);
+    });
+    k.spawn(txOne(a, 1));
+    k.spawn(txOne(c, 2));
+    k.runFor(5 * sim::kMillisecond);
+    EXPECT_EQ(medium.stats().collisions, 2u);
+    EXPECT_EQ(b.rxWords().size(), 0u);
+    EXPECT_EQ(d.rxWords().size(), 0u);
+}
+
+TEST(TopologyTest, CarrierSenseReflectsAirState)
+{
+    sim::Kernel k;
+    core::NodeContext ca(k), cb(k);
+    Medium medium(k);
+    Transceiver a(ca, medium), b(cb, medium);
+    EXPECT_FALSE(b.channelBusy());
+    k.spawn(txOne(a, 7));
+    k.runFor(100 * sim::kMicrosecond);
+    EXPECT_TRUE(b.channelBusy());
+    EXPECT_TRUE(a.channelBusy()); // own transmission counts too
+    k.runFor(2 * sim::kMillisecond);
+    EXPECT_FALSE(b.channelBusy());
+}
+
+TEST(ListenEnergyTest, RxModeAccruesIdleListeningPower)
+{
+    sim::Kernel k;
+    core::NodeContext ctx(k);
+    Medium medium(k);
+    Transceiver t(ctx, medium);
+    // One second in Rx mode at 11.4 mW = 11.4 mJ = 1.14e10 pJ.
+    t.setMode(RadioMode::Rx);
+    k.runFor(sim::kSecond);
+    t.accrueListenEnergy();
+    EXPECT_NEAR(ctx.ledger.pj(energy::Cat::Radio), 11.4e9, 1e7);
+    // Idle mode accrues nothing further.
+    t.setMode(RadioMode::Idle);
+    k.runFor(sim::kSecond);
+    t.accrueListenEnergy();
+    EXPECT_NEAR(ctx.ledger.pj(energy::Cat::Radio), 11.4e9, 1e7);
+}
+
+TEST(ListenEnergyTest, SelfPoweredRadioListensForFree)
+{
+    sim::Kernel k;
+    core::NodeContext ctx(k);
+    Medium medium(k);
+    radio::RadioConfig cfg;
+    cfg.selfPowered = true;
+    Transceiver t(ctx, medium, cfg);
+    t.setMode(RadioMode::Rx);
+    k.runFor(sim::kSecond);
+    t.accrueListenEnergy();
+    EXPECT_DOUBLE_EQ(ctx.ledger.pj(energy::Cat::Radio), 0.0);
+}
+
+} // namespace

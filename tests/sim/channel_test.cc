@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for rendezvous channels and buffered FIFOs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/kernel.hh"
+
+namespace {
+
+using namespace snaple::sim;
+
+Co<void>
+producer(Kernel &k, Channel<int> &ch, int n, Tick gap)
+{
+    for (int i = 0; i < n; ++i) {
+        if (gap)
+            co_await k.delay(gap);
+        co_await ch.send(i);
+    }
+}
+
+Co<void>
+consumer(Channel<int> &ch, int n, std::vector<int> &out,
+         std::vector<Tick> &at, Kernel &k)
+{
+    for (int i = 0; i < n; ++i) {
+        int v = co_await ch.recv();
+        out.push_back(v);
+        at.push_back(k.now());
+    }
+}
+
+TEST(ChannelTest, RendezvousTransfersValuesInOrder)
+{
+    Kernel k;
+    Channel<int> ch(k, 0, "t");
+    std::vector<int> out;
+    std::vector<Tick> at;
+    k.spawn(producer(k, ch, 5, 0));
+    k.spawn(consumer(ch, 5, out, at, k));
+    k.run();
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, HandshakeDelayAppliesPerCommunication)
+{
+    Kernel k;
+    Channel<int> ch(k, 7, "t");
+    std::vector<int> out;
+    std::vector<Tick> at;
+    k.spawn(producer(k, ch, 3, 0));
+    k.spawn(consumer(ch, 3, out, at, k));
+    k.run();
+    ASSERT_EQ(at.size(), 3u);
+    EXPECT_EQ(at[0], Tick{7});
+    EXPECT_EQ(at[1], Tick{14});
+    EXPECT_EQ(at[2], Tick{21});
+}
+
+TEST(ChannelTest, SenderBlocksUntilReceiverArrives)
+{
+    Kernel k;
+    Channel<int> ch(k, 0, "t");
+    std::vector<int> out;
+    std::vector<Tick> at;
+    k.spawn(producer(k, ch, 1, 0));
+    k.runFor(100);
+    EXPECT_TRUE(ch.senderWaiting());
+    k.spawn(consumer(ch, 1, out, at, k));
+    k.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(at[0], Tick{100});
+}
+
+TEST(ChannelTest, ReceiverBlocksUntilSenderArrives)
+{
+    Kernel k;
+    Channel<int> ch(k, 0, "t");
+    std::vector<int> out;
+    std::vector<Tick> at;
+    k.spawn(consumer(ch, 1, out, at, k));
+    k.runFor(50);
+    EXPECT_TRUE(ch.receiverWaiting());
+    k.spawn(producer(k, ch, 1, 0));
+    k.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(at[0], Tick{50});
+}
+
+Co<void>
+sendOne(Channel<int> &ch, int v)
+{
+    co_await ch.send(v);
+}
+
+TEST(ChannelTest, TwoSendersPanics)
+{
+    Kernel k;
+    Channel<int> ch(k, 0, "t");
+    k.spawn(sendOne(ch, 1));
+    k.spawn(sendOne(ch, 2));
+    EXPECT_THROW(k.run(), PanicError);
+}
+
+Co<void>
+fifoProducer(Fifo<int> &f, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await f.send(i);
+}
+
+Co<void>
+fifoConsumer(Kernel &k, Fifo<int> &f, int n, Tick gap, std::vector<int> &out)
+{
+    for (int i = 0; i < n; ++i) {
+        if (gap)
+            co_await k.delay(gap);
+        out.push_back(co_await f.recv());
+    }
+}
+
+TEST(FifoTest, BufferDecouplesProducerFromConsumer)
+{
+    Kernel k;
+    Fifo<int> f(k, 4, 0, "f");
+    std::vector<int> out;
+    k.spawn(fifoProducer(f, 4));
+    k.runFor(10);
+    EXPECT_EQ(f.size(), 4u);
+    k.spawn(fifoConsumer(k, f, 4, 5, out));
+    k.run();
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FifoTest, SenderBlocksWhenFull)
+{
+    Kernel k;
+    Fifo<int> f(k, 2, 0, "f");
+    std::vector<int> out;
+    k.spawn(fifoProducer(f, 5));
+    k.runFor(10);
+    EXPECT_EQ(f.size(), 2u); // two buffered, one blocked, two unsent
+    k.spawn(fifoConsumer(k, f, 5, 1, out));
+    k.run();
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(f.accepted(), 5u);
+}
+
+TEST(FifoTest, TryPushDropsWhenFull)
+{
+    Kernel k;
+    Fifo<int> f(k, 2, 0, "f");
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_FALSE(f.tryPush(3));
+    EXPECT_EQ(f.dropped(), 1u);
+    EXPECT_EQ(f.accepted(), 2u);
+}
+
+TEST(FifoTest, TryPushWakesBlockedReceiverAfterDelay)
+{
+    Kernel k;
+    Fifo<int> f(k, 2, /*op_delay=*/18, "evq");
+    std::vector<int> out;
+    std::vector<Tick> at;
+    k.spawn([](Kernel &kk, Fifo<int> &ff, std::vector<int> &o,
+               std::vector<Tick> &a) -> Co<void> {
+        int v = co_await ff.recv();
+        o.push_back(v);
+        a.push_back(kk.now());
+    }(k, f, out, at));
+    k.runFor(100);
+    EXPECT_TRUE(f.tryPush(42));
+    k.run();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42);
+    // Wake-up latency: the receiver resumed one op-delay after the push.
+    EXPECT_EQ(at[0], Tick{118});
+}
+
+TEST(FifoTest, MultipleWaitingReceiversServedInFifoOrder)
+{
+    Kernel k;
+    Fifo<int> f(k, 4, 0, "f");
+    std::vector<int> got(3, -1);
+    for (int i = 0; i < 3; ++i) {
+        k.spawn([](Fifo<int> &ff, int &slot) -> Co<void> {
+            slot = co_await ff.recv();
+        }(f, got[i]));
+    }
+    k.runFor(1);
+    f.tryPush(10);
+    f.tryPush(20);
+    f.tryPush(30);
+    k.run();
+    EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+} // namespace

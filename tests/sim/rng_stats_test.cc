@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the host RNG and statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace snaple::sim;
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(RngTest, Uniform01CoversUnitInterval)
+{
+    Rng r(99);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.uniform01();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean)
+{
+    Rng r(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(StatsTest, CounterAccumulates)
+{
+    Counter c;
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsTest, SampleStatTracksMoments)
+{
+    SampleStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(StatsTest, StatDumpPrintsSortedKeys)
+{
+    StatDump d;
+    d.set("b", 2);
+    d.set("a", 1);
+    std::ostringstream os;
+    d.print(os, "x.");
+    EXPECT_EQ(os.str(), "x.a = 1\nx.b = 2\n");
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * snap-run: run a SNAP program on a simulated SNAP/LE machine.
+ *
+ * Usage: snap-run FILE.s [--volts V] [--ms N] [--stats]
+ *
+ * Runs for N simulated milliseconds (default 100) or until `halt`,
+ * prints the `dbgout` stream, and optionally a stats/energy report.
+ * Events can only come from the timer coprocessor here (no radio or
+ * sensors are attached); use the library API for full nodes.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "core/machine.hh"
+#include "node/power.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snaple;
+
+    const char *path = nullptr;
+    double volts = 0.6;
+    double ms = 100.0;
+    bool stats = false;
+    bool timeline = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--volts") && i + 1 < argc)
+            volts = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--ms") && i + 1 < argc)
+            ms = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--stats"))
+            stats = true;
+        else if (!std::strcmp(argv[i], "--timeline"))
+            timeline = true;
+        else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        } else
+            path = argv[i];
+    }
+    if (!path) {
+        std::fprintf(stderr, "usage: snap-run FILE.s [--volts V] "
+                             "[--ms N] [--stats] [--timeline]\n");
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    core::CoreConfig cfg;
+    cfg.volts = volts;
+    sim::Kernel kernel;
+    core::Machine machine(kernel, cfg);
+    machine.core().recordTimeline(timeline);
+    try {
+        machine.load(assembler::assembleSnap(src.str(), path));
+        machine.start();
+        kernel.run(kernel.now() + sim::fromMs(ms));
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    for (std::uint16_t v : machine.core().debugOut())
+        std::printf("dbgout: %u (0x%04x)\n", v, v);
+
+    if (stats) {
+        const auto &st = machine.core().stats();
+        machine.ctx().accrueLeakage();
+        const auto &l = machine.ctx().ledger;
+        std::printf("--\n");
+        std::printf("state        : %s\n",
+                    machine.core().halted()
+                        ? "halted"
+                        : (machine.core().asleep() ? "asleep"
+                                                   : "running"));
+        std::printf("instructions : %llu\n",
+                    static_cast<unsigned long long>(st.instructions));
+        std::printf("handlers     : %llu (sleep/wake %llu/%llu)\n",
+                    static_cast<unsigned long long>(st.handlers),
+                    static_cast<unsigned long long>(st.sleeps),
+                    static_cast<unsigned long long>(st.wakeups));
+        std::printf("active time  : %.2f us\n",
+                    sim::toUs(st.activeTime));
+        if (st.instructions) {
+            std::printf("energy       : %.1f nJ dynamic "
+                        "(%.1f pJ/ins), %.1f nJ leakage\n",
+                        l.processorPj() / 1e3,
+                        l.processorPj() / double(st.instructions),
+                        l.pj(energy::Cat::Leakage) / 1e3);
+        }
+        std::printf("avg power    : %.1f nW dynamic + %.1f nW leak\n",
+                    node::averagePowerNw(l.processorPj(),
+                                         kernel.now()),
+                    node::averagePowerNw(l.pj(energy::Cat::Leakage),
+                                         kernel.now()));
+        static const char *kEventNames[] = {
+            "Timer0", "Timer1", "Timer2",   "RadioRx",
+            "SensorIrq", "SensorData", "RadioTxRdy"};
+        for (std::size_t e = 0; e < isa::kNumEvents; ++e) {
+            const auto &h = st.perEvent[e];
+            if (h.activations == 0)
+                continue;
+            std::printf("handler %-10s: %llu activations, "
+                        "%.1f ins each\n",
+                        kEventNames[e],
+                        static_cast<unsigned long long>(h.activations),
+                        h.instructionsPerActivation());
+        }
+    }
+    if (timeline) {
+        std::printf("-- activity timeline (wake .. sleep) --\n");
+        for (const auto &span : machine.core().timeline()) {
+            std::string what =
+                span.firstEvent == 0xff
+                    ? std::string("boot")
+                    : "event " + std::to_string(span.firstEvent);
+            std::printf("%10.3f us .. %10.3f us  (%6.2f us awake)  "
+                        "%s\n",
+                        sim::toUs(span.wake), sim::toUs(span.sleep),
+                        sim::toUs(span.sleep - span.wake),
+                        what.c_str());
+        }
+    }
+    return 0;
+}
