@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_busses.dir/bench_ablation_busses.cc.o"
+  "CMakeFiles/bench_ablation_busses.dir/bench_ablation_busses.cc.o.d"
+  "bench_ablation_busses"
+  "bench_ablation_busses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_busses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

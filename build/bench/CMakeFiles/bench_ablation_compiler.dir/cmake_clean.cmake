@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compiler.dir/bench_ablation_compiler.cc.o"
+  "CMakeFiles/bench_ablation_compiler.dir/bench_ablation_compiler.cc.o.d"
+  "bench_ablation_compiler"
+  "bench_ablation_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eventqueue.dir/bench_ablation_eventqueue.cc.o"
+  "CMakeFiles/bench_ablation_eventqueue.dir/bench_ablation_eventqueue.cc.o.d"
+  "bench_ablation_eventqueue"
+  "bench_ablation_eventqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eventqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sizing.dir/bench_ablation_sizing.cc.o"
+  "CMakeFiles/bench_ablation_sizing.dir/bench_ablation_sizing.cc.o.d"
+  "bench_ablation_sizing"
+  "bench_ablation_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

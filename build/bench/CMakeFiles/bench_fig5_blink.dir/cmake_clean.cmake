@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_blink.dir/bench_fig5_blink.cc.o"
+  "CMakeFiles/bench_fig5_blink.dir/bench_fig5_blink.cc.o.d"
+  "bench_fig5_blink"
+  "bench_fig5_blink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_blink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

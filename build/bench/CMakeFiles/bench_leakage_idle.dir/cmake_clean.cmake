@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leakage_idle.dir/bench_leakage_idle.cc.o"
+  "CMakeFiles/bench_leakage_idle.dir/bench_leakage_idle.cc.o.d"
+  "bench_leakage_idle"
+  "bench_leakage_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leakage_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

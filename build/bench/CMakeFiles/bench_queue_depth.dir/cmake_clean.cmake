@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_depth.dir/bench_queue_depth.cc.o"
+  "CMakeFiles/bench_queue_depth.dir/bench_queue_depth.cc.o.d"
+  "bench_queue_depth"
+  "bench_queue_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_radio_stack.cc" "bench/CMakeFiles/bench_radio_stack.dir/bench_radio_stack.cc.o" "gcc" "bench/CMakeFiles/bench_radio_stack.dir/bench_radio_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/snaple_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snaple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/snaple_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/snaple_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snaple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/snaple_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/snaple_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/coproc/CMakeFiles/snaple_coproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snaple_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snaple_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

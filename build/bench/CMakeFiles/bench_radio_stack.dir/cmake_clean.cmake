@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radio_stack.dir/bench_radio_stack.cc.o"
+  "CMakeFiles/bench_radio_stack.dir/bench_radio_stack.cc.o.d"
+  "bench_radio_stack"
+  "bench_radio_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radio_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sense.dir/bench_sense.cc.o"
+  "CMakeFiles/bench_sense.dir/bench_sense.cc.o.d"
+  "bench_sense"
+  "bench_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

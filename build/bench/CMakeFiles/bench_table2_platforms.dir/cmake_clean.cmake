@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_platforms.dir/bench_table2_platforms.cc.o"
+  "CMakeFiles/bench_table2_platforms.dir/bench_table2_platforms.cc.o.d"
+  "bench_table2_platforms"
+  "bench_table2_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

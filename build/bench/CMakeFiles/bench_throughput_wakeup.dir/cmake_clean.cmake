@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_wakeup.dir/bench_throughput_wakeup.cc.o"
+  "CMakeFiles/bench_throughput_wakeup.dir/bench_throughput_wakeup.cc.o.d"
+  "bench_throughput_wakeup"
+  "bench_throughput_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voltage_sweep.dir/bench_voltage_sweep.cc.o"
+  "CMakeFiles/bench_voltage_sweep.dir/bench_voltage_sweep.cc.o.d"
+  "bench_voltage_sweep"
+  "bench_voltage_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voltage_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

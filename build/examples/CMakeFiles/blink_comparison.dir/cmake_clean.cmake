@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blink_comparison.dir/blink_comparison.cpp.o"
+  "CMakeFiles/blink_comparison.dir/blink_comparison.cpp.o.d"
+  "blink_comparison"
+  "blink_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blink_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

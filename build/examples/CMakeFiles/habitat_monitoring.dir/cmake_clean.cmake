@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habitat_monitoring.dir/habitat_monitoring.cpp.o"
+  "CMakeFiles/habitat_monitoring.dir/habitat_monitoring.cpp.o.d"
+  "habitat_monitoring"
+  "habitat_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habitat_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

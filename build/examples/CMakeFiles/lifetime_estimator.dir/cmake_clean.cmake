@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_estimator.dir/lifetime_estimator.cpp.o"
+  "CMakeFiles/lifetime_estimator.dir/lifetime_estimator.cpp.o.d"
+  "lifetime_estimator"
+  "lifetime_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

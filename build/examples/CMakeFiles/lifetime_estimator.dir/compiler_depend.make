@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lifetime_estimator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_scale.dir/network_scale.cpp.o"
+  "CMakeFiles/network_scale.dir/network_scale.cpp.o.d"
+  "network_scale"
+  "network_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("energy")
+subdirs("isa")
+subdirs("asm")
+subdirs("cc")
+subdirs("mem")
+subdirs("coproc")
+subdirs("core")
+subdirs("radio")
+subdirs("sensor")
+subdirs("node")
+subdirs("net")
+subdirs("apps")
+subdirs("baseline")

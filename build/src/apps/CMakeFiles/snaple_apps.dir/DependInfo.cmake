@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/defs.cc" "src/apps/CMakeFiles/snaple_apps.dir/defs.cc.o" "gcc" "src/apps/CMakeFiles/snaple_apps.dir/defs.cc.o.d"
+  "/root/repo/src/apps/mac.cc" "src/apps/CMakeFiles/snaple_apps.dir/mac.cc.o" "gcc" "src/apps/CMakeFiles/snaple_apps.dir/mac.cc.o.d"
+  "/root/repo/src/apps/simple.cc" "src/apps/CMakeFiles/snaple_apps.dir/simple.cc.o" "gcc" "src/apps/CMakeFiles/snaple_apps.dir/simple.cc.o.d"
+  "/root/repo/src/apps/stack.cc" "src/apps/CMakeFiles/snaple_apps.dir/stack.cc.o" "gcc" "src/apps/CMakeFiles/snaple_apps.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_apps.dir/defs.cc.o"
+  "CMakeFiles/snaple_apps.dir/defs.cc.o.d"
+  "CMakeFiles/snaple_apps.dir/mac.cc.o"
+  "CMakeFiles/snaple_apps.dir/mac.cc.o.d"
+  "CMakeFiles/snaple_apps.dir/simple.cc.o"
+  "CMakeFiles/snaple_apps.dir/simple.cc.o.d"
+  "CMakeFiles/snaple_apps.dir/stack.cc.o"
+  "CMakeFiles/snaple_apps.dir/stack.cc.o.d"
+  "libsnaple_apps.a"
+  "libsnaple_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_asm.dir/assembler.cc.o"
+  "CMakeFiles/snaple_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/snaple_asm.dir/lexer.cc.o"
+  "CMakeFiles/snaple_asm.dir/lexer.cc.o.d"
+  "CMakeFiles/snaple_asm.dir/snap_backend.cc.o"
+  "CMakeFiles/snaple_asm.dir/snap_backend.cc.o.d"
+  "libsnaple_asm.a"
+  "libsnaple_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_baseline.dir/avr_backend.cc.o"
+  "CMakeFiles/snaple_baseline.dir/avr_backend.cc.o.d"
+  "CMakeFiles/snaple_baseline.dir/avr_core.cc.o"
+  "CMakeFiles/snaple_baseline.dir/avr_core.cc.o.d"
+  "CMakeFiles/snaple_baseline.dir/tinyos.cc.o"
+  "CMakeFiles/snaple_baseline.dir/tinyos.cc.o.d"
+  "libsnaple_baseline.a"
+  "libsnaple_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

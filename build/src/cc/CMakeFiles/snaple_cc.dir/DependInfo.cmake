@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/codegen.cc" "src/cc/CMakeFiles/snaple_cc.dir/codegen.cc.o" "gcc" "src/cc/CMakeFiles/snaple_cc.dir/codegen.cc.o.d"
+  "/root/repo/src/cc/lexer.cc" "src/cc/CMakeFiles/snaple_cc.dir/lexer.cc.o" "gcc" "src/cc/CMakeFiles/snaple_cc.dir/lexer.cc.o.d"
+  "/root/repo/src/cc/parser.cc" "src/cc/CMakeFiles/snaple_cc.dir/parser.cc.o" "gcc" "src/cc/CMakeFiles/snaple_cc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

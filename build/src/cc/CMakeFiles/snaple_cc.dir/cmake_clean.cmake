@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_cc.dir/codegen.cc.o"
+  "CMakeFiles/snaple_cc.dir/codegen.cc.o.d"
+  "CMakeFiles/snaple_cc.dir/lexer.cc.o"
+  "CMakeFiles/snaple_cc.dir/lexer.cc.o.d"
+  "CMakeFiles/snaple_cc.dir/parser.cc.o"
+  "CMakeFiles/snaple_cc.dir/parser.cc.o.d"
+  "libsnaple_cc.a"
+  "libsnaple_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

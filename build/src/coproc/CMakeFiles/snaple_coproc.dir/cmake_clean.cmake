@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_coproc.dir/message.cc.o"
+  "CMakeFiles/snaple_coproc.dir/message.cc.o.d"
+  "CMakeFiles/snaple_coproc.dir/timer.cc.o"
+  "CMakeFiles/snaple_coproc.dir/timer.cc.o.d"
+  "libsnaple_coproc.a"
+  "libsnaple_coproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for snaple_coproc.
+# This may be replaced when dependencies are built.

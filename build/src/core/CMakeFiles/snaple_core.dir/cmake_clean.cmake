@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_core.dir/core.cc.o"
+  "CMakeFiles/snaple_core.dir/core.cc.o.d"
+  "libsnaple_core.a"
+  "libsnaple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_energy.dir/voltage.cc.o"
+  "CMakeFiles/snaple_energy.dir/voltage.cc.o.d"
+  "libsnaple_energy.a"
+  "libsnaple_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

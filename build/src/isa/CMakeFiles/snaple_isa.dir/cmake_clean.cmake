@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_isa.dir/decode.cc.o"
+  "CMakeFiles/snaple_isa.dir/decode.cc.o.d"
+  "CMakeFiles/snaple_isa.dir/disasm.cc.o"
+  "CMakeFiles/snaple_isa.dir/disasm.cc.o.d"
+  "libsnaple_isa.a"
+  "libsnaple_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

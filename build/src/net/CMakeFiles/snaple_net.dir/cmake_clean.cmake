@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_net.dir/secded.cc.o"
+  "CMakeFiles/snaple_net.dir/secded.cc.o.d"
+  "libsnaple_net.a"
+  "libsnaple_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

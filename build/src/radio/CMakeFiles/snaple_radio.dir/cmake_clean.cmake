@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_radio.dir/medium.cc.o"
+  "CMakeFiles/snaple_radio.dir/medium.cc.o.d"
+  "libsnaple_radio.a"
+  "libsnaple_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

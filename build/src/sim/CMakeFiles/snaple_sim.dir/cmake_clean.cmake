@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaple_sim.dir/logging.cc.o"
+  "CMakeFiles/snaple_sim.dir/logging.cc.o.d"
+  "libsnaple_sim.a"
+  "libsnaple_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaple_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

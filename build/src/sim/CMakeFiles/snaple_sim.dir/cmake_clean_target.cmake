@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnaple_sim.a"
+)

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("energy")
+subdirs("isa")
+subdirs("asm")
+subdirs("core")
+subdirs("coproc")
+subdirs("cc")
+subdirs("radio")
+subdirs("node")
+subdirs("apps")
+subdirs("baseline")
+subdirs("net")

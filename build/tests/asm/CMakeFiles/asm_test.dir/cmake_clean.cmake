@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_test.dir/assembler_test.cc.o"
+  "CMakeFiles/asm_test.dir/assembler_test.cc.o.d"
+  "CMakeFiles/asm_test.dir/expr_test.cc.o"
+  "CMakeFiles/asm_test.dir/expr_test.cc.o.d"
+  "asm_test"
+  "asm_test.pdb"
+  "asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc/snapcc_test.cc" "tests/cc/CMakeFiles/cc_test.dir/snapcc_test.cc.o" "gcc" "tests/cc/CMakeFiles/cc_test.dir/snapcc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/snaple_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snaple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/snaple_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/coproc/CMakeFiles/snaple_coproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snaple_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snaple_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

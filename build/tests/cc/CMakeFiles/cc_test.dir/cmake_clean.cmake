@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_test.dir/snapcc_test.cc.o"
+  "CMakeFiles/cc_test.dir/snapcc_test.cc.o.d"
+  "cc_test"
+  "cc_test.pdb"
+  "cc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

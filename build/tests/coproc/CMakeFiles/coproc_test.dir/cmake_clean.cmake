@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coproc_test.dir/coproc_test.cc.o"
+  "CMakeFiles/coproc_test.dir/coproc_test.cc.o.d"
+  "coproc_test"
+  "coproc_test.pdb"
+  "coproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

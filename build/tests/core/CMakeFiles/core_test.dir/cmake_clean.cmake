@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_calibration_test.cc.o"
+  "CMakeFiles/core_test.dir/core_calibration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_edge_test.cc.o"
+  "CMakeFiles/core_test.dir/core_edge_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_event_test.cc.o"
+  "CMakeFiles/core_test.dir/core_event_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_exec_test.cc.o"
+  "CMakeFiles/core_test.dir/core_exec_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_stats_test.cc.o"
+  "CMakeFiles/core_test.dir/core_stats_test.cc.o.d"
+  "CMakeFiles/core_test.dir/golden_model_test.cc.o"
+  "CMakeFiles/core_test.dir/golden_model_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_test.dir/radio_test.cc.o"
+  "CMakeFiles/radio_test.dir/radio_test.cc.o.d"
+  "CMakeFiles/radio_test.dir/topology_test.cc.o"
+  "CMakeFiles/radio_test.dir/topology_test.cc.o.d"
+  "radio_test"
+  "radio_test.pdb"
+  "radio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/channel_test.cc" "tests/sim/CMakeFiles/sim_test.dir/channel_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/channel_test.cc.o.d"
+  "/root/repo/tests/sim/kernel_stress_test.cc" "tests/sim/CMakeFiles/sim_test.dir/kernel_stress_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/kernel_stress_test.cc.o.d"
+  "/root/repo/tests/sim/kernel_test.cc" "tests/sim/CMakeFiles/sim_test.dir/kernel_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/kernel_test.cc.o.d"
+  "/root/repo/tests/sim/rng_stats_test.cc" "tests/sim/CMakeFiles/sim_test.dir/rng_stats_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/rng_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/snap_asm.cc" "tools/CMakeFiles/snap-asm.dir/snap_asm.cc.o" "gcc" "tools/CMakeFiles/snap-asm.dir/snap_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/snaple_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/snaple_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snaple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

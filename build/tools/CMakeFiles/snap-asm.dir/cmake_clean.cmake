@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap-asm.dir/snap_asm.cc.o"
+  "CMakeFiles/snap-asm.dir/snap_asm.cc.o.d"
+  "snap-asm"
+  "snap-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

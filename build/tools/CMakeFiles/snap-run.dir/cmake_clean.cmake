@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap-run.dir/snap_run.cc.o"
+  "CMakeFiles/snap-run.dir/snap_run.cc.o.d"
+  "snap-run"
+  "snap-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

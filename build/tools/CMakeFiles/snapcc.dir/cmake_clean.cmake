@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapcc.dir/snapcc.cc.o"
+  "CMakeFiles/snapcc.dir/snapcc.cc.o.d"
+  "snapcc"
+  "snapcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

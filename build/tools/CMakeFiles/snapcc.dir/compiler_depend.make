@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snapcc.
+# This may be replaced when dependencies are built.
