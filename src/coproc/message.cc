@@ -14,7 +14,7 @@ MessageCoproc::MessageCoproc(core::NodeContext &ctx,
                              core::WordFifo &msg_out,
                              core::EventQueue &event_queue)
     : ctx_(ctx), msgIn_(msg_in), msgOut_(msg_out),
-      eventQueue_(event_queue)
+      eventQueue_(event_queue), trace_(ctx.kernel, "msg-coproc")
 {}
 
 void
@@ -61,6 +61,7 @@ MessageCoproc::commandProcess()
     for (;;) {
         std::uint16_t w = co_await msgIn_.recv();
         ++stats_.commands;
+        trace_.emit(sim::TraceEvent::MsgCommand, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
         co_await ctx_.kernel.delay(ctx_.gd(4));
 
@@ -81,6 +82,7 @@ MessageCoproc::commandProcess()
             std::uint16_t data = co_await msgIn_.recv();
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
             ++stats_.txWords;
+            trace_.emit(sim::TraceEvent::MsgTx, data);
             radio_->setMode(RadioMode::Tx);
             co_await radio_->transmit(data);
             // The transmitter can take the next word.
@@ -109,6 +111,7 @@ MessageCoproc::rxProcess()
     for (;;) {
         std::uint16_t w = co_await radio_->rxWords().recv();
         ++stats_.rxWords;
+        trace_.emit(sim::TraceEvent::MsgRx, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
         co_await msgOut_.send(w);
         pushEvent(isa::EventNum::RadioRx);

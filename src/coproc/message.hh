@@ -22,6 +22,7 @@
 #include "core/context.hh"
 #include "core/ports.hh"
 #include "coproc/io_ports.hh"
+#include "sim/trace.hh"
 
 namespace snaple::coproc {
 
@@ -73,6 +74,7 @@ class MessageCoproc
     core::WordFifo &msgIn_;
     core::WordFifo &msgOut_;
     core::EventQueue &eventQueue_;
+    sim::TraceScope trace_;
     RadioPort *radio_ = nullptr;
     std::array<SensorPort *, kMaxSensors> sensors_{};
     Stats stats_;

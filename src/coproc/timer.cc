@@ -7,7 +7,8 @@ using isa::TimerFn;
 
 TimerCoproc::TimerCoproc(core::NodeContext &ctx, core::TimerPort &port,
                          core::EventQueue &event_queue)
-    : ctx_(ctx), port_(port), eventQueue_(event_queue)
+    : ctx_(ctx), port_(port), eventQueue_(event_queue),
+      trace_(ctx.kernel, "timer-coproc")
 {}
 
 void
@@ -43,6 +44,7 @@ TimerCoproc::commandProcess()
                 t.armed = false;
                 ++t.generation;
                 ++stats_.canceled;
+                trace_.emit(sim::TraceEvent::TimerCancel, cmd.timer);
                 pushToken(cmd.timer);
             }
             break;
@@ -62,6 +64,7 @@ TimerCoproc::arm(unsigned n, std::uint32_t ticks24)
     // A zero duration expires after one tick, not immediately: the
     // register decrements through zero.
     const std::uint64_t dur = (ticks24 == 0) ? 1 : ticks24;
+    trace_.emit(sim::TraceEvent::TimerSched, n, dur);
     ctx_.kernel.scheduleAfter(
         dur * ctx_.cfg.timerTick,
         [this, n, this_generation] { expire(n, this_generation); });
@@ -76,6 +79,7 @@ TimerCoproc::expire(unsigned n, std::uint64_t generation)
     t.armed = false;
     ++stats_.expired;
     ctx_.charge(Cat::Coproc, ctx_.ecal.timerExpirePj);
+    trace_.emit(sim::TraceEvent::TimerExpire, n);
     pushToken(n);
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/context.hh"
 #include "core/ports.hh"
+#include "sim/trace.hh"
 
 namespace snaple::coproc {
 
@@ -71,6 +72,7 @@ class TimerCoproc
     core::NodeContext &ctx_;
     core::TimerPort &port_;
     core::EventQueue &eventQueue_;
+    sim::TraceScope trace_;
     std::array<Timer, 3> timers_;
     Stats stats_;
 };

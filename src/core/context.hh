@@ -11,12 +11,16 @@
 #ifndef SNAPLE_CORE_CONTEXT_HH
 #define SNAPLE_CORE_CONTEXT_HH
 
+#include <array>
 #include <cstddef>
+#include <string>
+#include <utility>
 
 #include "energy/calibration.hh"
 #include "energy/ledger.hh"
 #include "energy/voltage.hh"
 #include "sim/kernel.hh"
+#include "sim/trace.hh"
 
 namespace snaple::core {
 
@@ -90,7 +94,9 @@ struct NodeContext
     energy::EnergyLedger ledger;
 
     NodeContext(sim::Kernel &k, const CoreConfig &c = {})
-        : kernel(k), cfg(c), op(c.volts)
+        : kernel(k), cfg(c), op(c.volts),
+          energyScopes_(makeEnergyScopes(
+              k, std::make_index_sequence<energy::kNumCats>{}))
     {}
 
     /** Ticks for @p n gate delays at this node's supply. */
@@ -104,8 +110,10 @@ struct NodeContext
     void
     charge(energy::Cat cat, double pj_nominal)
     {
-        ledger.add(cat,
-                   op.scalePj(pj_nominal) * cfg.sizingEnergyScale);
+        const double pj = op.scalePj(pj_nominal) * cfg.sizingEnergyScale;
+        ledger.add(cat, pj);
+        energyScopes_[static_cast<std::size_t>(cat)].emit(
+            sim::TraceEvent::EnergyDebit, 0, 0, pj);
     }
 
     /** Static (leakage) power at this operating point, nanowatts. */
@@ -131,11 +139,25 @@ struct NodeContext
         double pj = leakagePowerNw() * 1e-9 /* W */ *
                     sim::toSec(now - leakAccruedTo_) * 1e12 /* pJ */;
         ledger.add(energy::Cat::Leakage, pj);
+        energyScopes_[static_cast<std::size_t>(energy::Cat::Leakage)]
+            .emit(sim::TraceEvent::EnergyDebit, 0, 0, pj);
         leakAccruedTo_ = now;
     }
 
   private:
+    template <std::size_t... I>
+    static std::array<sim::TraceScope, sizeof...(I)>
+    makeEnergyScopes(sim::Kernel &k, std::index_sequence<I...>)
+    {
+        return {sim::TraceScope(
+            k, "energy." +
+                   std::string(energy::catName(
+                       static_cast<energy::Cat>(I))))...};
+    }
+
     sim::Tick leakAccruedTo_ = 0;
+    /** One trace scope per ledger category ("energy.<cat>"). */
+    std::array<sim::TraceScope, energy::kNumCats> energyScopes_;
 };
 
 } // namespace snaple::core

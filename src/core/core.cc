@@ -17,11 +17,14 @@ using sim::Tick;
 
 SnapCore::SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
                    EventQueue &event_queue, WordFifo &msg_in,
-                   WordFifo &msg_out, TimerPort &timer_port)
+                   WordFifo &msg_out, TimerPort &timer_port,
+                   std::string name)
     : ctx_(ctx), imem_(imem), dmem_(dmem), eventQueue_(event_queue),
       msgIn_(msg_in), msgOut_(msg_out), timerPort_(timer_port),
-      fetchQ_(ctx.kernel, ctx.cfg.fetchQueueDepth, 0, "fetchq"),
-      redirect_(ctx.kernel, 0, "redirect")
+      fetchQ_(ctx.kernel, ctx.cfg.fetchQueueDepth, 0, name + ".fetchq"),
+      redirect_(ctx.kernel, 0, name + ".redirect"),
+      traceFetch_(ctx.kernel, name + ".fetch"),
+      traceExec_(ctx.kernel, name + ".exec")
 {}
 
 void
@@ -69,6 +72,7 @@ SnapCore::fetchProcess()
         ctx_.charge(Cat::MemIf, ctx_.ecal.memIfPerWordPj);
         std::uint16_t word = co_await imem_.read(pc);
         ++stats_.wordsFetched;
+        traceFetch_.emit(sim::TraceEvent::CoreFetch, pc, word);
 
         DecodedInst d = isa::decodeFirst(word);
         std::uint16_t pc_next = static_cast<std::uint16_t>(pc + 1);
@@ -78,6 +82,7 @@ SnapCore::fetchProcess()
             ctx_.charge(Cat::MemIf, ctx_.ecal.memIfPerWordPj);
             d.imm = co_await imem_.read(pc_next);
             ++stats_.wordsFetched;
+            traceFetch_.emit(sim::TraceEvent::CoreFetch, pc_next, d.imm);
             pc_next = static_cast<std::uint16_t>(pc_next + 1);
         }
 
@@ -112,6 +117,7 @@ SnapCore::fetchProcess()
                 ++stats_.sleeps;
                 stats_.lastSleepStart = slept_at;
                 stats_.activeTime += slept_at - stats_.lastWake;
+                traceFetch_.emit(sim::TraceEvent::CoreSleep);
                 if (recordTimeline_) {
                     timeline_.push_back(ActivitySpan{
                         stats_.lastWake, slept_at, currentEvent_});
@@ -122,9 +128,11 @@ SnapCore::fetchProcess()
                 asleep_ = false;
                 ++stats_.wakeups;
                 stats_.lastWake = ctx_.kernel.now();
+                traceFetch_.emit(sim::TraceEvent::CoreWake, tok.num);
             }
             currentEvent_ = tok.num;
             ++stats_.perEvent[tok.num].activations;
+            traceFetch_.emit(sim::TraceEvent::CoreHandler, tok.num);
             // Handler-table dispatch.
             ctx_.charge(Cat::Fetch, ctx_.ecal.eventDispatchPj);
             co_await ctx_.kernel.delay(ctx_.gd(4));
@@ -410,6 +418,21 @@ SnapCore::executeProcess()
         ++stats_.perClass[static_cast<std::size_t>(d.cls)];
         if (currentEvent_ < isa::kNumEvents)
             ++stats_.perEvent[currentEvent_].instructions;
+        {
+            // Canonical first word (branches keep their displacement).
+            const bool is_branch =
+                d.op == Op::Beqz || d.op == Op::Bnez ||
+                d.op == Op::Bltz || d.op == Op::Bgez;
+            const std::uint16_t low =
+                is_branch ? static_cast<std::uint8_t>(d.off8)
+                          : static_cast<std::uint16_t>(
+                                ((d.rs & 0xf) << 4) | (d.fn & 0xf));
+            const std::uint16_t w = static_cast<std::uint16_t>(
+                (static_cast<std::uint16_t>(d.op) << 12) |
+                ((d.rd & 0xf) << 8) | low);
+            traceExec_.emit(sim::TraceEvent::CoreExec, w,
+                            static_cast<std::uint64_t>(d.cls));
+        }
 
         if (send_redirect)
             co_await redirect_.send(redir);

@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/context.hh"
@@ -87,7 +88,7 @@ class SnapCore
 
     SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
              EventQueue &event_queue, WordFifo &msg_in, WordFifo &msg_out,
-             TimerPort &timer_port);
+             TimerPort &timer_port, std::string name = "core");
 
     SnapCore(const SnapCore &) = delete;
     SnapCore &operator=(const SnapCore &) = delete;
@@ -104,6 +105,8 @@ class SnapCore
     std::uint16_t handler(isa::EventNum e) const;
     void setHandler(isa::EventNum e, std::uint16_t addr);
     std::uint16_t lfsrState() const { return lfsr_.state(); }
+    /** Reseed the guest-visible LFSR (determinism experiments). */
+    void seedLfsr(std::uint16_t s) { lfsr_.seed(s); }
     ///@}
 
     /** Values emitted by `dbgout` (test/bench harness channel). */
@@ -175,6 +178,8 @@ class SnapCore
 
     sim::Fifo<InstPacket> fetchQ_;
     sim::Channel<Redirect> redirect_;
+    sim::TraceScope traceFetch_;
+    sim::TraceScope traceExec_;
 
     std::array<std::uint16_t, isa::kNumPhysRegs> regs_{};
     bool carry_ = false;

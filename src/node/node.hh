@@ -53,7 +53,7 @@ class SnapNode
           msgOut_(kernel, cfg.core.msgFifoDepth, 0, cfg.name + ".msgout"),
           timerPort_(kernel, ctx_.gd(4), cfg.name + ".tport"),
           core_(ctx_, imem_, dmem_, eventQueue_, msgIn_, msgOut_,
-                timerPort_),
+                timerPort_, cfg.name + ".core"),
           timer_(ctx_, timerPort_, eventQueue_),
           msgCoproc_(ctx_, msgIn_, msgOut_, eventQueue_)
     {
@@ -94,6 +94,17 @@ class SnapNode
     mem::Sram &imem() { return imem_; }
     mem::Sram &dmem() { return dmem_; }
     const std::string &name() const { return cfg_.name; }
+
+    /**
+     * Hash of the node kernel's trace so far; 0 when no sink is
+     * attached (or tracing is compiled out).
+     */
+    std::uint64_t
+    traceHash() const
+    {
+        const sim::TraceSink *sink = ctx_.kernel.tracer();
+        return sink ? sink->hash() : 0;
+    }
 
   private:
     NodeConfig cfg_;

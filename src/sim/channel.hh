@@ -27,6 +27,7 @@
 #include "kernel.hh"
 #include "logging.hh"
 #include "ticks.hh"
+#include "trace.hh"
 
 namespace snaple::sim {
 
@@ -46,7 +47,8 @@ class Channel
      */
     Channel(Kernel &kernel, Tick handshake_delay = 0,
             std::string name = "chan")
-        : kernel_(kernel), delay_(handshake_delay), name_(std::move(name))
+        : kernel_(kernel), delay_(handshake_delay), name_(std::move(name)),
+          trace_(kernel, name_)
     {}
 
     Channel(const Channel &) = delete;
@@ -80,8 +82,10 @@ class Channel
                 Tick when = chan.kernel_.now() + chan.delay_;
                 chan.kernel_.scheduleResume(when, r.h);
                 chan.kernel_.scheduleResume(when, h);
+                chan.trace_.emit(TraceEvent::ChanHandshake, chan.delay_);
             } else {
                 chan.sender_ = PendingSend{h, std::move(value)};
+                chan.trace_.emit(TraceEvent::ChanBlockSend);
             }
         }
 
@@ -107,8 +111,10 @@ class Channel
                 Tick when = chan.kernel_.now() + chan.delay_;
                 chan.kernel_.scheduleResume(when, s);
                 chan.kernel_.scheduleResume(when, h);
+                chan.trace_.emit(TraceEvent::ChanHandshake, chan.delay_);
             } else {
                 chan.receiver_ = PendingRecv{h, &slot};
+                chan.trace_.emit(TraceEvent::ChanBlockRecv);
             }
         }
 
@@ -143,6 +149,7 @@ class Channel
     Kernel &kernel_;
     Tick delay_;
     std::string name_;
+    TraceScope trace_;
     std::optional<PendingSend> sender_;
     std::optional<PendingRecv> receiver_;
 };
@@ -162,7 +169,7 @@ class Fifo
     Fifo(Kernel &kernel, std::size_t capacity, Tick op_delay = 0,
          std::string name = "fifo")
         : kernel_(kernel), capacity_(capacity), delay_(op_delay),
-          name_(std::move(name))
+          name_(std::move(name)), trace_(kernel, name_)
     {
         panicIf(capacity_ == 0, "fifo capacity must be > 0: ", name_);
     }
@@ -190,6 +197,7 @@ class Fifo
     {
         if (full() && recvWaiters_.empty()) {
             ++dropped_;
+            trace_.emit(TraceEvent::FifoDrop, buffer_.size());
             return false;
         }
         ++accepted_;
@@ -216,6 +224,8 @@ class Fifo
         void
         await_suspend(std::coroutine_handle<> h)
         {
+            fifo.trace_.emit(TraceEvent::FifoBlockSend,
+                             fifo.buffer_.size());
             fifo.sendWaiters_.push_back({h, std::move(value)});
         }
 
@@ -233,6 +243,8 @@ class Fifo
             if (!fifo.buffer_.empty()) {
                 slot = std::move(fifo.buffer_.front());
                 fifo.buffer_.pop_front();
+                fifo.trace_.emit(TraceEvent::FifoDequeue,
+                                 fifo.buffer_.size());
                 fifo.refill();
                 return true;
             }
@@ -242,6 +254,7 @@ class Fifo
         void
         await_suspend(std::coroutine_handle<> h)
         {
+            fifo.trace_.emit(TraceEvent::FifoBlockRecv);
             fifo.recvWaiters_.push_back({h, &slot});
         }
 
@@ -286,8 +299,10 @@ class Fifo
             recvWaiters_.pop_front();
             *w.slot = std::move(value);
             kernel_.scheduleResume(kernel_.now() + delay_, w.h);
+            trace_.emit(TraceEvent::FifoWakeup, delay_);
         } else {
             buffer_.push_back(std::move(value));
+            trace_.emit(TraceEvent::FifoEnqueue, buffer_.size());
         }
     }
 
@@ -301,6 +316,7 @@ class Fifo
             ++accepted_;
             buffer_.push_back(std::move(w.value));
             kernel_.scheduleResume(kernel_.now() + delay_, w.h);
+            trace_.emit(TraceEvent::FifoEnqueue, buffer_.size());
         }
     }
 
@@ -308,6 +324,7 @@ class Fifo
     std::size_t capacity_;
     Tick delay_;
     std::string name_;
+    TraceScope trace_;
     std::deque<T> buffer_;
     std::deque<SendWaiter> sendWaiters_;
     std::deque<RecvWaiter> recvWaiters_;

@@ -23,6 +23,8 @@
 
 namespace snaple::sim {
 
+class TraceSink;
+
 /**
  * The discrete-event simulation kernel.
  *
@@ -146,6 +148,14 @@ class Kernel
     /** Number of events dispatched so far (for host-side profiling). */
     std::uint64_t eventsDispatched() const { return dispatched_; }
 
+    /** @name Structured tracing (see sim/trace.hh)
+     * The kernel does not own the sink; the attaching host keeps it
+     * alive for the duration of the run. */
+    ///@{
+    TraceSink *tracer() const { return tracer_; }
+    void setTracer(TraceSink *sink) { tracer_ = sink; }
+    ///@}
+
     /** Record an error escaping a root process (internal use). */
     void
     recordError(std::exception_ptr e)
@@ -204,6 +214,7 @@ class Kernel
     }
 
     Tick now_ = 0;
+    TraceSink *tracer_ = nullptr;
     std::uint64_t seq_ = 0;
     std::uint64_t dispatched_ = 0;
     bool stopped_ = false;

@@ -1,0 +1,303 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace snaple::sim {
+
+namespace {
+
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+/** FNV-1a over the 8 bytes of @p v, little-endian, platform-neutral. */
+constexpr std::uint64_t
+fnvWord(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvString(std::string_view s)
+{
+    std::uint64_t h = kFnvOffset;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Bit pattern of a double, for hashing energy amounts. */
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t u = 0;
+    static_assert(sizeof(u) == sizeof(d));
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** VCD identifier for var index @p n: base-62 over [a-zA-Z0-9]. */
+std::string
+vcdId(std::size_t n)
+{
+    static const char digits[] =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string id;
+    do {
+        id += digits[n % 62];
+        n /= 62;
+    } while (n);
+    return id;
+}
+
+/** VCD signal names must not contain whitespace. */
+std::string
+vcdName(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        if (c == ' ' || c == '\t')
+            c = '_';
+    return out;
+}
+
+} // namespace
+
+std::string_view
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::ChanHandshake: return "chan-handshake";
+      case TraceEvent::ChanBlockSend: return "chan-block-send";
+      case TraceEvent::ChanBlockRecv: return "chan-block-recv";
+      case TraceEvent::FifoEnqueue: return "fifo-enqueue";
+      case TraceEvent::FifoDequeue: return "fifo-dequeue";
+      case TraceEvent::FifoDrop: return "fifo-drop";
+      case TraceEvent::FifoWakeup: return "fifo-wakeup";
+      case TraceEvent::FifoBlockSend: return "fifo-block-send";
+      case TraceEvent::FifoBlockRecv: return "fifo-block-recv";
+      case TraceEvent::CoreFetch: return "fetch";
+      case TraceEvent::CoreExec: return "exec";
+      case TraceEvent::CoreSleep: return "sleep";
+      case TraceEvent::CoreWake: return "wake";
+      case TraceEvent::CoreHandler: return "handler";
+      case TraceEvent::TimerSched: return "timer-sched";
+      case TraceEvent::TimerCancel: return "timer-cancel";
+      case TraceEvent::TimerExpire: return "timer-expire";
+      case TraceEvent::MsgCommand: return "msg-command";
+      case TraceEvent::MsgTx: return "msg-tx";
+      case TraceEvent::MsgRx: return "msg-rx";
+      case TraceEvent::EnergyDebit: return "energy-debit";
+      default: return "?";
+    }
+}
+
+std::string_view
+traceEventCategory(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::ChanHandshake:
+      case TraceEvent::ChanBlockSend:
+      case TraceEvent::ChanBlockRecv:
+        return "chan";
+      case TraceEvent::FifoEnqueue:
+      case TraceEvent::FifoDequeue:
+      case TraceEvent::FifoDrop:
+      case TraceEvent::FifoWakeup:
+      case TraceEvent::FifoBlockSend:
+      case TraceEvent::FifoBlockRecv:
+        return "fifo";
+      case TraceEvent::CoreFetch:
+      case TraceEvent::CoreExec:
+      case TraceEvent::CoreSleep:
+      case TraceEvent::CoreWake:
+      case TraceEvent::CoreHandler:
+        return "core";
+      case TraceEvent::TimerSched:
+      case TraceEvent::TimerCancel:
+      case TraceEvent::TimerExpire:
+        return "timer";
+      case TraceEvent::MsgCommand:
+      case TraceEvent::MsgTx:
+      case TraceEvent::MsgRx:
+        return "msg";
+      case TraceEvent::EnergyDebit:
+        return "energy";
+      default:
+        return "?";
+    }
+}
+
+std::uint16_t
+TraceSink::scope(const std::string &name)
+{
+    auto it = scopeIds_.find(name);
+    if (it != scopeIds_.end())
+        return it->second;
+    panicIf(scopeNames_.size() > 0xffff, "too many trace scopes");
+    auto id = static_cast<std::uint16_t>(scopeNames_.size());
+    scopeNames_.push_back(name);
+    scopeHashes_.push_back(fnvString(name));
+    scopeIds_.emplace(name, id);
+    return id;
+}
+
+void
+TraceSink::emit(Tick ts, std::uint16_t scope_id, TraceEvent type,
+                std::uint64_t a0, std::uint64_t a1, double f)
+{
+    ++count_;
+    // Canonical stream: (scope-name hash, type, timestamp, args). The
+    // scope *name* hash — not the interned id — keeps the stream hash
+    // independent of interning order.
+    std::uint64_t h = hash_;
+    h = fnvWord(h, scopeHashes_[scope_id]);
+    h = fnvWord(h, static_cast<std::uint64_t>(type));
+    h = fnvWord(h, ts);
+    h = fnvWord(h, a0);
+    h = fnvWord(h, a1);
+    h = fnvWord(h, doubleBits(f));
+    hash_ = h;
+    if (record_)
+        records_.push_back(TraceRecord{ts, a0, a1, f, scope_id, type});
+}
+
+void
+TraceSink::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Name each scope's "thread" so Perfetto shows component names.
+    for (std::size_t i = 0; i < scopeNames_.size(); ++i) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << i << ",\"args\":{\"name\":\""
+           << jsonEscape(scopeNames_[i]) << "\"}}";
+    }
+
+    // Energy debits become cumulative counter tracks (ph "C"); every
+    // other event is an instant (ph "i") on its scope's thread.
+    std::map<std::uint16_t, double> energy;
+    for (const TraceRecord &r : records_) {
+        const double ts_us = toUs(r.ts);
+        sep();
+        if (r.type == TraceEvent::EnergyDebit) {
+            double &cum = energy[r.scope];
+            cum += r.f;
+            os << "{\"name\":\"" << jsonEscape(scopeNames_[r.scope])
+               << "\",\"cat\":\"energy\",\"ph\":\"C\",\"ts\":" << ts_us
+               << ",\"pid\":0,\"tid\":" << r.scope
+               << ",\"args\":{\"pJ\":" << cum << "}}";
+        } else {
+            os << "{\"name\":\"" << traceEventName(r.type)
+               << "\",\"cat\":\"" << traceEventCategory(r.type)
+               << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us
+               << ",\"pid\":0,\"tid\":" << r.scope << ",\"args\":{"
+               << "\"a0\":" << r.a0 << ",\"a1\":" << r.a1 << "}}";
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+TraceSink::writeVcd(std::ostream &os) const
+{
+    // Two variables per scope: an 8-bit event-code wire (the value is
+    // the TraceEvent number of the scope's latest event) and, for
+    // scopes that carry energy debits, a real-valued cumulative-pJ
+    // signal. Identifiers are assigned as 2*scope (code) / 2*scope+1
+    // (energy).
+    std::vector<bool> hasEnergy(scopeNames_.size(), false);
+    for (const TraceRecord &r : records_)
+        if (r.type == TraceEvent::EnergyDebit)
+            hasEnergy[r.scope] = true;
+
+    os << "$date snaple trace $end\n"
+       << "$version snaple TraceSink $end\n"
+       << "$timescale 1ps $end\n"
+       << "$scope module snaple $end\n";
+    for (std::size_t i = 0; i < scopeNames_.size(); ++i) {
+        os << "$var wire 8 " << vcdId(2 * i) << ' '
+           << vcdName(scopeNames_[i]) << " $end\n";
+        if (hasEnergy[i])
+            os << "$var real 64 " << vcdId(2 * i + 1) << ' '
+               << vcdName(scopeNames_[i]) << "_pj $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Initial values.
+    os << "$dumpvars\n";
+    for (std::size_t i = 0; i < scopeNames_.size(); ++i) {
+        os << "b0 " << vcdId(2 * i) << '\n';
+        if (hasEnergy[i])
+            os << "r0 " << vcdId(2 * i + 1) << '\n';
+    }
+    os << "$end\n";
+
+    std::vector<double> energy(scopeNames_.size(), 0.0);
+    Tick last = 0;
+    bool any = false;
+    for (const TraceRecord &r : records_) {
+        if (!any || r.ts != last) {
+            os << '#' << r.ts << '\n';
+            last = r.ts;
+            any = true;
+        }
+        // Event code as an 8-bit binary value.
+        os << 'b';
+        for (int bit = 7; bit >= 0; --bit)
+            os << ((static_cast<unsigned>(r.type) >> bit) & 1);
+        os << ' ' << vcdId(2 * r.scope) << '\n';
+        if (r.type == TraceEvent::EnergyDebit) {
+            energy[r.scope] += r.f;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "r%.17g ",
+                          energy[r.scope]);
+            os << buf << vcdId(2 * r.scope + 1) << '\n';
+        }
+    }
+}
+
+} // namespace snaple::sim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Structured, deterministic simulation tracing.
+ *
+ * The paper's evaluation is built on *observing* a switch-level
+ * simulation; this is the equivalent observability layer for the CHP
+ * coroutine simulator. Model components emit typed events (channel
+ * handshakes, event-queue activity, pipeline-stage activity, timer
+ * operations, energy debits) into a TraceSink attached to the kernel.
+ * The sink maintains a running 64-bit FNV-1a hash over the canonical
+ * event stream — two runs are behaviorally identical iff their hashes
+ * match — and can export the recorded stream as Chrome `trace_event`
+ * JSON (chrome://tracing, Perfetto) or as a VCD waveform (GTKWave).
+ *
+ * Cost model:
+ *  - compiled out (-DSNAPLE_TRACE=OFF): TraceScope::emit() is an empty
+ *    inline function; zero overhead.
+ *  - compiled in, no sink attached (the default): one pointer load and
+ *    branch per instrumentation point.
+ *  - sink attached: an FNV hash update, plus one vector push_back when
+ *    the sink records events (hash-only sinks skip the store).
+ */
+
+#ifndef SNAPLE_SIM_TRACE_HH
+#define SNAPLE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel.hh"
+#include "ticks.hh"
+
+namespace snaple::sim {
+
+/** Every kind of event a model component can trace. */
+enum class TraceEvent : std::uint8_t
+{
+    // CHP rendezvous channels.
+    ChanHandshake,  ///< send and recv met; both sides resume
+    ChanBlockSend,  ///< sender suspended waiting for a receiver
+    ChanBlockRecv,  ///< receiver suspended waiting for a sender
+    // Buffered FIFOs (the hardware event queue, message FIFOs, ...).
+    FifoEnqueue,    ///< a0 = occupancy after the push
+    FifoDequeue,    ///< a0 = occupancy after the pop
+    FifoDrop,       ///< producer push rejected, buffer full
+    FifoWakeup,     ///< value handed straight to a blocked receiver
+    FifoBlockSend,  ///< sender suspended, buffer full
+    FifoBlockRecv,  ///< receiver suspended, buffer empty
+    // Core pipeline stages.
+    CoreFetch,      ///< a0 = pc, a1 = fetched word
+    CoreExec,       ///< a0 = canonical first word, a1 = InstrClass
+    CoreSleep,      ///< event queue empty at `done`: core quiescent
+    CoreWake,       ///< event token ended the sleep state
+    CoreHandler,    ///< handler dispatch; a0 = event number
+    // Timer coprocessor.
+    TimerSched,     ///< a0 = timer number, a1 = duration in timer ticks
+    TimerCancel,    ///< a0 = timer number
+    TimerExpire,    ///< a0 = timer number
+    // Message coprocessor.
+    MsgCommand,     ///< a0 = command word from the incoming FIFO
+    MsgTx,          ///< a0 = word handed to the radio
+    MsgRx,          ///< a0 = word delivered from the radio
+    // Energy ledger.
+    EnergyDebit,    ///< f = picojoules charged (scope names the category)
+    NumEvents,
+};
+
+/** Short event name (used by both exporters). */
+std::string_view traceEventName(TraceEvent e);
+
+/** Coarse category ("chan", "fifo", "core", "timer", "msg", "energy"). */
+std::string_view traceEventCategory(TraceEvent e);
+
+/** One recorded event. */
+struct TraceRecord
+{
+    Tick ts;
+    std::uint64_t a0;
+    std::uint64_t a1;
+    double f;
+    std::uint16_t scope;
+    TraceEvent type;
+};
+
+/**
+ * Collects the event stream of one kernel.
+ *
+ * Attach with Kernel::setTracer(). A sink constructed with
+ * @p record == false keeps only the running hash and event count —
+ * what the determinism tests need — without storing the stream.
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(bool record = true) : record_(record) {}
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Intern a scope (component) name; stable for the sink's life. */
+    std::uint16_t scope(const std::string &name);
+
+    /** Append one event (usually via TraceScope::emit). */
+    void emit(Tick ts, std::uint16_t scope_id, TraceEvent type,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0, double f = 0.0);
+
+    /**
+     * FNV-1a hash over the canonical event stream. Identical across two
+     * runs iff every traced event (type, time, scope, arguments) is
+     * identical; independent of whether events were recorded.
+     */
+    std::uint64_t hash() const { return hash_; }
+
+    /** Number of events emitted so far. */
+    std::uint64_t eventCount() const { return count_; }
+
+    /** True if the sink stores events (needed by the exporters). */
+    bool recording() const { return record_; }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    const std::vector<std::string> &scopeNames() const
+    {
+        return scopeNames_;
+    }
+
+    /** Chrome trace_event JSON (load in chrome://tracing or Perfetto). */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** Value-change dump for waveform viewers (GTKWave et al.). */
+    void writeVcd(std::ostream &os) const;
+
+  private:
+    bool record_;
+    std::uint64_t hash_ = 14695981039346656037ull; ///< FNV offset basis
+    std::uint64_t count_ = 0;
+    std::vector<TraceRecord> records_;
+    std::vector<std::string> scopeNames_;
+    std::vector<std::uint64_t> scopeHashes_;
+    std::unordered_map<std::string, std::uint16_t> scopeIds_;
+};
+
+/**
+ * A component's lazily-bound handle into the kernel's sink.
+ *
+ * Holding one is free; emit() resolves the kernel's current tracer and
+ * re-interns the scope name only when the sink changes.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(Kernel &kernel, std::string name)
+        : kernel_(kernel), name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+#ifdef SNAPLE_TRACE_DISABLED
+    void
+    emit(TraceEvent, std::uint64_t = 0, std::uint64_t = 0,
+         double = 0.0) const
+    {}
+#else
+    void
+    emit(TraceEvent type, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+         double f = 0.0)
+    {
+        TraceSink *sink = kernel_.tracer();
+        if (!sink)
+            return;
+        if (sink != boundSink_) {
+            id_ = sink->scope(name_);
+            boundSink_ = sink;
+        }
+        sink->emit(kernel_.now(), id_, type, a0, a1, f);
+    }
+#endif
+
+  private:
+    Kernel &kernel_;
+    std::string name_;
+    TraceSink *boundSink_ = nullptr;
+    std::uint16_t id_ = 0;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_TRACE_HH

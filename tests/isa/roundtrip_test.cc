@@ -12,6 +12,7 @@
 
 #include "asm/snap_backend.hh"
 #include "isa/instruction.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace {
@@ -174,6 +175,175 @@ TEST(RoundTripTest, BranchesViaLabels)
     EXPECT_EQ(int(b1.off8), -2);
     isa::DecodedInst b2 = isa::decodeFirst(p.imem[2]);
     EXPECT_EQ(int(b2.off8), 1);
+}
+
+// =====================================================================
+// Exhaustive first-word fuzz sweep: every one of the 65536 possible
+// instruction words is either decodable or rejected with FatalError —
+// never a crash, never a silent misdecode — and every decodable
+// non-branch word reaches an assembler-canonical fixed point within
+// one disassemble/reassemble cycle.
+// =====================================================================
+
+/**
+ * Reference validity predicate, written independently of the decoder
+ * from the ISA definition (isa.hh): which first words denote an
+ * instruction at all. Don't-care operand fields are accepted (the
+ * decoder is deliberately lenient there, see isa_test.cc DecodeSweep).
+ */
+bool
+referenceValid(std::uint16_t w)
+{
+    const auto op = static_cast<isa::Op>((w >> 12) & 0xf);
+    const std::uint8_t fn = w & 0xf;
+    switch (op) {
+      case isa::Op::AluR:
+        return fn <= std::uint8_t(isa::AluFn::Seed);
+      case isa::Op::AluI:
+        // No immediate form for the unary/LFSR functions.
+        return fn <= std::uint8_t(isa::AluFn::Mov) &&
+               fn != std::uint8_t(isa::AluFn::Not);
+      case isa::Op::Ldw:
+      case isa::Op::Stw:
+      case isa::Op::Ldi:
+      case isa::Op::Sti:
+      case isa::Op::Beqz:
+      case isa::Op::Bnez:
+      case isa::Op::Bltz:
+      case isa::Op::Bgez:
+      case isa::Op::Bfs:
+        return true;
+      case isa::Op::Jmp:
+        return fn <= std::uint8_t(isa::JmpFn::Jalr);
+      case isa::Op::Timer:
+        return fn <= std::uint8_t(isa::TimerFn::Cancel);
+      case isa::Op::Event:
+        return fn <= std::uint8_t(isa::EventFn::SetAddr);
+      case isa::Op::Sys:
+        return fn <= std::uint8_t(isa::SysFn::DbgOut);
+      default:
+        return false; // Reserved
+    }
+}
+
+bool
+isBranch(isa::Op op)
+{
+    return op == isa::Op::Beqz || op == isa::Op::Bnez ||
+           op == isa::Op::Bltz || op == isa::Op::Bgez;
+}
+
+TEST(IsaFuzzTest, ExhaustiveDecodeSweepMatchesReference)
+{
+    unsigned valid = 0;
+    for (std::uint32_t w32 = 0; w32 <= 0xffff; ++w32) {
+        const auto w = static_cast<std::uint16_t>(w32);
+        bool decoded = false;
+        isa::DecodedInst d;
+        try {
+            d = isa::decodeFirst(w);
+            decoded = true;
+        } catch (const sim::FatalError &) {
+            // rejected — the only acceptable failure mode
+        }
+        ASSERT_EQ(decoded, referenceValid(w))
+            << "word 0x" << std::hex << w;
+        if (!decoded)
+            continue;
+        ++valid;
+        // Bit-exact field extraction.
+        EXPECT_EQ(std::uint16_t(d.op), (w >> 12) & 0xf);
+        EXPECT_EQ(d.rd, (w >> 8) & 0xf);
+        EXPECT_EQ(d.rs, (w >> 4) & 0xf);
+        EXPECT_EQ(d.fn, w & 0xf);
+        if (isBranch(d.op))
+            EXPECT_EQ(std::uint8_t(d.off8), w & 0xff);
+    }
+    // AluR 15*256 + AluI 11*256 + four mem ops 4*4096 + four branch
+    // ops 4*4096 + Jmp 4*256 + Bfs 4096 + Timer 3*256 + Event 2*256
+    // + Sys 3*256.
+    EXPECT_EQ(valid, 46592u);
+}
+
+TEST(IsaFuzzTest, SweepReachesAssemblerFixedPoint)
+{
+    // For every valid non-branch word: one disassemble -> reassemble
+    // cycle may canonicalize don't-care operand fields, but it must
+    // preserve the instruction's semantics, and a second cycle must
+    // be an exact fixed point. Branch words (label-based assembly)
+    // instead re-encode directly from the decoded fields.
+    sim::Rng rng(0xdecafbad);
+    for (std::uint32_t w32 = 0; w32 <= 0xffff; ++w32) {
+        const auto w = static_cast<std::uint16_t>(w32);
+        if (!referenceValid(w))
+            continue;
+        isa::DecodedInst d = isa::decodeFirst(w);
+        if (isBranch(d.op)) {
+            EXPECT_EQ(isa::encodeBranch(d.op, d.rd, d.off8), w);
+            continue;
+        }
+        if (d.twoWord)
+            d.imm = rng.uniform16();
+
+        auto w1 = reassemble(isa::disassemble(d));
+        ASSERT_EQ(w1.size(), d.twoWord ? 2u : 1u)
+            << "word 0x" << std::hex << w;
+        isa::DecodedInst d1 = isa::decodeFirst(w1[0]);
+        if (d.twoWord)
+            d1.imm = w1[1];
+
+        // Semantic equivalence with the original decode.
+        ASSERT_EQ(d1.op, d.op) << "word 0x" << std::hex << w;
+        EXPECT_EQ(d1.cls, d.cls);
+        EXPECT_EQ(d1.unit, d.unit);
+        EXPECT_EQ(d1.twoWord, d.twoWord);
+        EXPECT_EQ(d1.readsRd, d.readsRd);
+        EXPECT_EQ(d1.readsRs, d.readsRs);
+        EXPECT_EQ(d1.writesRd, d.writesRd);
+        if (d.readsRd || d.writesRd)
+            EXPECT_EQ(d1.rd, d.rd) << "word 0x" << std::hex << w;
+        if (d.readsRs)
+            EXPECT_EQ(d1.rs, d.rs) << "word 0x" << std::hex << w;
+        if (d.twoWord)
+            EXPECT_EQ(d1.imm, d.imm);
+        if (d.op != isa::Op::Ldw && d.op != isa::Op::Stw &&
+            d.op != isa::Op::Ldi && d.op != isa::Op::Sti &&
+            d.op != isa::Op::Bfs)
+            EXPECT_EQ(d1.fn, d.fn); // fn is semantic outside mem/bfs
+
+        // Second cycle: exact fixed point.
+        auto w2 = reassemble(isa::disassemble(d1));
+        ASSERT_EQ(w2, w1) << "word 0x" << std::hex << w << " text '"
+                          << isa::disassemble(d1) << "'";
+    }
+}
+
+TEST(IsaFuzzTest, AssemblerRejectsIllegalSource)
+{
+    // The assembler cannot emit any word the decoder rejects (its
+    // encoders only produce table entries), and it must reject — with
+    // FatalError, exactly like the decoder — source that names a
+    // nonexistent form rather than silently accepting it.
+    using assembler::assembleSnap;
+    // Immediate forms of the unary/LFSR functions do not exist.
+    EXPECT_THROW(assembleSnap("noti r1, 5\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("negi r1, 5\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("randi r1, 5\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("seedi r1, 5\n"), sim::FatalError);
+    // Unknown mnemonics and registers.
+    EXPECT_THROW(assembleSnap("frobnicate r1\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("add r16, r1\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("add r99, r1\n"), sim::FatalError);
+    // Wrong operand counts and out-of-range immediates.
+    EXPECT_THROW(assembleSnap("add r1\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("addi r1, 70000\n"), sim::FatalError);
+    EXPECT_THROW(assembleSnap("addi r1, -32769\n"), sim::FatalError);
+    // Branch displacement beyond off8.
+    EXPECT_THROW(assembleSnap("beqz r1, far\n"
+                              ".org 400\n"
+                              "far:\n"
+                              "nop\n"),
+                 sim::FatalError);
 }
 
 } // namespace

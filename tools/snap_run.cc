@@ -3,9 +3,13 @@
  * snap-run: run a SNAP program on a simulated SNAP/LE machine.
  *
  * Usage: snap-run FILE.s [--volts V] [--ms N] [--stats]
+ *                        [--trace=FILE] [--trace-format=json|vcd]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
  * prints the `dbgout` stream, and optionally a stats/energy report.
+ * With --trace, records the structured event trace and writes it as
+ * Chrome trace_event JSON (load in chrome://tracing or Perfetto) or
+ * as a VCD waveform; the 64-bit trace hash is printed either way.
  * Events can only come from the timer coprocessor here (no radio or
  * sensors are attached); use the library API for full nodes.
  */
@@ -20,6 +24,7 @@
 #include "asm/snap_backend.hh"
 #include "core/machine.hh"
 #include "node/power.hh"
+#include "sim/trace.hh"
 
 int
 main(int argc, char **argv)
@@ -31,6 +36,8 @@ main(int argc, char **argv)
     double ms = 100.0;
     bool stats = false;
     bool timeline = false;
+    std::string trace_path;
+    std::string trace_format = "json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--volts") && i + 1 < argc)
             volts = std::atof(argv[++i]);
@@ -40,6 +47,10 @@ main(int argc, char **argv)
             stats = true;
         else if (!std::strcmp(argv[i], "--timeline"))
             timeline = true;
+        else if (!std::strncmp(argv[i], "--trace=", 8))
+            trace_path = argv[i] + 8;
+        else if (!std::strncmp(argv[i], "--trace-format=", 15))
+            trace_format = argv[i] + 15;
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -48,7 +59,15 @@ main(int argc, char **argv)
     }
     if (!path) {
         std::fprintf(stderr, "usage: snap-run FILE.s [--volts V] "
-                             "[--ms N] [--stats] [--timeline]\n");
+                             "[--ms N] [--stats] [--timeline] "
+                             "[--trace=FILE] "
+                             "[--trace-format=json|vcd]\n");
+        return 2;
+    }
+    if (trace_format != "json" && trace_format != "vcd") {
+        std::fprintf(stderr, "unknown trace format '%s' "
+                             "(expected json or vcd)\n",
+                     trace_format.c_str());
         return 2;
     }
 
@@ -63,6 +82,9 @@ main(int argc, char **argv)
     core::CoreConfig cfg;
     cfg.volts = volts;
     sim::Kernel kernel;
+    sim::TraceSink tracer;
+    if (!trace_path.empty())
+        kernel.setTracer(&tracer);
     core::Machine machine(kernel, cfg);
     machine.core().recordTimeline(timeline);
     try {
@@ -76,6 +98,24 @@ main(int argc, char **argv)
 
     for (std::uint16_t v : machine.core().debugOut())
         std::printf("dbgout: %u (0x%04x)\n", v, v);
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        if (trace_format == "vcd")
+            tracer.writeVcd(out);
+        else
+            tracer.writeChromeJson(out);
+        std::printf("trace: %llu events, hash 0x%016llx -> %s\n",
+                    static_cast<unsigned long long>(
+                        tracer.eventCount()),
+                    static_cast<unsigned long long>(tracer.hash()),
+                    trace_path.c_str());
+    }
 
     if (stats) {
         const auto &st = machine.core().stats();
