@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <vector>
+
 #include "apps/apps.hh"
 #include "asm/snap_backend.hh"
 #include "baseline/avr_backend.hh"
@@ -41,6 +44,153 @@ mixProgram(int iterations)
         halt
     )";
 }
+
+// ---------------------------------------------------------------
+// Kernel-only microbenchmarks: the scheduling hot path with no guest
+// model on top. These are the numbers the event arena / EventFn /
+// binary-heap rework targets directly.
+
+/** A self-rescheduling callback event (the pure schedule+dispatch
+ *  cycle, no coroutines involved). */
+struct CallbackChain
+{
+    sim::Kernel &kernel;
+    sim::Tick period;
+    std::uint64_t remaining;
+
+    void
+    arm()
+    {
+        if (remaining-- == 0)
+            return;
+        kernel.scheduleAfter(period, [this] { arm(); });
+    }
+};
+
+void
+BM_KernelScheduleDispatch(benchmark::State &state)
+{
+    // 16 interleaved chains with co-prime-ish periods keep a small
+    // heap busy with out-of-order insertions, like a real node mix.
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        std::vector<CallbackChain> chains;
+        chains.reserve(16);
+        for (int i = 0; i < 16; ++i) {
+            chains.push_back(
+                CallbackChain{kernel, sim::Tick(i % 7 + 1), 10000});
+            chains.back().arm();
+        }
+        kernel.run();
+        events += kernel.eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_KernelScheduleDispatch);
+
+sim::Co<void>
+delayLoop(sim::Kernel &kernel, sim::Tick period, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await kernel.delay(period);
+}
+
+void
+BM_KernelCoroutineResume(benchmark::State &state)
+{
+    // The scheduleResume/dispatch cycle: four processes trading the
+    // event list, the shape of every delay() in the models.
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        for (int i = 0; i < 4; ++i)
+            kernel.spawn(delayLoop(kernel, sim::Tick(2 * i + 3), 40000),
+                         "loop");
+        kernel.run();
+        events += kernel.eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_KernelCoroutineResume);
+
+sim::Co<void>
+pinger(sim::Channel<int> &out, sim::Channel<int> &back, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await out.send(i);
+        (void)co_await back.recv();
+    }
+}
+
+sim::Co<void>
+ponger(sim::Channel<int> &in, sim::Channel<int> &back, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        int v = co_await in.recv();
+        co_await back.send(v);
+    }
+}
+
+void
+BM_ChannelPingPong(benchmark::State &state)
+{
+    // CHP rendezvous throughput: two processes, two channels, four
+    // suspensions per round trip.
+    std::uint64_t events = 0;
+    constexpr int kRounds = 50000;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        sim::Channel<int> a(kernel, 2, "ping");
+        sim::Channel<int> b(kernel, 2, "pong");
+        kernel.spawn(pinger(a, b, kRounds), "pinger");
+        kernel.spawn(ponger(a, b, kRounds), "ponger");
+        kernel.run();
+        events += kernel.eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void
+BM_NodeNetworkScaling(benchmark::State &state)
+{
+    // Full-system scaling: one sender, a line of relays, one sink.
+    // Events/s should stay roughly flat as nodes are added — the heap
+    // is logarithmic in pending events, and everything else is O(1).
+    const int nodes = static_cast<int>(state.range(0));
+    auto snd = assembler::assembleSnap(
+        apps::senderNodeProgram(1, nodes, {0xCAFE}, 5));
+    auto sink = assembler::assembleSnap(apps::sinkNodeProgram(nodes));
+    std::vector<assembler::Program> relays;
+    for (int n = 2; n < nodes; ++n)
+        relays.push_back(
+            assembler::assembleSnap(apps::relayNodeProgram(n)));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        net::Network net;
+        node::NodeConfig c;
+        c.core.stopOnHalt = false;
+        c.name = "n1";
+        net.addNode(c, snd);
+        for (int n = 2; n < nodes; ++n) {
+            c.name = "n" + std::to_string(n);
+            net.addNode(c, relays[static_cast<std::size_t>(n - 2)]);
+        }
+        c.name = "n" + std::to_string(nodes);
+        net.addNode(c, sink);
+        net.setLineTopology();
+        net.start();
+        net.runFor(200 * sim::kMillisecond);
+        events += net.kernel().eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_NodeNetworkScaling)->RangeMultiplier(2)->Range(2, 8);
 
 void
 BM_SnapCoreMix(benchmark::State &state)

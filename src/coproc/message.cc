@@ -51,8 +51,18 @@ void
 MessageCoproc::pushEvent(isa::EventNum e)
 {
     core::EventToken tok{static_cast<std::uint8_t>(e)};
-    if (!eventQueue_.tryPush(tok))
+    if (!eventQueue_.tryPush(tok)) {
+        // A dropped token means the core never hears about this event
+        // (a received message, a sensor reading): trace and warn rather
+        // than losing it silently.
         ++stats_.eventsDropped;
+        trace_.emit(sim::TraceEvent::TokenDrop, tok.num,
+                    stats_.eventsDropped);
+        if (dropWarn_.shouldReport(stats_.eventsDropped))
+            sim::warn("msg-coproc: hardware event queue full, event ",
+                      unsigned(tok.num), " dropped (",
+                      stats_.eventsDropped, " dropped so far)");
+    }
 }
 
 sim::Co<void>

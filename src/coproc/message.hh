@@ -75,6 +75,7 @@ class MessageCoproc
     core::WordFifo &msgOut_;
     core::EventQueue &eventQueue_;
     sim::TraceScope trace_;
+    sim::WarnRateLimiter dropWarn_;
     RadioPort *radio_ = nullptr;
     std::array<SensorPort *, kMaxSensors> sensors_{};
     Stats stats_;

@@ -87,8 +87,17 @@ void
 TimerCoproc::pushToken(unsigned n)
 {
     core::EventToken tok{static_cast<std::uint8_t>(n)};
-    if (!eventQueue_.tryPush(tok))
+    if (!eventQueue_.tryPush(tok)) {
+        // A dropped expiration token is a lost interrupt: the handler
+        // never runs. Make it observable instead of silently bumping a
+        // counter nobody reads.
         ++stats_.tokensDropped;
+        trace_.emit(sim::TraceEvent::TokenDrop, n, stats_.tokensDropped);
+        if (dropWarn_.shouldReport(stats_.tokensDropped))
+            sim::warn("timer-coproc: hardware event queue full, timer ",
+                      n, " expiration token dropped (",
+                      stats_.tokensDropped, " dropped so far)");
+    }
 }
 
 } // namespace snaple::coproc

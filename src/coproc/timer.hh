@@ -73,6 +73,7 @@ class TimerCoproc
     core::TimerPort &port_;
     core::EventQueue &eventQueue_;
     sim::TraceScope trace_;
+    sim::WarnRateLimiter dropWarn_;
     std::array<Timer, 3> timers_;
     Stats stats_;
 };

@@ -146,35 +146,21 @@ SnapCore::fetchProcess()
     }
 }
 
-Co<std::uint16_t>
-SnapCore::readOperand(unsigned r)
+sim::Kernel::DelayAwaiter
+SnapCore::regReadDelay()
 {
-    if (r == isa::kMsgReg) {
-        // Reading r15 dequeues the message coprocessor's outgoing
-        // FIFO; the core stalls while it is empty (section 3.3).
-        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-        std::uint16_t v = co_await msgOut_.recv();
-        co_return v;
-    }
     ctx_.charge(Cat::Datapath, ctx_.ecal.regReadPj);
-    co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regReadGd));
-    co_return regs_[r];
+    return ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regReadGd));
 }
 
-Co<void>
-SnapCore::writeResult(unsigned r, std::uint16_t v)
+sim::Kernel::DelayAwaiter
+SnapCore::regWriteDelay()
 {
-    if (r == isa::kMsgReg) {
-        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-        co_await msgIn_.send(v);
-        co_return;
-    }
     ctx_.charge(Cat::Datapath, ctx_.ecal.regWritePj);
-    co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regWriteGd));
-    regs_[r] = v;
+    return ctx_.kernel.delay(ctx_.gd(ctx_.tcal.regWriteGd));
 }
 
-Co<void>
+sim::Kernel::DelayAwaiter
 SnapCore::busTransfer(Unit u)
 {
     double gd;
@@ -192,10 +178,10 @@ SnapCore::busTransfer(Unit u)
         pj = ctx_.ecal.busFastPj + ctx_.ecal.busSlowPj;
     }
     ctx_.charge(Cat::Datapath, pj);
-    co_await ctx_.kernel.delay(ctx_.gd(gd));
+    return ctx_.kernel.delay(ctx_.gd(gd));
 }
 
-Co<void>
+sim::Kernel::DelayAwaiter
 SnapCore::unitOp(Unit u)
 {
     double gd = 0;
@@ -234,7 +220,7 @@ SnapCore::unitOp(Unit u)
         sim::panic("unitOp on unknown unit");
     }
     ctx_.charge(Cat::Datapath, pj);
-    co_await ctx_.kernel.delay(ctx_.gd(gd));
+    return ctx_.kernel.delay(ctx_.gd(gd));
 }
 
 Co<void>
@@ -250,10 +236,28 @@ SnapCore::executeProcess()
 
         std::uint16_t vd = 0;
         std::uint16_t vs = 0;
-        if (d.readsRd)
-            vd = co_await readOperand(d.rd);
-        if (d.readsRs)
-            vs = co_await readOperand(d.rs);
+        // Operand reads, inlined to stay frame-free: r15 dequeues the
+        // message coprocessor's outgoing FIFO (the core stalls while
+        // it is empty, section 3.3); every other register is a plain
+        // register-file read.
+        if (d.readsRd) {
+            if (d.rd == isa::kMsgReg) {
+                ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+                vd = co_await msgOut_.recv();
+            } else {
+                co_await regReadDelay();
+                vd = regs_[d.rd];
+            }
+        }
+        if (d.readsRs) {
+            if (d.rs == isa::kMsgReg) {
+                ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+                vs = co_await msgOut_.recv();
+            } else {
+                co_await regReadDelay();
+                vs = regs_[d.rs];
+            }
+        }
 
         const bool usesUnit =
             !(d.op == Op::Event && d.eventFn() == EventFn::Done) &&
@@ -411,8 +415,17 @@ SnapCore::executeProcess()
         if (usesUnit)
             co_await busTransfer(d.unit); // result back / completion
 
-        if (write_result)
-            co_await writeResult(d.rd, result);
+        // Result write-back, inlined like the operand reads: r15
+        // enqueues into the message coprocessor's incoming FIFO.
+        if (write_result) {
+            if (d.rd == isa::kMsgReg) {
+                ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+                co_await msgIn_.send(result);
+            } else {
+                co_await regWriteDelay();
+                regs_[d.rd] = result;
+            }
+        }
 
         ++stats_.instructions;
         ++stats_.perClass[static_cast<std::size_t>(d.cls)];

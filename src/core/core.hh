@@ -159,14 +159,18 @@ class SnapCore
     sim::Co<void> fetchProcess();
     sim::Co<void> executeProcess();
 
-    /** Read an operand register (r15 dequeues the message FIFO). */
-    sim::Co<std::uint16_t> readOperand(unsigned r);
-    /** Write a result register (r15 enqueues into the message FIFO). */
-    sim::Co<void> writeResult(unsigned r, std::uint16_t v);
-    /** Bus transfer to/from the unit: latency + energy, one direction. */
-    sim::Co<void> busTransfer(isa::Unit u);
-    /** Execution-unit operation: latency + energy. */
-    sim::Co<void> unitOp(isa::Unit u);
+    /**
+     * Bus transfer to/from the unit: charges the energy now and
+     * returns the latency as a directly awaitable delay — a per-
+     * instruction operation that must not cost a coroutine frame.
+     */
+    sim::Kernel::DelayAwaiter busTransfer(isa::Unit u);
+    /** Execution-unit operation: latency + energy, frame-free. */
+    sim::Kernel::DelayAwaiter unitOp(isa::Unit u);
+    /** Charge a plain register-file read and return its delay. */
+    sim::Kernel::DelayAwaiter regReadDelay();
+    /** Charge a plain register-file write and return its delay. */
+    sim::Kernel::DelayAwaiter regWriteDelay();
 
     NodeContext &ctx_;
     mem::Sram &imem_;

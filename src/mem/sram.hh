@@ -7,13 +7,18 @@
  * activity, consistent with the QDI design style (the paper cites an
  * asynchronous on-chip memory design [18]).
  *
- * Timed accesses (read/write) are coroutines; peek/poke/load are
- * zero-cost host-side accessors for loaders and tests.
+ * Timed accesses (read/write) are custom awaitables rather than Co<T>
+ * coroutines: an SRAM access is the single hottest timed operation in
+ * the tree (every instruction fetch is one), and a custom awaiter
+ * charges energy and schedules the resume without materializing a
+ * coroutine frame. peek/poke/load are zero-cost host-side accessors
+ * for loaders and tests.
  */
 
 #ifndef SNAPLE_MEM_SRAM_HH
 #define SNAPLE_MEM_SRAM_HH
 
+#include <coroutine>
 #include <cstdint>
 #include <vector>
 
@@ -41,34 +46,59 @@ class Sram
 
     std::size_t words() const { return data_.size(); }
 
+    /** Awaitable timed read (frame-free; see file header). */
+    struct ReadOp
+    {
+        Sram &sram;
+        std::uint16_t addr;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            sim::Tick d = sram.chargeAccess(/*is_read=*/true);
+            sram.ctx_.kernel.scheduleResume(sram.ctx_.kernel.now() + d,
+                                            h);
+        }
+
+        std::uint16_t await_resume() const { return sram.data_[addr]; }
+    };
+
+    /** Awaitable timed write. */
+    struct WriteOp
+    {
+        Sram &sram;
+        std::uint16_t addr;
+        std::uint16_t value;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            sim::Tick d = sram.chargeAccess(/*is_read=*/false);
+            sram.ctx_.kernel.scheduleResume(sram.ctx_.kernel.now() + d,
+                                            h);
+        }
+
+        void await_resume() const { sram.data_[addr] = value; }
+    };
+
     /** Timed read: access delay plus per-access energy. */
-    sim::Co<std::uint16_t>
+    ReadOp
     read(std::uint16_t addr)
     {
         check(addr);
-        if (bank_ == Bank::Imem) {
-            ctx_.charge(energy::Cat::Imem, ctx_.ecal.imemReadPj);
-            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.imemReadGd));
-        } else {
-            ctx_.charge(energy::Cat::Dmem, ctx_.ecal.dmemReadPj);
-            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.dmemReadGd));
-        }
-        co_return data_[addr];
+        return ReadOp{*this, addr};
     }
 
     /** Timed write. */
-    sim::Co<void>
+    WriteOp
     write(std::uint16_t addr, std::uint16_t value)
     {
         check(addr);
-        if (bank_ == Bank::Imem) {
-            ctx_.charge(energy::Cat::Imem, ctx_.ecal.imemWritePj);
-            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.imemWriteGd));
-        } else {
-            ctx_.charge(energy::Cat::Dmem, ctx_.ecal.dmemWritePj);
-            co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.dmemWriteGd));
-        }
-        data_[addr] = value;
+        return WriteOp{*this, addr, value};
     }
 
     /** Host-side read without cost (loaders, tests, benches). */
@@ -99,6 +129,22 @@ class Sram
     }
 
   private:
+    /** Charge one access and return its delay in ticks. */
+    sim::Tick
+    chargeAccess(bool is_read)
+    {
+        if (bank_ == Bank::Imem) {
+            ctx_.charge(energy::Cat::Imem, is_read ? ctx_.ecal.imemReadPj
+                                                   : ctx_.ecal.imemWritePj);
+            return ctx_.gd(is_read ? ctx_.tcal.imemReadGd
+                                   : ctx_.tcal.imemWriteGd);
+        }
+        ctx_.charge(energy::Cat::Dmem, is_read ? ctx_.ecal.dmemReadPj
+                                               : ctx_.ecal.dmemWritePj);
+        return ctx_.gd(is_read ? ctx_.tcal.dmemReadGd
+                               : ctx_.tcal.dmemWriteGd);
+    }
+
     void
     check(std::uint16_t addr) const
     {

@@ -11,8 +11,7 @@ Medium::beginTransmit(Transceiver *src, std::uint16_t word,
                       sim::Tick airtime)
 {
     ++stats_.wordsSent;
-    std::size_t id = flights_.size();
-    flights_.push_back(Flight{src, word, false});
+    std::size_t id = allocFlight(src, word);
 
     // Any overlap collides everything currently on the air.
     if (active_ > 0) {
@@ -30,6 +29,22 @@ Medium::beginTransmit(Transceiver *src, std::uint16_t word,
                      [this, id] { endTransmit(id); });
 }
 
+std::size_t
+Medium::allocFlight(Transceiver *src, std::uint16_t word)
+{
+    // Recycle a retired slot when one exists; the flight table stays
+    // bounded by the peak number of words concurrently in flight.
+    if (!freeFlights_.empty()) {
+        std::size_t id = freeFlights_.back();
+        freeFlights_.pop_back();
+        flights_[id] = Flight{src, word, false};
+        return id;
+    }
+    std::size_t id = flights_.size();
+    flights_.push_back(Flight{src, word, false});
+    return id;
+}
+
 void
 Medium::endTransmit(std::size_t id)
 {
@@ -44,7 +59,11 @@ Medium::endTransmit(std::size_t id)
 void
 Medium::deliver(std::size_t id)
 {
-    Flight &f = flights_[id];
+    // Copy the flight out: delivery is its terminal stage, and the
+    // slot is retired to the free list whatever the outcome below.
+    const Flight f = flights_[id];
+    freeFlights_.push_back(id);
+
     if (sniffer_)
         sniffer_(f.src, f.word, f.collided);
 

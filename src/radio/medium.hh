@@ -73,6 +73,14 @@ class Medium
 
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Flight slots ever allocated. Bounded by the peak number of words
+     * simultaneously in the air, not by the total transmitted: slots
+     * are recycled through a free list once delivery resolves (tested
+     * by the storage-bound regression test).
+     */
+    std::size_t flightSlotsAllocated() const { return flights_.size(); }
+
   private:
     struct Flight
     {
@@ -81,13 +89,15 @@ class Medium
         bool collided = false;
     };
 
+    std::size_t allocFlight(Transceiver *src, std::uint16_t word);
     void endTransmit(std::size_t id);
     void deliver(std::size_t id);
 
     sim::Kernel &kernel_;
     sim::Tick propagation_;
     std::vector<Transceiver *> nodes_;
-    std::vector<Flight> flights_; ///< indexed by flight id, grows
+    std::vector<Flight> flights_;          ///< slots, recycled by id
+    std::vector<std::size_t> freeFlights_; ///< retired slot ids
     std::vector<std::size_t> activeFlights_;
     unsigned active_ = 0;
     Stats stats_;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only event callback.
+ *
+ * The kernel's hot path schedules millions of callbacks per wall-clock
+ * second; a std::function there means a possible heap allocation per
+ * event plus a copy on dispatch. EventFn stores the callable inline in
+ * a fixed buffer — it never allocates, never copies the callable, and
+ * is relocated (moved + destroyed) with two indirect calls. Callables
+ * that do not fit the inline buffer are rejected at compile time, which
+ * is what makes the kernel's no-allocation invariant checkable: if it
+ * compiles, scheduling it does not touch the allocator.
+ */
+
+#ifndef SNAPLE_SIM_CALLBACK_HH
+#define SNAPLE_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace snaple::sim {
+
+/** Inline-storage move-only callable with signature void(). */
+class EventFn
+{
+  public:
+    /**
+     * Inline capture budget. Large enough for the biggest hot-path
+     * capture in the tree (a this-pointer plus a few words of state)
+     * with room to spare; small enough that an event arena slot stays
+     * within a cache line.
+     */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kInlineBytes,
+                      "callback capture exceeds EventFn inline storage; "
+                      "capture less or raise kInlineBytes");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callback capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callback must be nothrow-move-constructible");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        ops_ = &kOps<Fn>;
+    }
+
+    EventFn(EventFn &&other) noexcept { stealFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    /** True if a callable is stored. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { ops_->invoke(buf_); }
+
+    /** Destroy the stored callable, if any. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct at @p dst from @p src, then destroy @p src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops kOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    void
+    stealFrom(EventFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_CALLBACK_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Hand-rolled binary min-heap over compact event nodes.
+ *
+ * The previous event list was a std::priority_queue of ~72-byte
+ * elements, each holding a std::function — every sift step shuffled a
+ * fat struct, every pop *copied* the top (std::priority_queue::top is
+ * const, so the callback was copied back off the heap, allocating for
+ * any non-trivial capture). This heap stores 32-byte POD nodes: the
+ * time/sequence key, a coroutine handle for resume events, and an
+ * arena slot index for callback events (the callable itself lives in
+ * the kernel's pooled arena and never moves during heap operations).
+ * pop() *moves* the top out. Sift operations use the classic hole
+ * technique, so each step is one node move rather than a swap.
+ *
+ * Ordering is (when, seq) lexicographic — identical to the old
+ * priority_queue comparator — so equal-tick events still dispatch in
+ * insertion order and existing trace hashes are bit-exact.
+ */
+
+#ifndef SNAPLE_SIM_EVENT_HEAP_HH
+#define SNAPLE_SIM_EVENT_HEAP_HH
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ticks.hh"
+
+namespace snaple::sim {
+
+/** One pending event: a callback slot or a coroutine resumption. */
+struct alignas(16) EventNode
+{
+    Tick when;
+    std::uint64_t seq;              ///< global insertion order tie-break
+    std::coroutine_handle<> resume; ///< non-null: resume this coroutine
+    std::uint32_t slot;             ///< else: kernel arena slot to invoke
+    /**
+     * Explicit trailing padding. Without it a node copy is 28 bytes,
+     * which the compiler lowers to overlapping misaligned vector ops
+     * that defeat store-to-load forwarding in the sift loops; with it
+     * (and the alignas) every copy is two aligned 16-byte moves.
+     */
+    std::uint32_t pad_ = 0;
+};
+
+/** Binary min-heap of EventNode keyed on (when, seq). */
+class EventHeap
+{
+  public:
+    bool empty() const { return nodes_.empty(); }
+    std::size_t size() const { return nodes_.size(); }
+    std::size_t capacity() const { return nodes_.capacity(); }
+    void reserve(std::size_t n) { nodes_.reserve(n); }
+
+    /** Smallest-keyed node; undefined when empty. */
+    const EventNode &top() const { return nodes_.front(); }
+
+    void
+    push(EventNode n)
+    {
+        std::size_t i = nodes_.size();
+        nodes_.push_back(n); // grows the vector; value set below
+        // Sift the hole up to where n belongs.
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(n, nodes_[parent]))
+                break;
+            nodes_[i] = nodes_[parent];
+            i = parent;
+        }
+        nodes_[i] = n;
+    }
+
+    /** Remove and return the smallest-keyed node; undefined when empty. */
+    EventNode
+    pop()
+    {
+        EventNode top = nodes_.front();
+        const EventNode last = nodes_.back();
+        nodes_.pop_back();
+        const std::size_t n = nodes_.size();
+        if (n > 0) {
+            // Sift the hole at the root down to where `last` belongs.
+            std::size_t i = 0;
+            for (;;) {
+                std::size_t child = 2 * i + 1;
+                if (child >= n)
+                    break;
+                if (child + 1 < n &&
+                    before(nodes_[child + 1], nodes_[child]))
+                    ++child;
+                if (!before(nodes_[child], last))
+                    break;
+                nodes_[i] = nodes_[child];
+                i = child;
+            }
+            nodes_[i] = last;
+        }
+        return top;
+    }
+
+  private:
+    static bool
+    before(const EventNode &a, const EventNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    std::vector<EventNode> nodes_;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_EVENT_HEAP_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Pooled allocator for coroutine frames.
+ *
+ * Every timed sub-call in the model (an SRAM access, a bus transfer, a
+ * functional-unit operation) is a Co<T> coroutine, so the simulator
+ * creates and destroys a coroutine frame per call — with the default
+ * promise allocator that is a malloc/free pair on the hottest path in
+ * the tree. This pool recycles frames through size-class free lists:
+ * after a short warm-up every frame size in the working set hits the
+ * free list and the allocator is never touched again (the steady-state
+ * no-allocation invariant the kernel's event arena also maintains).
+ *
+ * Single-threaded by design (the simulator is single-threaded); the
+ * pool is thread-local so independent kernels on different threads do
+ * not contend. The pool object is intentionally leaked at thread exit
+ * so coroutine frames owned by objects with static storage duration
+ * can still be released safely during program teardown.
+ */
+
+#ifndef SNAPLE_SIM_FRAME_POOL_HH
+#define SNAPLE_SIM_FRAME_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace snaple::sim::detail {
+
+/** Size-class free-list pool for coroutine frames. */
+class FramePool
+{
+  public:
+    void *
+    allocate(std::size_t bytes)
+    {
+        const std::size_t cls = sizeClass(bytes);
+        if (cls < kClasses && !lists_[cls].empty()) {
+            void *p = lists_[cls].back();
+            lists_[cls].pop_back();
+            return p;
+        }
+        ++mallocs_;
+        return ::operator new(classBytes(cls));
+    }
+
+    void
+    release(void *p, std::size_t bytes) noexcept
+    {
+        const std::size_t cls = sizeClass(bytes);
+        if (cls < kClasses) {
+            // push_back can in principle throw; trade that corner for
+            // determinism by reserving in chunks ahead of need.
+            auto &list = lists_[cls];
+            if (list.size() == list.capacity())
+                list.reserve(list.empty() ? 16 : 2 * list.capacity());
+            list.push_back(p);
+        } else {
+            ::operator delete(p);
+        }
+    }
+
+    /** Allocations that had to fall through to the host allocator. */
+    std::uint64_t hostAllocations() const { return mallocs_; }
+
+  private:
+    /// Frames are rounded up to 64-byte classes; frames above 2 KB
+    /// (none exist in the tree today) fall back to the host allocator.
+    static constexpr std::size_t kGranule = 64;
+    static constexpr std::size_t kClasses = 32;
+
+    static std::size_t
+    sizeClass(std::size_t bytes)
+    {
+        return (bytes + kGranule - 1) / kGranule;
+    }
+
+    static std::size_t
+    classBytes(std::size_t cls)
+    {
+        return cls * kGranule;
+    }
+
+    std::vector<void *> lists_[kClasses];
+    std::uint64_t mallocs_ = 0;
+};
+
+/** The calling thread's frame pool (never destroyed; see file header). */
+inline FramePool &
+framePool()
+{
+    thread_local FramePool *pool = new FramePool;
+    return *pool;
+}
+
+} // namespace snaple::sim::detail
+
+#endif // SNAPLE_SIM_FRAME_POOL_HH

@@ -5,6 +5,15 @@
  * The kernel owns a time-ordered event list and the set of free-running
  * hardware processes (coroutines). Events at equal ticks fire in
  * insertion order, which makes every simulation bit-reproducible.
+ *
+ * The scheduling hot path is allocation-free in steady state: pending
+ * events are 32-byte POD nodes in a hand-rolled binary heap
+ * (sim/event_heap.hh), and callback captures live in a pooled arena of
+ * small-buffer EventFn slots (sim/callback.hh) that is recycled through
+ * a free list. Once the heap and arena have grown to the peak number
+ * of simultaneously pending events, schedule/scheduleAfter/
+ * scheduleResume and dispatch never touch the allocator and never copy
+ * a callback — the popped top is moved, not copied.
  */
 
 #ifndef SNAPLE_SIM_KERNEL_HH
@@ -12,11 +21,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "callback.hh"
+#include "event_heap.hh"
 #include "logging.hh"
 #include "task.hh"
 #include "ticks.hh"
@@ -43,19 +53,29 @@ class Kernel
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule a callback at an absolute tick (>= now). */
+    /**
+     * Schedule a callback at an absolute tick (>= now).
+     *
+     * Accepts any callable with signature void(); the capture must fit
+     * EventFn's inline buffer (checked at compile time), which is what
+     * keeps this path allocation-free.
+     */
+    template <typename F>
     void
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, F &&fn)
     {
         panicIf(when < now_, "scheduling event in the past");
-        events_.push(Event{when, seq_++, std::move(fn), {}});
+        const std::uint32_t slot = allocSlot();
+        arena_[slot] = EventFn(std::forward<F>(fn));
+        events_.push(EventNode{when, seq_++, {}, slot});
     }
 
     /** Schedule a callback a relative number of ticks in the future. */
+    template <typename F>
     void
-    scheduleAfter(Tick delta, std::function<void()> fn)
+    scheduleAfter(Tick delta, F &&fn)
     {
-        schedule(now_ + delta, std::move(fn));
+        schedule(now_ + delta, std::forward<F>(fn));
     }
 
     /** Schedule the resumption of a suspended coroutine. */
@@ -63,7 +83,7 @@ class Kernel
     scheduleResume(Tick when, std::coroutine_handle<> h)
     {
         panicIf(when < now_, "scheduling resume in the past");
-        events_.push(Event{when, seq_++, nullptr, h});
+        events_.push(EventNode{when, seq_++, h, kNoSlot});
     }
 
     /**
@@ -105,6 +125,19 @@ class Kernel
     /**
      * Run until the event list drains, stop() is called, or simulated
      * time would pass @p until.
+     *
+     * Time-advance contract:
+     *  - If the time limit is hit, now() == until and false is returned.
+     *  - If the queue drains under an explicit limit (until != kMaxTick,
+     *    which includes every runFor() call), now() advances to until —
+     *    so callers can interleave runFor() with external stimulus at
+     *    predictable times, and repeated runFor() after a drain keeps
+     *    accumulating time. runFor(0) is a no-op that returns true.
+     *  - If the queue drains with no explicit limit (a bare run()),
+     *    now() stays at the tick of the last dispatched event: "run to
+     *    completion" ends at the moment the model went quiescent, not
+     *    at the end of time.
+     *
      * @return true if stopped or drained before @p until, false if the
      *         time limit was the reason for returning.
      */
@@ -115,22 +148,18 @@ class Kernel
         while (!stopped_) {
             rethrowPending();
             if (events_.empty()) {
-                // Drained early: simulated time still advances to the
-                // requested limit so callers can interleave runFor()
-                // with external stimulus at predictable times.
+                // Drained early: see the time-advance contract above.
                 if (until != kMaxTick)
                     now_ = until;
                 return true;
             }
-            const Event &top = events_.top();
-            if (top.when > until) {
+            if (events_.top().when > until) {
                 now_ = until;
                 return false;
             }
-            Event ev = top;
-            events_.pop();
-            now_ = ev.when;
-            dispatch(ev);
+            const EventNode node = events_.pop();
+            now_ = node.when;
+            dispatch(node);
         }
         rethrowPending();
         return true;
@@ -147,6 +176,20 @@ class Kernel
 
     /** Number of events dispatched so far (for host-side profiling). */
     std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return events_.size(); }
+
+    /** @name Steady-state allocation introspection (tests, benches)
+     * Both values grow to the peak number of simultaneously pending
+     * events and then stay flat: once warm, scheduling allocates
+     * nothing. */
+    ///@{
+    /** Heap slots ever allocated for pending events. */
+    std::size_t eventHeapCapacity() const { return events_.capacity(); }
+    /** Callback arena slots ever allocated. */
+    std::size_t callbackArenaSlots() const { return arena_.size(); }
+    ///@}
 
     /** @name Structured tracing (see sim/trace.hh)
      * The kernel does not own the sink; the attaching host keeps it
@@ -166,24 +209,7 @@ class Kernel
     }
 
   private:
-    struct Event
-    {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        std::coroutine_handle<> resume;
-    };
-
-    struct EventOrder
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
     struct Process
     {
@@ -191,15 +217,37 @@ class Kernel
         std::string name;
     };
 
+    std::uint32_t
+    allocSlot()
+    {
+        if (!freeSlots_.empty()) {
+            const std::uint32_t slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            return slot;
+        }
+        panicIf(arena_.size() >= kNoSlot, "event arena exhausted");
+        arena_.emplace_back();
+        // The free list can hold at most one entry per arena slot;
+        // growing it here keeps dispatch()'s slot recycling
+        // allocation-free.
+        freeSlots_.reserve(arena_.capacity());
+        return static_cast<std::uint32_t>(arena_.size() - 1);
+    }
+
     void
-    dispatch(const Event &ev)
+    dispatch(const EventNode &node)
     {
         ++dispatched_;
-        if (ev.resume) {
-            if (!ev.resume.done())
-                ev.resume.resume();
-        } else if (ev.fn) {
-            ev.fn();
+        if (node.resume) {
+            if (!node.resume.done())
+                node.resume.resume();
+        } else {
+            // Move the callback out of its arena slot and recycle the
+            // slot *before* invoking: the callback may schedule (and
+            // grow the arena) or throw, and must not leak its slot.
+            EventFn fn = std::move(arena_[node.slot]);
+            freeSlots_.push_back(node.slot);
+            fn();
         }
     }
 
@@ -219,7 +267,9 @@ class Kernel
     std::uint64_t dispatched_ = 0;
     bool stopped_ = false;
     std::exception_ptr error_;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+    EventHeap events_;
+    std::vector<EventFn> arena_;          ///< callback slots, recycled
+    std::vector<std::uint32_t> freeSlots_;
     std::vector<Process> processes_;
 };
 

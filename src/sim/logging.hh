@@ -12,6 +12,7 @@
 #ifndef SNAPLE_SIM_LOGGING_HH
 #define SNAPLE_SIM_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -89,6 +90,31 @@ fatalIf(bool condition, Args &&...args)
     if (condition)
         fatal(std::forward<Args>(args)...);
 }
+
+/**
+ * Decade rate limiter for recurring warnings.
+ *
+ * A model component that can misbehave millions of times per run (e.g.
+ * a full hardware queue dropping tokens) reports the 1st, 10th, 100th,
+ * ... occurrence instead of flooding stderr, while the 1st occurrence
+ * is always reported immediately.
+ */
+class WarnRateLimiter
+{
+  public:
+    /** True if the @p count -th occurrence (1-based) should print. */
+    bool
+    shouldReport(std::uint64_t count)
+    {
+        if (count < next_)
+            return false;
+        next_ = next_ * 10;
+        return true;
+    }
+
+  private:
+    std::uint64_t next_ = 1;
+};
 
 /** Print a non-fatal warning to stderr. */
 void warnStr(const std::string &msg);

@@ -13,10 +13,12 @@
 #define SNAPLE_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "frame_pool.hh"
 #include "logging.hh"
 
 namespace snaple::sim {
@@ -28,6 +30,24 @@ namespace detail {
 /** State shared by all Co promises. */
 struct PromiseBase
 {
+    /**
+     * Route coroutine-frame storage through the thread's FramePool so
+     * a timed sub-call (an SRAM access, a bus transfer) does not pay a
+     * malloc/free pair: in steady state every frame size in the
+     * working set is served from a free list.
+     */
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return framePool().allocate(bytes);
+    }
+
+    static void
+    operator delete(void *p, std::size_t bytes) noexcept
+    {
+        framePool().release(p, bytes);
+    }
+
     /** Coroutine to resume when this one completes (awaiting parent). */
     std::coroutine_handle<> continuation;
     /** Exception escaping the coroutine body, if any. */

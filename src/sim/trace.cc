@@ -124,6 +124,7 @@ traceEventName(TraceEvent e)
       case TraceEvent::MsgTx: return "msg-tx";
       case TraceEvent::MsgRx: return "msg-rx";
       case TraceEvent::EnergyDebit: return "energy-debit";
+      case TraceEvent::TokenDrop: return "token-drop";
       default: return "?";
     }
 }
@@ -159,6 +160,8 @@ traceEventCategory(TraceEvent e)
         return "msg";
       case TraceEvent::EnergyDebit:
         return "energy";
+      case TraceEvent::TokenDrop:
+        return "coproc";
       default:
         return "?";
     }

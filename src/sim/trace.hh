@@ -66,13 +66,19 @@ enum class TraceEvent : std::uint8_t
     MsgRx,          ///< a0 = word delivered from the radio
     // Energy ledger.
     EnergyDebit,    ///< f = picojoules charged (scope names the category)
+    // Coprocessor event-token delivery. (Appended after EnergyDebit so
+    // earlier events keep their numeric values and exported traces stay
+    // comparable across versions.)
+    TokenDrop,      ///< hardware event queue full: a0 = event/timer
+                    ///< number, a1 = the emitter's total drops so far
     NumEvents,
 };
 
 /** Short event name (used by both exporters). */
 std::string_view traceEventName(TraceEvent e);
 
-/** Coarse category ("chan", "fifo", "core", "timer", "msg", "energy"). */
+/** Coarse category ("chan", "fifo", "core", "timer", "msg", "energy",
+ *  "coproc"). */
 std::string_view traceEventCategory(TraceEvent e);
 
 /** One recorded event. */

@@ -12,6 +12,7 @@
 #include "core/context.hh"
 #include "core/ports.hh"
 #include "sensor/sensor.hh"
+#include "sim/trace.hh"
 
 namespace {
 
@@ -125,9 +126,11 @@ TEST(TimerCoprocTest, ZeroDurationStillTakesOneTick)
     EXPECT_EQ(r.timer.stats().expired, 1u);
 }
 
-TEST(TimerCoprocTest, DroppedTokensAreCounted)
+TEST(TimerCoprocTest, DroppedTokensAreCountedAndTraced)
 {
     TimerRig r;
+    sim::TraceSink sink;
+    r.kernel.setTracer(&sink);
     // Fill the queue with manual pushes, then expire a timer.
     for (int i = 0; i < 8; ++i)
         r.evq.tryPush(EventToken{0});
@@ -135,6 +138,17 @@ TEST(TimerCoprocTest, DroppedTokensAreCounted)
     r.send(TimerFn::SchedLo, 2, 10);
     r.kernel.runFor(50 * sim::kMicrosecond);
     EXPECT_EQ(r.timer.stats().tokensDropped, 1u);
+    // The lost interrupt must be visible in the trace, not just a
+    // silently bumped counter.
+    unsigned drops = 0;
+    for (const auto &rec : sink.records()) {
+        if (rec.type != sim::TraceEvent::TokenDrop)
+            continue;
+        ++drops;
+        EXPECT_EQ(rec.a0, 2u); // the timer whose token was lost
+        EXPECT_EQ(rec.a1, 1u); // running drop count
+    }
+    EXPECT_EQ(drops, 1u);
 }
 
 // ----------------------------------------------------------------
@@ -263,6 +277,30 @@ TEST(MessageCoprocTest, RxWordsFlowToCoreWithEvents)
     EXPECT_EQ(r.msgOut.size(), 2u);
     EXPECT_EQ(r.evq.size(), 2u);
     EXPECT_EQ(r.msg.stats().rxWords, 2u);
+}
+
+TEST(MessageCoprocTest, DroppedEventsAreCountedAndTraced)
+{
+    MsgRig r;
+    sim::TraceSink sink;
+    r.kernel.setTracer(&sink);
+    // Saturate the hardware event queue, then raise an interrupt whose
+    // token has nowhere to go.
+    for (int i = 0; i < 8; ++i)
+        r.evq.tryPush(EventToken{0});
+    r.msg.raiseSensorInterrupt();
+    r.kernel.runFor(sim::kMicrosecond);
+    EXPECT_EQ(r.msg.stats().eventsDropped, 1u);
+    unsigned drops = 0;
+    for (const auto &rec : sink.records()) {
+        if (rec.type != sim::TraceEvent::TokenDrop)
+            continue;
+        ++drops;
+        EXPECT_EQ(rec.a0, static_cast<std::uint64_t>(
+                              isa::EventNum::SensorIrq));
+        EXPECT_EQ(rec.a1, 1u);
+    }
+    EXPECT_EQ(drops, 1u);
 }
 
 } // namespace

@@ -113,6 +113,40 @@ TEST(RadioTest, RadioEnergyChargedPerWord)
                      3 * cfg.rxPjPerWord);
 }
 
+TEST(RadioTest, FlightStorageStaysBoundedOverManyWords)
+{
+    // Regression: the medium used to allocate one flight record per
+    // word ever transmitted and never retire it, so a chatty node grew
+    // the host's memory without bound. Slots must now be recycled once
+    // delivery resolves, bounding storage by peak concurrent flights.
+    Rig r;
+    r.b.setMode(RadioMode::Rx);
+    constexpr std::size_t kWords = 100000;
+    r.kernel.spawn(
+        txWords(r.a, std::vector<std::uint16_t>(kWords, 0xA5A5)));
+    r.kernel.run(200 * sim::kSecond);
+    ASSERT_EQ(r.medium.stats().wordsSent, kWords);
+    EXPECT_EQ(r.medium.stats().wordsDelivered, kWords);
+    // One word in the air at a time (plus its in-propagation tail):
+    // a handful of slots, not one per word.
+    EXPECT_LE(r.medium.flightSlotsAllocated(), 4u);
+}
+
+TEST(RadioTest, FlightStorageStaysBoundedUnderCollisions)
+{
+    // Collided flights take the early-out in deliver(); their slots
+    // must be retired all the same.
+    Rig r;
+    for (int burst = 0; burst < 1000; ++burst) {
+        r.kernel.spawn(txWords(r.a, {0x1111}));
+        r.kernel.spawn(txWords(r.b, {0x2222}));
+        r.kernel.runFor(3 * sim::kMillisecond);
+    }
+    ASSERT_EQ(r.medium.stats().wordsSent, 2000u);
+    EXPECT_EQ(r.medium.stats().collisions, 2000u);
+    EXPECT_LE(r.medium.flightSlotsAllocated(), 8u);
+}
+
 TEST(RadioTest, BackToBackWordsSpaceByAirtime)
 {
     Rig r;

@@ -201,4 +201,111 @@ TEST(KernelTest, ZeroDelayAwaitYieldsToSameTickEvents)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(KernelTest, SameTickFifoOrderSurvivesChurn)
+{
+    // Equal-tick insertion order must hold even when dispatch itself
+    // keeps scheduling more same-tick events: this is what exercises
+    // the heap's sift paths (and, before that, the arena recycling)
+    // rather than a quiet pre-built queue.
+    Kernel k;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        k.schedule(100, [&order, &k, i] {
+            order.push_back(i);
+            // Same-tick follow-up, interleaved with future noise.
+            k.schedule(100, [&order, i] { order.push_back(100 + i); });
+            k.schedule(200 + i, [] {});
+        });
+    }
+    k.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 8; ++i)
+        expect.push_back(i);
+    for (int i = 0; i < 8; ++i)
+        expect.push_back(100 + i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(KernelTest, RunToDrainLeavesTimeAtLastEvent)
+{
+    // Bare run(): "run to completion" ends when the model went
+    // quiescent, not at the end of time.
+    Kernel k;
+    k.schedule(500, [] {});
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(k.now(), Tick{500});
+}
+
+TEST(KernelTest, RunForAdvancesTimeEvenWhenDrained)
+{
+    // An explicit limit advances now() to the limit even if the queue
+    // drains first, so callers can interleave runFor() with external
+    // stimulus at predictable times.
+    Kernel k;
+    k.schedule(10, [] {});
+    EXPECT_TRUE(k.runFor(1000));
+    EXPECT_EQ(k.now(), Tick{1000});
+
+    // Repeated runFor() after the drain keeps accumulating time...
+    EXPECT_TRUE(k.runFor(250));
+    EXPECT_EQ(k.now(), Tick{1250});
+    EXPECT_TRUE(k.runFor(250));
+    EXPECT_EQ(k.now(), Tick{1500});
+
+    // ...and runFor(0) is a predictable no-op.
+    EXPECT_TRUE(k.runFor(0));
+    EXPECT_EQ(k.now(), Tick{1500});
+
+    // New work scheduled after a drain still runs at the right time.
+    bool fired = false;
+    k.scheduleAfter(100, [&] { fired = true; });
+    EXPECT_TRUE(k.runFor(200));
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(k.now(), Tick{1700});
+}
+
+TEST(KernelTest, StopFromMidEventPreservesRemainingQueue)
+{
+    Kernel k;
+    std::vector<int> order;
+    k.schedule(10, [&] { order.push_back(1); });
+    k.schedule(20, [&] {
+        order.push_back(2);
+        k.stop();
+    });
+    k.schedule(30, [&] { order.push_back(3); });
+    EXPECT_TRUE(k.run());
+    // stop() returns after the current event; the rest stays queued.
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(k.now(), Tick{10 + 10});
+    EXPECT_EQ(k.pendingEvents(), 1u);
+    // A later run() resumes exactly where the last one stopped.
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KernelTest, SteadyStateSchedulingIsAllocationFree)
+{
+    // The tentpole invariant: once the heap and callback arena have
+    // grown to the peak number of simultaneously pending events,
+    // further scheduling must not grow either structure.
+    Kernel k;
+    k.spawn([](Kernel &kk) -> Co<void> {
+        for (int i = 0; i < 1000; ++i) {
+            kk.scheduleAfter(3, [] {});
+            co_await kk.delay(2);
+        }
+    }(k));
+    // Warm up: reach the peak working set.
+    k.runFor(50);
+    const std::size_t heap_cap = k.eventHeapCapacity();
+    const std::size_t arena = k.callbackArenaSlots();
+    ASSERT_GT(heap_cap, 0u);
+    ASSERT_GT(arena, 0u);
+    // Steady state: thousands more events, zero structural growth.
+    k.run();
+    EXPECT_EQ(k.eventHeapCapacity(), heap_cap);
+    EXPECT_EQ(k.callbackArenaSlots(), arena);
+}
+
 } // namespace
