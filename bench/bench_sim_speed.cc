@@ -18,6 +18,7 @@
 #include "baseline/tinyos.hh"
 #include "core/machine.hh"
 #include "net/network.hh"
+#include "net/parallel_network.hh"
 #include "sensor/sensor.hh"
 
 namespace {
@@ -191,6 +192,101 @@ BM_NodeNetworkScaling(benchmark::State &state)
     state.SetLabel("kernel events/s");
 }
 BENCHMARK(BM_NodeNetworkScaling)->RangeMultiplier(2)->Range(2, 8);
+
+/**
+ * A MAC node app that burns @p iters ALU-loop rounds every
+ * @p period_us, and (when @p sink >= 0) also offers one DATA frame per
+ * activation. The busy loop is what gives every shard real work
+ * between sync barriers — an idle line of relays would measure barrier
+ * overhead, not parallel simulation.
+ */
+std::string
+busyApp(unsigned period_us, unsigned iters, int sink)
+{
+    std::string sched = "        li   r1, 0\n        li   r2, " +
+                        std::to_string(period_us >> 16) +
+                        "\n        schedhi r1, r2\n        li   r2, " +
+                        std::to_string(period_us & 0xffff) +
+                        "\n        schedlo r1, r2\n";
+    std::string send;
+    if (sink >= 0)
+        send = R"(
+        ldw  r5, TX_PEND(r0)
+        bnez r5, bz_rearm       ; frame in flight: skip this round
+        ldw  r3, APP_BASE(r0)
+        inc  r3
+        stw  r3, APP_BASE(r0)
+        stw  r3, TX_BUF+2(r0)
+        li   r1, )" + std::to_string(sink) + R"(
+        li   r2, 1
+        call send_data
+)";
+    return R"(
+app_boot:
+        li   r1, EV_T0
+        la   r2, bz_timer
+        setaddr r1, r2
+        clr  r3
+        stw  r3, APP_BASE(r0)
+)" + sched + R"(        ret
+
+bz_timer:
+        li   r6, )" + std::to_string(iters) + R"(
+bz_loop:
+        add  r7, r6
+        slli r7, 1
+        dec  r6
+        bnez r6, bz_loop
+)" + send + R"(bz_rearm:
+)" + sched + R"(        done
+
+app_rx:
+        ret
+)";
+}
+
+void
+BM_ParallelNetworkScaling(benchmark::State &state)
+{
+    // The sharded engine on its natural workload: N busy nodes on a
+    // line, node 1 offering periodic DATA to the sink at N. Every
+    // node's app burns an ALU loop each millisecond so shards have
+    // comparable work per sync window. range(0) = nodes, range(1) =
+    // worker lanes; /N/1 vs /N/4 is the parallel speedup (on a
+    // multi-core host) at bit-identical simulation results.
+    const int nodes = static_cast<int>(state.range(0));
+    const unsigned jobs = static_cast<unsigned>(state.range(1));
+    std::vector<assembler::Program> progs;
+    for (int a = 1; a <= nodes; ++a)
+        progs.push_back(assembler::assembleSnap(apps::macNodeProgram(
+            static_cast<unsigned>(a),
+            busyApp(1000, 150, a == 1 ? nodes : -1))));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        net::ParallelNetwork net(1 * sim::kMicrosecond, jobs);
+        node::NodeConfig c;
+        c.core.stopOnHalt = false;
+        c.baseSeed = 0x5eed0f5eed0f5eedull;
+        for (int a = 1; a <= nodes; ++a) {
+            c.name = "n" + std::to_string(a);
+            net.addNode(c, progs[static_cast<std::size_t>(a - 1)]);
+        }
+        net.setLineTopology();
+        net.start();
+        net.runFor(200 * sim::kMillisecond);
+        events += net.eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_ParallelNetworkScaling)
+    ->Args({2, 1})
+    ->Args({2, 4})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->UseRealTime();
 
 void
 BM_SnapCoreMix(benchmark::State &state)

@@ -8,16 +8,23 @@
  * collisions, drops and energy — the regime SNAP/LE's event queue and
  * CSMA MAC were designed for.
  *
- * Build & run:  ./build/examples/network_scale
+ * Build & run:  ./build/examples/network_scale [--jobs K]
+ *
+ * With --jobs > 1 the line is simulated on the sharded parallel
+ * engine (net::ParallelNetwork) — results are bit-identical to the
+ * single-threaded run by construction, just faster on a multi-core
+ * host.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/apps.hh"
 #include "asm/snap_backend.hh"
-#include "net/network.hh"
+#include "net/parallel_network.hh"
 #include "node/power.hh"
 
 namespace {
@@ -73,9 +80,9 @@ struct RunResult
 };
 
 RunResult
-run(unsigned period_ms, double seconds)
+run(unsigned period_ms, double seconds, unsigned jobs)
 {
-    net::Network net;
+    net::ParallelNetwork net(1 * sim::kMicrosecond, jobs);
     node::NodeConfig cfg;
     cfg.core.stopOnHalt = false;
     cfg.core.volts = 0.6;
@@ -104,7 +111,7 @@ run(unsigned period_ms, double seconds)
     for (int s = 0; s < 3; ++s)
         r.sent[s] = nodes[s]->dmem().peek(apps::layout::kAppBase);
     r.delivered = static_cast<unsigned>(sink.core().debugOut().size());
-    r.collisions = net.medium().stats().collisions;
+    r.collisions = net.stats().collisions;
     for (std::size_t i = 0; i < net.size(); ++i)
         r.eventDrops += net.node(i).msgCoproc().stats().eventsDropped;
     r.sinkProcUj = sink.ctx().ledger.processorPj() / 1e6;
@@ -114,12 +121,21 @@ run(unsigned period_ms, double seconds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        else {
+            std::fprintf(stderr, "usage: network_scale [--jobs K]\n");
+            return 2;
+        }
+    }
     const double seconds = 20.0;
     std::printf("eight-node line, three periodic senders -> one sink, "
-                "%.0f simulated seconds\n\n",
-                seconds);
+                "%.0f simulated seconds, %u worker lane%s\n\n",
+                seconds, jobs, jobs == 1 ? "" : "s");
     std::printf("%10s | %8s %10s %11s %11s %12s\n", "period",
                 "offered", "delivered", "ratio", "collisions",
                 "sink proc uJ");
@@ -128,7 +144,7 @@ main()
     std::putchar('\n');
 
     for (unsigned period_ms : {2000u, 1000u, 500u, 250u}) {
-        RunResult r = run(period_ms, seconds);
+        RunResult r = run(period_ms, seconds, jobs);
         unsigned offered = r.sent[0] + r.sent[1] + r.sent[2];
         std::printf("%7u ms | %8u %10u %10.0f%% %11llu %12.2f\n",
                     period_ms, offered, r.delivered,

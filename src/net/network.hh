@@ -1,15 +1,23 @@
 /**
  * @file
- * Multi-node network harness.
+ * Multi-node network harness (sequential).
  *
  * Owns one kernel, one shared radio medium, and a set of SNAP/LE
- * nodes; keeps a host-side trace of every word put on the air. This is
- * the rig behind the AODV benchmarks and the multi-hop examples.
+ * nodes. This is the rig behind the AODV benchmarks and the multi-hop
+ * examples; net::ParallelNetwork is the sharded, multi-core variant
+ * with the same surface.
+ *
+ * Air tracing is opt-in (enableAirTrace()) and ring-buffered: an
+ * always-on sniffer appending one AirWord per transmitted word grows
+ * without bound on long runs — the same bug class as the old Medium
+ * flight-record leak — so the harness keeps at most the configured
+ * number of most recent words, plus a total count.
  */
 
 #ifndef SNAPLE_NET_NETWORK_HH
 #define SNAPLE_NET_NETWORK_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,17 +37,73 @@ struct AirWord
     bool collided;
 };
 
+/**
+ * Bounded ring of the most recent AirWords. Indexing is oldest-first
+ * over the retained window; total() counts every word ever pushed.
+ */
+class AirTraceRing
+{
+  public:
+    explicit AirTraceRing(std::size_t capacity = 4096)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    void
+    push(AirWord w)
+    {
+        if (ring_.size() < capacity_) {
+            ring_.push_back(std::move(w));
+        } else {
+            ring_[head_] = std::move(w);
+            head_ = (head_ + 1) % capacity_;
+        }
+        ++total_;
+    }
+
+    /** Words currently retained (<= capacity()). */
+    std::size_t size() const { return ring_.size(); }
+    bool empty() const { return ring_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Words ever pushed, including those the ring has dropped. */
+    std::uint64_t total() const { return total_; }
+
+    /** @p i = 0 is the oldest retained word. */
+    const AirWord &
+    operator[](std::size_t i) const
+    {
+        return ring_[(head_ + i) % ring_.size()];
+    }
+
+    const AirWord &back() const { return (*this)[ring_.size() - 1]; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0; ///< index of the oldest element when full
+    std::uint64_t total_ = 0;
+    std::vector<AirWord> ring_;
+};
+
 /** A simulated network of SNAP/LE nodes on one shared medium. */
 class Network
 {
   public:
     explicit Network(sim::Tick propagation = 1 * sim::kMicrosecond)
         : medium_(kernel_, propagation)
+    {}
+
+    /**
+     * Start sniffing the air into a bounded ring of the @p capacity
+     * most recent words. Off by default: sniffing every word of a
+     * long-running simulation is pure memory growth.
+     */
+    void
+    enableAirTrace(std::size_t capacity = 4096)
     {
+        trace_ = AirTraceRing(capacity);
         medium_.setSniffer([this](const radio::Transceiver *src,
                                   std::uint16_t w, bool collided) {
-            trace_.push_back(
-                AirWord{kernel_.now(), nameOf(src), w, collided});
+            trace_.push(AirWord{kernel_.now(), nameOf(src), w, collided});
         });
     }
 
@@ -64,7 +128,9 @@ class Network
     radio::Medium &medium() { return medium_; }
     node::SnapNode &node(std::size_t i) { return *nodes_.at(i); }
     std::size_t size() const { return nodes_.size(); }
-    const std::vector<AirWord> &trace() const { return trace_; }
+
+    /** The air-trace ring; empty unless enableAirTrace() was called. */
+    const AirTraceRing &trace() const { return trace_; }
 
     /** Run for a stretch of simulated time. */
     void runFor(sim::Tick t) { kernel_.runFor(t); }
@@ -108,7 +174,7 @@ class Network
     sim::Kernel kernel_;
     radio::Medium medium_;
     std::vector<std::unique_ptr<node::SnapNode>> nodes_;
-    std::vector<AirWord> trace_;
+    AirTraceRing trace_;
 };
 
 } // namespace snaple::net

@@ -1,0 +1,133 @@
+#include "net/parallel_network.hh"
+
+#include <algorithm>
+
+#include "radio/transceiver.hh"
+
+namespace snaple::net {
+
+node::SnapNode &
+ParallelNetwork::addNode(const node::NodeConfig &cfg,
+                         const assembler::Program &prog)
+{
+    sim::fatalIf(started_, "addNode() after start()");
+    node::NodeConfig shardCfg = cfg;
+    if (shardCfg.nodeId == 0)
+        shardCfg.nodeId = static_cast<std::uint32_t>(shards_.size());
+    shards_.push_back(
+        std::make_unique<Shard>(exchange_, shardCfg, prog));
+    Shard &s = *shards_.back();
+    if (tracing_) {
+        s.sink = std::make_unique<sim::TraceSink>(traceRecord_);
+        s.kernel.setTracer(s.sink.get());
+    }
+    return s.node;
+}
+
+void
+ParallelNetwork::start()
+{
+    sim::fatalIf(started_, "start() called twice");
+    if (windowOverride_ == 0) {
+        // Lookahead: the earliest a word transmitted in one shard can
+        // matter in another is one (shortest) word airtime plus the
+        // propagation delay. No radios means no cross-shard traffic at
+        // all; any positive window works, so pick a coarse one.
+        sim::Tick minAirtime = sim::kMaxTick;
+        for (const auto &s : shards_)
+            if (const radio::Transceiver *t = s->node.transceiver())
+                minAirtime = std::min(minAirtime, t->wordAirtime());
+        if (minAirtime != sim::kMaxTick)
+            window_ = minAirtime + exchange_.propagation();
+        else if (exchange_.propagation() != 0)
+            window_ = exchange_.propagation();
+        else
+            window_ = sim::kMillisecond;
+    }
+    sim::fatalIf(window_ == 0, "sync window must be positive");
+    for (auto &s : shards_)
+        s->node.start();
+    started_ = true;
+}
+
+void
+ParallelNetwork::enableAirTrace(std::size_t capacity)
+{
+    trace_ = AirTraceRing(capacity);
+    exchange_.setSniffer([this](const radio::AirFlight &f,
+                                sim::Tick deliverAt) {
+        trace_.push(AirWord{deliverAt,
+                            shards_.at(f.srcNode)->node.name(), f.word,
+                            f.collided});
+    });
+}
+
+void
+ParallelNetwork::enableTracing(bool record)
+{
+    tracing_ = true;
+    traceRecord_ = record;
+    for (auto &s : shards_) {
+        if (!s->sink)
+            s->sink = std::make_unique<sim::TraceSink>(record);
+        s->kernel.setTracer(s->sink.get());
+    }
+}
+
+void
+ParallelNetwork::stepShard(Shard &s, sim::Tick horizon)
+{
+    if (s.halted)
+        return;
+    s.kernel.run(horizon);
+    // run() pins now() to the horizon unless stop() cut it short (a
+    // halted core with stopOnHalt, or a model calling stop()). Freeze
+    // such a shard: its time can no longer track the barrier grid.
+    if (s.kernel.now() < horizon)
+        s.halted = true;
+}
+
+void
+ParallelNetwork::runWindow(sim::Tick horizon)
+{
+    const unsigned lanes = jobs_;
+    if (lanes <= 1 || shards_.size() <= 1) {
+        for (auto &s : shards_)
+            stepShard(*s, horizon);
+        return;
+    }
+    if (!pool_ || pool_->lanes() != lanes)
+        pool_ = std::make_unique<sim::WorkerPool>(lanes - 1);
+    pool_->dispatch([this, horizon, lanes](unsigned lane) {
+        for (std::size_t i = lane; i < shards_.size(); i += lanes)
+            stepShard(*shards_[i], horizon);
+    });
+}
+
+void
+ParallelNetwork::runFor(sim::Tick t)
+{
+    sim::fatalIf(!started_, "runFor() before start()");
+    const sim::Tick target = now_ + t;
+    while (now_ < target) {
+        sim::Tick horizon = std::min(target, gridNext(now_));
+        if (exchange_.quiet()) {
+            // Nothing is (or is about to be) on the air, so windows
+            // with no shard events need no barriers: fast-forward to
+            // the grid point covering the earliest pending event. The
+            // skip depends only on shard state, never lane count, so
+            // it cannot perturb jobs-independence.
+            sim::Tick next = sim::kMaxTick;
+            for (const auto &s : shards_)
+                if (!s->halted)
+                    next = std::min(next, s->kernel.nextEventAt());
+            horizon = next >= target ? target
+                                     : std::min(target, gridCeil(next));
+        }
+        runWindow(horizon);
+        exchange_.exchangeAt(horizon);
+        now_ = horizon;
+    }
+}
+
+} // namespace snaple::net

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Sharded multi-node network harness (parallel).
+ *
+ * Same surface as net::Network, different engine: every node lives in
+ * its own shard — a private sim::Kernel (the allocation-free hot path,
+ * untouched and still single-threaded within the shard), a
+ * radio::ShardMedium proxy, and the SnapNode itself. runFor() advances
+ * all shards in conservative bounded time windows: each window, K
+ * worker lanes execute disjoint subsets of shard kernels up to a
+ * shared horizon, then the coordinator drains the inter-shard radio
+ * mailboxes (radio::AirExchange) at the barrier and the next window
+ * begins.
+ *
+ * The window size is the radio lookahead: one word airtime plus the
+ * propagation delay, the minimum time in which a transmission started
+ * in one shard could need to be heard in another. Every cross-shard
+ * effect (carrier sense, collisions, deliveries) is defined purely in
+ * terms of barrier ticks and registration-order node ids — never
+ * thread or shard assignment — so per-node trace hashes are
+ * bit-identical for any jobs() count, including 1. docs/SIMULATOR.md
+ * ("Parallel execution and the lookahead contract") derives the rules.
+ */
+
+#ifndef SNAPLE_NET_PARALLEL_NETWORK_HH
+#define SNAPLE_NET_PARALLEL_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "node/node.hh"
+#include "radio/air_exchange.hh"
+#include "sim/kernel.hh"
+#include "sim/trace.hh"
+#include "sim/worker_pool.hh"
+
+namespace snaple::net {
+
+/** A simulated network of SNAP/LE nodes, one kernel per node. */
+class ParallelNetwork
+{
+  public:
+    /**
+     * @param propagation air propagation delay, as for net::Network.
+     * @param jobs worker lanes for runFor(); 1 = run shards inline on
+     *        the calling thread (the reference semantics — higher job
+     *        counts reproduce it bit-exactly, just faster).
+     */
+    explicit ParallelNetwork(sim::Tick propagation = 1 * sim::kMicrosecond,
+                             unsigned jobs = 1)
+        : exchange_(propagation), jobs_(jobs ? jobs : 1)
+    {}
+
+    /** Create and register a node; returns a stable reference. */
+    node::SnapNode &addNode(const node::NodeConfig &cfg,
+                            const assembler::Program &prog);
+
+    /**
+     * Freeze the topology, derive the sync window from the slowest
+     * radio (unless setWindow() overrode it), and spawn every node's
+     * processes.
+     */
+    void start();
+
+    /** Run for a stretch of simulated time (all shards advance). */
+    void runFor(sim::Tick t);
+
+    /** Restrict connectivity to adjacent registration indices. */
+    void
+    setLineTopology()
+    {
+        exchange_.setLinkFilter([](std::size_t s, std::size_t d) {
+            return (s > d ? s - d : d - s) == 1;
+        });
+    }
+
+    /** Arbitrary connectivity over registration indices. */
+    void
+    setLinkFilter(radio::AirExchange::LinkFilter f)
+    {
+        exchange_.setLinkFilter(std::move(f));
+    }
+
+    /**
+     * Sniff the air into a bounded ring of the @p capacity most recent
+     * words (off by default, as in net::Network). Timestamps are the
+     * sequential medium's delivery instants (start + airtime +
+     * propagation), independent of window quantization.
+     */
+    void enableAirTrace(std::size_t capacity = 4096);
+
+    /**
+     * Attach one TraceSink per shard (existing and future), so every
+     * node has an independent, comparable trace hash. @p record as in
+     * sim::TraceSink: false keeps hashes only.
+     */
+    void enableTracing(bool record = false);
+
+    /** Per-node trace hash; 0 unless enableTracing() was called. */
+    std::uint64_t
+    nodeTraceHash(std::size_t i) const
+    {
+        return shards_.at(i)->node.traceHash();
+    }
+
+    /** The shard's sink, or null (exporters want the records). */
+    const sim::TraceSink *
+    nodeTracer(std::size_t i) const
+    {
+        return shards_.at(i)->sink.get();
+    }
+
+    /** Global air statistics (identical to a jobs=1 run). */
+    const radio::Medium::Stats &stats() const { return exchange_.stats(); }
+
+    /** The air-trace ring; empty unless enableAirTrace() was called. */
+    const AirTraceRing &trace() const { return trace_; }
+
+    node::SnapNode &node(std::size_t i) { return shards_.at(i)->node; }
+    const node::SnapNode &node(std::size_t i) const
+    {
+        return shards_.at(i)->node;
+    }
+    std::size_t size() const { return shards_.size(); }
+
+    /** Coordinator time: every shard has run at least this far. */
+    sim::Tick now() const { return now_; }
+
+    /** The conservative sync window (valid after start()). */
+    sim::Tick window() const { return window_; }
+
+    /**
+     * Override the sync window (testing knob; must be called before
+     * any runFor()). Any positive window is *correct* — smaller only
+     * tightens carrier-sense staleness and delivery quantization.
+     */
+    void
+    setWindow(sim::Tick w)
+    {
+        sim::fatalIf(now_ != 0, "setWindow() after the run started");
+        sim::fatalIf(w == 0, "sync window must be positive");
+        windowOverride_ = w;
+        window_ = w;
+    }
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Change the lane count; semantics are unaffected by design. */
+    void
+    setJobs(unsigned k)
+    {
+        jobs_ = k ? k : 1;
+    }
+
+    /** Direct access to a shard's kernel (tests, host stimulus). */
+    sim::Kernel &shardKernel(std::size_t i) { return shards_.at(i)->kernel; }
+
+    /** Direct access to a shard's medium proxy (tests, host stimulus). */
+    radio::Medium &shardMedium(std::size_t i)
+    {
+        return shards_.at(i)->medium;
+    }
+
+    /** Events dispatched across all shards (host-side profiling). */
+    std::uint64_t
+    eventsDispatched() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : shards_)
+            n += s->kernel.eventsDispatched();
+        return n;
+    }
+
+  private:
+    /** One node's private simulation island. Declaration order is
+     *  construction order: kernel, then the medium proxy on it, then
+     *  the node wired to both. */
+    struct Shard
+    {
+        Shard(radio::AirExchange &ex, const node::NodeConfig &cfg,
+              const assembler::Program &prog)
+            : medium(kernel, ex), node(kernel, &medium, cfg, prog)
+        {}
+
+        sim::Kernel kernel;
+        radio::ShardMedium medium;
+        node::SnapNode node;
+        std::unique_ptr<sim::TraceSink> sink;
+        bool halted = false; ///< kernel stopped early; frozen since
+    };
+
+    void runWindow(sim::Tick horizon);
+    static void stepShard(Shard &s, sim::Tick horizon);
+
+    /** First barrier strictly after @p t on the absolute grid. */
+    sim::Tick gridNext(sim::Tick t) const { return (t / window_ + 1) * window_; }
+    /** First grid point at or after @p x. */
+    sim::Tick
+    gridCeil(sim::Tick x) const
+    {
+        return (x + window_ - 1) / window_ * window_;
+    }
+
+    radio::AirExchange exchange_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<sim::WorkerPool> pool_;
+    AirTraceRing trace_;
+    sim::Tick now_ = 0;
+    sim::Tick window_ = 0;
+    sim::Tick windowOverride_ = 0;
+    unsigned jobs_;
+    bool started_ = false;
+    bool tracing_ = false;
+    bool traceRecord_ = false;
+};
+
+} // namespace snaple::net
+
+#endif // SNAPLE_NET_PARALLEL_NETWORK_HH

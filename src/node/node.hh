@@ -19,6 +19,7 @@
 #include "core/ports.hh"
 #include "mem/sram.hh"
 #include "radio/transceiver.hh"
+#include "sim/rng.hh"
 
 namespace snaple::node {
 
@@ -29,6 +30,26 @@ struct NodeConfig
     radio::RadioConfig radio;
     bool attachRadio = true;
     std::string name = "node";
+
+    /**
+     * Stable identity for seed derivation (a node address, not a
+     * registration index). Network harnesses fill it with the
+     * registration index when left at its default; set it explicitly
+     * when node order may vary.
+     */
+    std::uint32_t nodeId = 0;
+
+    /**
+     * Base seed for deterministic per-node randomness. When nonzero,
+     * the node's architectural LFSR is seeded at construction with
+     * sim::deriveSeed(baseSeed, nodeId) — a pure function of the two,
+     * so workload randomness is independent of node registration
+     * order and of shard assignment in the parallel harness. Zero
+     * (the default) leaves the LFSR at its architectural reset value.
+     * Guest code that executes `seed` afterwards overrides this, as
+     * on real hardware.
+     */
+    std::uint64_t baseSeed = 0;
 };
 
 /** One fully assembled sensor node. */
@@ -66,6 +87,21 @@ class SnapNode
         }
         imem_.load(prog.imem);
         dmem_.load(prog.dmem);
+        if (cfg.baseSeed != 0)
+            core_.seedLfsr(static_cast<std::uint16_t>(derivedSeed()));
+    }
+
+    /**
+     * The node's derived seed: sim::deriveSeed(baseSeed, nodeId), or 0
+     * when no base seed is configured. Hosts reseeding mid-run (e.g.
+     * after guest boot code has run its own `seed`) should draw from
+     * this value rather than inventing per-node constants.
+     */
+    std::uint64_t
+    derivedSeed() const
+    {
+        return cfg_.baseSeed ? sim::deriveSeed(cfg_.baseSeed, cfg_.nodeId)
+                             : 0;
     }
 
     /** Attach a sensor under a Query-addressable id. */

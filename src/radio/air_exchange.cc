@@ -1,0 +1,116 @@
+#include "radio/air_exchange.hh"
+
+#include <algorithm>
+
+#include "radio/transceiver.hh"
+
+namespace snaple::radio {
+
+void
+AirExchange::addShard(ShardMedium *m)
+{
+    m->nodeId_ = static_cast<std::uint32_t>(shards_.size());
+    shards_.push_back(m);
+}
+
+bool
+AirExchange::quiet() const
+{
+    if (!pending_.empty())
+        return false;
+    for (const ShardMedium *m : shards_)
+        if (!m->outbox_.empty())
+            return false;
+    return true;
+}
+
+void
+ShardMedium::injectDelivery(sim::Tick at, std::uint16_t word)
+{
+    Transceiver *t = local_;
+    kernel_.schedule(at, [t, word] { t->deliver(word); });
+}
+
+void
+AirExchange::exchangeAt(sim::Tick barrier)
+{
+    // 1. Drain every outbox into the pending list in deterministic
+    // (start, source, sequence) order. Within one outbox entries are
+    // already time-ordered (a kernel's clock is monotone), and every
+    // new start lies in (previous barrier, barrier] — after all older
+    // pending flights — so the pending list stays globally sorted.
+    const std::size_t firstFresh = pending_.size();
+    for (ShardMedium *m : shards_) {
+        for (const ShardMedium::PendingTx &tx : m->outbox_)
+            pending_.push_back(AirFlight{tx.start, tx.start + tx.airtime,
+                                         m->nodeId_, tx.seq, tx.word,
+                                         false});
+        m->outbox_.clear();
+    }
+    if (firstFresh == pending_.size() && pending_.empty())
+        return;
+    std::sort(pending_.begin() + firstFresh, pending_.end(),
+              [](const AirFlight &a, const AirFlight &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  if (a.srcNode != b.srcNode)
+                      return a.srcNode < b.srcNode;
+                  return a.seq < b.seq;
+              });
+
+    // 2. Fresh flights: count them and raise the carrier in every
+    // other shard for the still-on-air remainder [barrier, end).
+    for (std::size_t i = firstFresh; i < pending_.size(); ++i) {
+        const AirFlight &f = pending_[i];
+        ++stats_.wordsSent;
+        if (f.end > barrier)
+            for (ShardMedium *m : shards_)
+                if (m->nodeId_ != f.srcNode && m->local_ != nullptr)
+                    m->remoteCarrierUntil(f.end);
+    }
+
+    // 3. Collision marking: the sequential medium's rule — airtime
+    // intervals that overlap garble each other. Pairwise over the
+    // start-sorted list with an early break; idempotent re-marking of
+    // old pairs is harmless.
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+        for (std::size_t j = i + 1; j < pending_.size() &&
+                                    pending_[j].start < pending_[i].end;
+             ++j) {
+            pending_[i].collided = true;
+            pending_[j].collided = true;
+        }
+
+    // 4. Finalize flights whose airtime has fully elapsed: every
+    // transmission that could overlap one has started by now, so its
+    // collision status is final. Deliveries land at the sequential
+    // medium's instant (end + propagation) unless that already lies
+    // inside this window — then they are pushed to the barrier (the
+    // documented lookahead quantization).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const AirFlight &f = pending_[i];
+        if (f.end > barrier) {
+            pending_[kept++] = pending_[i];
+            continue;
+        }
+        if (sniffer_)
+            sniffer_(f, f.end + propagation_);
+        if (f.collided) {
+            ++stats_.collisions;
+            continue;
+        }
+        const sim::Tick at = std::max(f.end + propagation_, barrier);
+        for (ShardMedium *m : shards_) {
+            if (m->nodeId_ == f.srcNode || m->local_ == nullptr)
+                continue;
+            if (linkFilter_ && !linkFilter_(f.srcNode, m->nodeId_))
+                continue;
+            m->injectDelivery(at, f.word);
+            ++stats_.wordsDelivered;
+        }
+    }
+    pending_.resize(kept);
+}
+
+} // namespace snaple::radio

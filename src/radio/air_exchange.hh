@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The shared radio medium, split for parallel simulation.
+ *
+ * The sequential radio::Medium couples every node through one object
+ * on one kernel. For the sharded network harness each node's kernel
+ * runs on its own timeline, so the medium is split in two:
+ *
+ *  - ShardMedium: a per-shard proxy implementing the Medium interface
+ *    the transceiver model already speaks. beginTransmit() only
+ *    records the word in a shard-local outbox (and raises the local
+ *    carrier); busy() answers CSMA sense from local state.
+ *  - AirExchange: the coordinator. At every conservative sync window
+ *    barrier — when all shard kernels are paused at the same tick —
+ *    it drains the outboxes in deterministic (start tick, source id,
+ *    sequence) order, resolves collisions with the same airtime-
+ *    overlap rule as the sequential medium, and injects carrier and
+ *    delivery events into the destination shards' kernels.
+ *
+ * The lookahead contract this implements (docs/SIMULATOR.md has the
+ * derivation):
+ *  - a word transmitted at tick t inside window (B-W, B] becomes
+ *    visible to other shards at the barrier B: their carrier sense
+ *    turns busy over [B, t+airtime) — truncated, never early;
+ *  - its collision status is final at the first barrier >= t+airtime
+ *    (every transmission that can overlap it has started by then);
+ *  - it is delivered at max(t + airtime + propagation, that barrier).
+ * None of these rules mention shard assignment or worker count, which
+ * is what makes per-node traces bit-identical for any --jobs=K.
+ *
+ * Thread safety: ShardMedium members are touched only by the thread
+ * currently running that shard's kernel; AirExchange methods run only
+ * on the coordinator between windows, while every shard kernel is
+ * paused. The WorkerPool handoff provides the happens-before edges.
+ */
+
+#ifndef SNAPLE_RADIO_AIR_EXCHANGE_HH
+#define SNAPLE_RADIO_AIR_EXCHANGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "radio/medium.hh"
+#include "sim/kernel.hh"
+#include "sim/ticks.hh"
+
+namespace snaple::radio {
+
+class ShardMedium;
+
+/** One on-air word, as the exchange resolves it. */
+struct AirFlight
+{
+    sim::Tick start;       ///< first bit leaves the antenna
+    sim::Tick end;         ///< airtime interval is [start, end)
+    std::uint32_t srcNode; ///< registration index of the transmitter
+    std::uint32_t seq;     ///< per-source transmission sequence
+    std::uint16_t word;
+    bool collided;
+};
+
+/**
+ * Inter-shard mailbox coordinator: collision resolution, delivery
+ * injection, carrier propagation and global air statistics.
+ */
+class AirExchange
+{
+  public:
+    /** Connectivity predicate over registration indices. */
+    using LinkFilter =
+        std::function<bool(std::size_t src, std::size_t dst)>;
+
+    /** Observer of every resolved flight (air tracing). @p deliverAt
+     *  is start + airtime + propagation, the sequential medium's
+     *  delivery instant. */
+    using Sniffer =
+        std::function<void(const AirFlight &f, sim::Tick deliverAt)>;
+
+    explicit AirExchange(sim::Tick propagation)
+        : propagation_(propagation)
+    {}
+
+    AirExchange(const AirExchange &) = delete;
+    AirExchange &operator=(const AirExchange &) = delete;
+
+    /** Register a shard; call order defines node ids. */
+    void addShard(ShardMedium *m);
+
+    void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
+    void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
+
+    sim::Tick propagation() const { return propagation_; }
+    const Medium::Stats &stats() const { return stats_; }
+
+    /**
+     * True when no flight awaits resolution and no outbox holds an
+     * unexchanged word — i.e. the next exchange would be a no-op, so
+     * windows with no kernel events may be fast-forwarded.
+     * Coordinator only (shards paused).
+     */
+    bool quiet() const;
+
+    /**
+     * Run one barrier exchange. Coordinator only; every shard kernel
+     * must be paused with now() == @p barrier.
+     */
+    void exchangeAt(sim::Tick barrier);
+
+  private:
+    sim::Tick propagation_;
+    std::vector<ShardMedium *> shards_;
+    std::vector<AirFlight> pending_; ///< sorted by (start, src, seq)
+    Medium::Stats stats_;
+    LinkFilter linkFilter_;
+    Sniffer sniffer_;
+};
+
+/**
+ * Per-shard stand-in for the shared medium. Implements the virtual
+ * Medium interface the Transceiver uses; everything cross-shard goes
+ * through the AirExchange at window barriers.
+ */
+class ShardMedium : public Medium
+{
+  public:
+    ShardMedium(sim::Kernel &kernel, AirExchange &exchange)
+        : Medium(kernel, exchange.propagation()), kernel_(kernel),
+          exchange_(exchange)
+    {
+        exchange.addShard(this);
+    }
+
+    /** The shard's transceiver (one node per shard). */
+    void
+    attach(Transceiver *t) override
+    {
+        sim::panicIf(local_ != nullptr,
+                     "shard medium already has a transceiver");
+        local_ = t;
+    }
+
+    /**
+     * CSMA sense: own transmission, or a remote carrier learned at a
+     * window barrier. A remote word that started mid-window is sensed
+     * only from the barrier on — the documented lookahead contract.
+     */
+    bool
+    busy() const override
+    {
+        return ownActive_ > 0 || remoteCarrier_ > 0;
+    }
+
+    void
+    beginTransmit(Transceiver *src, std::uint16_t word,
+                  sim::Tick airtime) override
+    {
+        (void)src; // one node per shard; the exchange knows the id
+        const sim::Tick now = kernel_.now();
+        outbox_.push_back(PendingTx{now, airtime, word, txSeq_++});
+        ++ownActive_;
+        kernel_.schedule(now + airtime, [this] { --ownActive_; });
+    }
+
+    /** Global air statistics, shared through the exchange. */
+    const Stats &stats() const override { return exchange_.stats(); }
+
+  private:
+    friend class AirExchange;
+
+    struct PendingTx
+    {
+        sim::Tick start;
+        sim::Tick airtime;
+        std::uint16_t word;
+        std::uint32_t seq;
+    };
+
+    /** Barrier-time injection: a remote carrier busy until @p end. */
+    void
+    remoteCarrierUntil(sim::Tick end)
+    {
+        ++remoteCarrier_;
+        kernel_.schedule(end, [this] { --remoteCarrier_; });
+    }
+
+    /** Barrier-time injection: a word arriving at @p at. */
+    void
+    injectDelivery(sim::Tick at, std::uint16_t word);
+
+    sim::Kernel &kernel_;
+    AirExchange &exchange_;
+    Transceiver *local_ = nullptr;
+    std::uint32_t nodeId_ = 0; ///< assigned by AirExchange::addShard
+    std::uint32_t txSeq_ = 0;
+    unsigned ownActive_ = 0;
+    unsigned remoteCarrier_ = 0;
+    std::vector<PendingTx> outbox_;
+};
+
+} // namespace snaple::radio
+
+#endif // SNAPLE_RADIO_AIR_EXCHANGE_HH

@@ -55,23 +55,30 @@ class Medium
 
     Medium(const Medium &) = delete;
     Medium &operator=(const Medium &) = delete;
+    virtual ~Medium() = default;
 
-    void attach(Transceiver *t) { nodes_.push_back(t); }
+    virtual void attach(Transceiver *t) { nodes_.push_back(t); }
 
     void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
     void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
 
     /** True if any transmission is currently on the air (CSMA sense). */
-    bool busy() const { return active_ > 0; }
+    virtual bool busy() const { return active_ > 0; }
 
     /**
      * Called by a transceiver: put @p word on the air for @p airtime.
      * Handles collision detection and eventual delivery.
+     *
+     * Virtual (with attach and busy) so the sharded parallel harness
+     * can substitute a per-shard proxy (radio/air_exchange.hh) without
+     * the transceiver model knowing; these calls happen at radio word
+     * rate — microseconds apart, never on the event hot path — so the
+     * indirect call costs nothing measurable.
      */
-    void beginTransmit(Transceiver *src, std::uint16_t word,
-                       sim::Tick airtime);
+    virtual void beginTransmit(Transceiver *src, std::uint16_t word,
+                               sim::Tick airtime);
 
-    const Stats &stats() const { return stats_; }
+    virtual const Stats &stats() const { return stats_; }
 
     /**
      * Flight slots ever allocated. Bounded by the peak number of words

@@ -11,11 +11,16 @@
  * free list and the allocator is never touched again (the steady-state
  * no-allocation invariant the kernel's event arena also maintains).
  *
- * Single-threaded by design (the simulator is single-threaded); the
- * pool is thread-local so independent kernels on different threads do
- * not contend. The pool object is intentionally leaked at thread exit
- * so coroutine frames owned by objects with static storage duration
- * can still be released safely during program teardown.
+ * Single-threaded by design (each shard kernel is single-threaded);
+ * the pool is thread-local so independent kernels on different threads
+ * do not contend. The *main* thread's pool is intentionally leaked at
+ * process exit so coroutine frames owned by objects with static
+ * storage duration can still be released safely during program
+ * teardown. Short-lived worker threads (sim/worker_pool.hh) must not
+ * leak one pool per thread, so they call releaseThreadFramePool() on
+ * their way out; frames they allocated that are still live simply
+ * migrate to whichever thread's pool eventually releases them (blocks
+ * are freed by size class, never returned to a specific owner).
  */
 
 #ifndef SNAPLE_SIM_FRAME_POOL_HH
@@ -32,6 +37,17 @@ namespace snaple::sim::detail {
 class FramePool
 {
   public:
+    FramePool() = default;
+    FramePool(const FramePool &) = delete;
+    FramePool &operator=(const FramePool &) = delete;
+
+    ~FramePool()
+    {
+        for (auto &list : lists_)
+            for (void *p : list)
+                ::operator delete(p);
+    }
+
     void *
     allocate(std::size_t bytes)
     {
@@ -86,12 +102,36 @@ class FramePool
     std::uint64_t mallocs_ = 0;
 };
 
-/** The calling thread's frame pool (never destroyed; see file header). */
+inline FramePool *&
+framePoolSlot()
+{
+    thread_local FramePool *pool = nullptr;
+    return pool;
+}
+
+/** The calling thread's frame pool (see the file header for when it
+ *  is — deliberately — never destroyed). */
 inline FramePool &
 framePool()
 {
-    thread_local FramePool *pool = new FramePool;
-    return *pool;
+    FramePool *&slot = framePoolSlot();
+    if (!slot)
+        slot = new FramePool;
+    return *slot;
+}
+
+/**
+ * Free the calling thread's pool and every frame cached in it. For
+ * worker threads about to exit; never call it on a thread that may
+ * still run simulation code afterwards without re-entering through
+ * framePool().
+ */
+inline void
+releaseThreadFramePool()
+{
+    FramePool *&slot = framePoolSlot();
+    delete slot;
+    slot = nullptr;
 }
 
 } // namespace snaple::sim::detail

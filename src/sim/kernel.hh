@@ -168,6 +168,19 @@ class Kernel
     /** Run for a relative amount of simulated time. */
     bool runFor(Tick delta) { return run(now_ + delta); }
 
+    /**
+     * Tick of the earliest pending event, kMaxTick when none. The
+     * sharded network harness uses this to fast-forward conservative
+     * sync windows in which no shard has any work: a window with no
+     * events can produce no radio traffic and therefore needs no
+     * exchange barrier.
+     */
+    Tick
+    nextEventAt() const
+    {
+        return events_.empty() ? kMaxTick : events_.top().when;
+    }
+
     /** Request that run() return after the current event. */
     void stop() { stopped_ = true; }
 

@@ -18,6 +18,34 @@
 
 namespace snaple::sim {
 
+/**
+ * One round of splitmix64 (Steele et al.): a strong 64-bit mixer with
+ * no fixed point at small inputs. Used to derive independent seeds
+ * from a base seed plus a stream id.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive the seed of stream @p id from @p base. A pure function of
+ * (base, id): per-node workload randomness keyed on a stable node id
+ * is independent of registration order and of shard assignment in the
+ * parallel network harness. Never returns 0, so it can feed both Rng
+ * and the guest LFSR (whose zero state locks) directly.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t id)
+{
+    std::uint64_t s = splitmix64(splitmix64(base) ^ splitmix64(~id));
+    return s ? s : 0x9e3779b97f4a7c15ull;
+}
+
 /** Deterministic xorshift64* generator. */
 class Rng
 {
@@ -25,6 +53,13 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
         : state_(seed ? seed : 1)
     {}
+
+    /** An Rng seeded for stream @p id of base seed @p base. */
+    static Rng
+    derived(std::uint64_t base, std::uint64_t id)
+    {
+        return Rng(deriveSeed(base, id));
+    }
 
     /** Next raw 64-bit value. */
     std::uint64_t

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small fork/join worker pool for the sharded network simulator.
+ *
+ * The parallel network harness runs one conservative sync window at a
+ * time: every lane executes its subset of shard kernels up to the
+ * window horizon, then the coordinator (the caller's thread) performs
+ * the inter-shard exchange single-threaded. dispatch() is that fork/
+ * join step. Helper threads are persistent — spawned once, woken per
+ * window — because a window is short (often tens of microseconds of
+ * host time) and thread creation would dominate; the caller's thread
+ * runs the last lane itself instead of idling, so a pool with H
+ * helpers provides H + 1 lanes of parallelism.
+ *
+ * Synchronization is deliberately boring: one mutex + two condition
+ * variables, with a generation counter so a helper can never consume
+ * the same dispatch twice. All shard state handed across dispatch()
+ * is published under the pool mutex, which gives the happens-before
+ * edges ThreadSanitizer (and the memory model) want: the caller's
+ * writes before dispatch() are visible to helpers, and all helper
+ * writes are visible to the caller when dispatch() returns.
+ */
+
+#ifndef SNAPLE_SIM_WORKER_POOL_HH
+#define SNAPLE_SIM_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "frame_pool.hh"
+
+namespace snaple::sim {
+
+/** Persistent fork/join helpers; see the file comment. */
+class WorkerPool
+{
+  public:
+    /** The job run per dispatch: receives the lane index [0, lanes). */
+    using Job = std::function<void(unsigned lane)>;
+
+    /** @p helpers extra threads; dispatch() runs helpers + 1 lanes. */
+    explicit WorkerPool(unsigned helpers)
+    {
+        threads_.reserve(helpers);
+        for (unsigned h = 0; h < helpers; ++h)
+            threads_.emplace_back([this, h] { helperLoop(h); });
+    }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        wake_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    /** Lanes a dispatch() runs: helper threads plus the caller. */
+    unsigned
+    lanes() const
+    {
+        return static_cast<unsigned>(threads_.size()) + 1;
+    }
+
+    /**
+     * Run @p job once per lane — helpers take lanes [0, lanes-1), the
+     * calling thread runs the last lane — and wait for all of them.
+     * The first exception any lane throws is rethrown here, after
+     * every lane has finished the round (a throwing guest leaves the
+     * simulation unfinishable, but never mid-flight).
+     */
+    void
+    dispatch(const Job &job)
+    {
+        if (threads_.empty()) {
+            job(0);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            job_ = &job;
+            pendingHelpers_ = static_cast<unsigned>(threads_.size());
+            ++generation_;
+        }
+        wake_.notify_all();
+        std::exception_ptr callerError;
+        try {
+            job(lanes() - 1);
+        } catch (...) {
+            callerError = std::current_exception();
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [this] { return pendingHelpers_ == 0; });
+        job_ = nullptr;
+        if (!error_ && callerError)
+            error_ = callerError;
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    void
+    helperLoop(unsigned lane)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const Job *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                wake_.wait(lock, [&] {
+                    return shutdown_ || generation_ != seen;
+                });
+                if (shutdown_) {
+                    // Coroutine frames recycled on this thread live in
+                    // its thread-local pool; free them rather than
+                    // leaking one pool per short-lived helper.
+                    detail::releaseThreadFramePool();
+                    return;
+                }
+                seen = generation_;
+                job = job_;
+            }
+            std::exception_ptr err;
+            try {
+                (*job)(lane);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (err && !error_)
+                    error_ = err;
+                if (--pendingHelpers_ == 0)
+                    done_.notify_one();
+            }
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> threads_;
+    const Job *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    unsigned pendingHelpers_ = 0;
+    bool shutdown_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace snaple::sim
+
+#endif // SNAPLE_SIM_WORKER_POOL_HH

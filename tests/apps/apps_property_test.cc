@@ -49,6 +49,7 @@ TEST_P(StackEquivalence, SnapAvrAndHostAgreeOnRandomMessages)
     Network net;
     auto &tx = net.addNode(cfgFor("tx"),
                            assembleSnap(apps::radioStackProgram(msg)));
+    net.enableAirTrace();
     net.start();
     net.runFor(100 * sim::kMillisecond);
     ASSERT_EQ(net.trace().size(), msg.size() + 1);

@@ -226,6 +226,7 @@ TEST(AppsStackTest, RadioStackMatchesHostCodecs)
     Network net;
     auto &tx = net.addNode(cfgFor("tx"),
                            assembleSnap(apps::radioStackProgram(msg)));
+    net.enableAirTrace();
     net.start();
     net.runFor(50 * sim::kMillisecond);
 

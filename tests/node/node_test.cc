@@ -67,6 +67,7 @@ TEST(NodeTest, WordByWordRadioTransferBetweenTwoNodes)
     rxc.core.stopOnHalt = false;
     auto &tx = net.addNode(txc, assembleSnap(kTxProgram));
     auto &rx = net.addNode(rxc, assembleSnap(kRxProgram));
+    net.enableAirTrace();
     net.start();
     net.runFor(10 * sim::kMillisecond);
 

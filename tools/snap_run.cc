@@ -3,6 +3,7 @@
  * snap-run: run a SNAP program on a simulated SNAP/LE machine.
  *
  * Usage: snap-run FILE.s [--volts V] [--ms N] [--stats]
+ *                        [--nodes N] [--jobs K] [--seed S]
  *                        [--trace=FILE] [--trace-format=json|vcd]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
@@ -10,8 +11,14 @@
  * With --trace, records the structured event trace and writes it as
  * Chrome trace_event JSON (load in chrome://tracing or Perfetto) or
  * as a VCD waveform; the 64-bit trace hash is printed either way.
- * Events can only come from the timer coprocessor here (no radio or
- * sensors are attached); use the library API for full nodes.
+ * In the default single-machine mode, events can only come from the
+ * timer coprocessor (no radio or sensors are attached).
+ *
+ * With --nodes > 1 the same program is loaded into N full radio nodes
+ * on the sharded parallel network (net::ParallelNetwork), advanced by
+ * --jobs worker lanes. Each node's LFSR is seeded from --seed and its
+ * node id (sim::deriveSeed), so runs are reproducible and the per-node
+ * trace hashes printed at the end are independent of the job count.
  */
 
 #include <cstdio>
@@ -23,6 +30,7 @@
 
 #include "asm/snap_backend.hh"
 #include "core/machine.hh"
+#include "net/parallel_network.hh"
 #include "node/power.hh"
 #include "sim/trace.hh"
 
@@ -34,6 +42,9 @@ main(int argc, char **argv)
     const char *path = nullptr;
     double volts = 0.6;
     double ms = 100.0;
+    unsigned nodes = 1;
+    unsigned jobs = 1;
+    std::uint64_t seed = 1;
     bool stats = false;
     bool timeline = false;
     std::string trace_path;
@@ -43,6 +54,12 @@ main(int argc, char **argv)
             volts = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--ms") && i + 1 < argc)
             ms = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
+            nodes = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
         else if (!std::strcmp(argv[i], "--stats"))
             stats = true;
         else if (!std::strcmp(argv[i], "--timeline"))
@@ -60,6 +77,7 @@ main(int argc, char **argv)
     if (!path) {
         std::fprintf(stderr, "usage: snap-run FILE.s [--volts V] "
                              "[--ms N] [--stats] [--timeline] "
+                             "[--nodes N] [--jobs K] [--seed S] "
                              "[--trace=FILE] "
                              "[--trace-format=json|vcd]\n");
         return 2;
@@ -78,6 +96,58 @@ main(int argc, char **argv)
     }
     std::ostringstream src;
     src << in.rdbuf();
+
+    if (nodes > 1) {
+        net::ParallelNetwork net(1 * sim::kMicrosecond, jobs);
+        try {
+            assembler::Program prog =
+                assembler::assembleSnap(src.str(), path);
+            node::NodeConfig ncfg;
+            ncfg.core.volts = volts;
+            ncfg.core.stopOnHalt = false;
+            ncfg.baseSeed = seed;
+            for (unsigned i = 0; i < nodes; ++i) {
+                ncfg.name = "n" + std::to_string(i);
+                net.addNode(ncfg, prog);
+            }
+            net.enableTracing(/*record=*/false);
+            net.start();
+            net.runFor(sim::fromMs(ms));
+        } catch (const sim::FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        for (std::size_t i = 0; i < net.size(); ++i) {
+            for (std::uint16_t v : net.node(i).core().debugOut())
+                std::printf("%s dbgout: %u (0x%04x)\n",
+                            net.node(i).name().c_str(), v, v);
+        }
+        for (std::size_t i = 0; i < net.size(); ++i)
+            std::printf("%s: trace hash 0x%016llx, seed 0x%04x\n",
+                        net.node(i).name().c_str(),
+                        static_cast<unsigned long long>(
+                            net.nodeTraceHash(i)),
+                        static_cast<unsigned>(
+                            net.node(i).derivedSeed() & 0xffff));
+        if (stats) {
+            const auto &air = net.stats();
+            std::printf("--\n");
+            std::printf("air          : %llu sent, %llu delivered, "
+                        "%llu collided\n",
+                        static_cast<unsigned long long>(air.wordsSent),
+                        static_cast<unsigned long long>(
+                            air.wordsDelivered),
+                        static_cast<unsigned long long>(
+                            air.collisions));
+            std::printf("events       : %llu across %u shards, "
+                        "%u lane%s, window %.1f us\n",
+                        static_cast<unsigned long long>(
+                            net.eventsDispatched()),
+                        nodes, jobs, jobs == 1 ? "" : "s",
+                        sim::toUs(net.window()));
+        }
+        return 0;
+    }
 
     core::CoreConfig cfg;
     cfg.volts = volts;
