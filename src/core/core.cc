@@ -140,6 +140,13 @@ SnapCore::fetchProcess()
             sim::fatalIf(tok.num >= isa::kNumEvents,
                          "bad event token ", int(tok.num));
             pc = handlerTable_[tok.num];
+            if (commitSink_) {
+                ref::CommitRecord disp;
+                disp.kind = ref::CommitKind::Dispatch;
+                disp.event = tok.num;
+                disp.pc = pc;
+                commitSink_->commit(disp);
+            }
             break;
           }
         }
@@ -234,6 +241,9 @@ SnapCore::executeProcess()
         ctx_.charge(Cat::Decode, ctx_.ecal.decodePj);
         ctx_.charge(Cat::Misc, ctx_.ecal.miscPj);
 
+        ref::CommitRecord rec; // populated along the way, committed
+                               // at retirement when a sink is attached
+
         std::uint16_t vd = 0;
         std::uint16_t vs = 0;
         // Operand reads, inlined to stay frame-free: r15 dequeues the
@@ -244,6 +254,7 @@ SnapCore::executeProcess()
             if (d.rd == isa::kMsgReg) {
                 ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
                 vd = co_await msgOut_.recv();
+                rec.fifoRead[rec.fifoReads++] = vd;
             } else {
                 co_await regReadDelay();
                 vd = regs_[d.rd];
@@ -253,6 +264,7 @@ SnapCore::executeProcess()
             if (d.rs == isa::kMsgReg) {
                 ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
                 vs = co_await msgOut_.recv();
+                rec.fifoRead[rec.fifoReads++] = vs;
             } else {
                 co_await regReadDelay();
                 vs = regs_[d.rs];
@@ -326,6 +338,9 @@ SnapCore::executeProcess()
           case Op::Stw:
             co_await dmem_.write(static_cast<std::uint16_t>(vs + d.imm),
                                  vd);
+            rec.memWrite = true;
+            rec.memAddr = static_cast<std::uint16_t>(vs + d.imm);
+            rec.memValue = vd;
             break;
           case Op::Ldi:
             result = co_await imem_.read(
@@ -334,6 +349,10 @@ SnapCore::executeProcess()
           case Op::Sti:
             co_await imem_.write(static_cast<std::uint16_t>(vs + d.imm),
                                  vd);
+            rec.memWrite = true;
+            rec.memIsImem = true;
+            rec.memAddr = static_cast<std::uint16_t>(vs + d.imm);
+            rec.memValue = vd;
             break;
           case Op::Beqz:
           case Op::Bnez:
@@ -383,6 +402,10 @@ SnapCore::executeProcess()
             sim::fatalIf(vd > 2, "timer register out of range: ", vd);
             co_await timerPort_.send(
                 TimerCmd{d.timerFn(), static_cast<std::uint8_t>(vd), vs});
+            rec.timerCmd = true;
+            rec.timerFn = static_cast<std::uint8_t>(d.timerFn());
+            rec.timerReg = static_cast<std::uint8_t>(vd);
+            rec.timerValue = vs;
             break;
           }
           case Op::Event:
@@ -421,9 +444,14 @@ SnapCore::executeProcess()
             if (d.rd == isa::kMsgReg) {
                 ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
                 co_await msgIn_.send(result);
+                rec.fifoWrite = true;
+                rec.fifoWriteValue = result;
             } else {
                 co_await regWriteDelay();
                 regs_[d.rd] = result;
+                rec.regWrite = true;
+                rec.regIndex = static_cast<std::uint8_t>(d.rd);
+                rec.regValue = result;
             }
         }
 
@@ -445,6 +473,14 @@ SnapCore::executeProcess()
                 ((d.rd & 0xf) << 8) | low);
             traceExec_.emit(sim::TraceEvent::CoreExec, w,
                             static_cast<std::uint64_t>(d.cls));
+            if (commitSink_) {
+                rec.pc = static_cast<std::uint16_t>(
+                    p.pcNext - (d.twoWord ? 2 : 1));
+                rec.word = w;
+                rec.imm = d.imm;
+                rec.carry = carry_;
+                commitSink_->commit(rec);
+            }
         }
 
         if (send_redirect)

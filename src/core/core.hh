@@ -38,6 +38,7 @@
 #include "core/ports.hh"
 #include "isa/instruction.hh"
 #include "mem/sram.hh"
+#include "ref/commit_log.hh"
 #include "sim/stats.hh"
 
 namespace snaple::core {
@@ -108,6 +109,14 @@ class SnapCore
     /** Reseed the guest-visible LFSR (determinism experiments). */
     void seedLfsr(std::uint16_t s) { lfsr_.seed(s); }
     ///@}
+
+    /**
+     * Attach a commit sink for differential co-simulation (see
+     * ref/commit_log.hh); nullptr detaches. The core then emits one
+     * record per retired instruction and per event dispatch. The
+     * caller keeps the sink alive for the duration of the run.
+     */
+    void setCommitSink(ref::CommitSink *sink) { commitSink_ = sink; }
 
     /** Values emitted by `dbgout` (test/bench harness channel). */
     const std::vector<std::uint16_t> &debugOut() const
@@ -195,6 +204,7 @@ class SnapCore
     /** Event whose handler is currently executing (0xff = boot). */
     std::uint8_t currentEvent_ = 0xff;
     bool recordTimeline_ = false;
+    ref::CommitSink *commitSink_ = nullptr;
     std::vector<ActivitySpan> timeline_;
     std::vector<std::uint16_t> debugOut_;
     Stats stats_;

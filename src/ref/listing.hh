@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Instruction-boundary listings of an IMEM image.
+ *
+ * Two consumers: the asm round-trip property test re-assembles a
+ * listing and asserts the encoding is a fixed point, and the diff
+ * checker prints a listing window around the first divergent pc.
+ * Branch operands are rewritten from raw displacements to the absolute
+ * target address the assembler expects, so every listed line is valid
+ * assembler input.
+ */
+
+#ifndef SNAPLE_REF_LISTING_HH
+#define SNAPLE_REF_LISTING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snaple::ref {
+
+/** One decoded instruction slot of a listing. */
+struct ListedInstr
+{
+    std::uint16_t addr = 0;
+    std::uint16_t word = 0;
+    std::uint16_t imm = 0;
+    bool twoWord = false;
+    bool valid = true;  ///< false: undecodable, listed as .word
+    std::string text;   ///< re-assemblable source line
+};
+
+/** Decode @p imem sequentially from word 0 into instruction slots. */
+std::vector<ListedInstr> decodeListing(
+    const std::vector<std::uint16_t> &imem);
+
+/** Full listing as assembler source (one instruction per line). */
+std::string listingSource(const std::vector<ListedInstr> &listing);
+
+/**
+ * Listing window of ± @p context instructions around @p pc, with the
+ * line at @p pc marked; used by divergence reports.
+ */
+std::string formatWindow(const std::vector<std::uint16_t> &imem,
+                         std::uint16_t pc, int context = 5);
+
+} // namespace snaple::ref
+
+#endif // SNAPLE_REF_LISTING_HH

@@ -1,0 +1,421 @@
+#include "ref/progen.hh"
+
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace snaple::ref {
+
+namespace {
+
+/** Builds one program; holds the growing source and shared state. */
+struct Gen
+{
+    sim::Rng &rng;
+    std::string src;
+    std::vector<std::string> subroutines; ///< emitted after `halt`
+    int label = 0;
+    int outstanding = 0; ///< r15 words in flight (bounded by capacity)
+
+    explicit Gen(sim::Rng &r) : rng(r) {}
+
+    void
+    line(const std::string &s)
+    {
+        src += s;
+        src += '\n';
+    }
+
+    std::string
+    newLabel(const char *stem)
+    {
+        return std::string(stem) + std::to_string(label++);
+    }
+
+    /** A random data-pool register r1..r8. */
+    std::string
+    reg()
+    {
+        return "r" + std::to_string(1 + rng.uniformInt(0, 7));
+    }
+
+    std::string
+    num(std::uint64_t v)
+    {
+        return std::to_string(v);
+    }
+
+    /** One random ALU/LFSR/bfs/dbgout instruction on the pool regs. */
+    void
+    poolOp()
+    {
+        switch (rng.uniformInt(0, 15)) {
+          case 0: line("add " + reg() + ", " + reg()); break;
+          case 1: line("sub " + reg() + ", " + reg()); break;
+          case 2: line("addc " + reg() + ", " + reg()); break;
+          case 3: line("subc " + reg() + ", " + reg()); break;
+          case 4:
+            line((rng.chance(0.5) ? "and " : "or ") + reg() + ", " +
+                 reg());
+            break;
+          case 5: line("xor " + reg() + ", " + reg()); break;
+          case 6:
+            line((rng.chance(0.5) ? "not " : "neg ") + reg() + ", " +
+                 reg());
+            break;
+          case 7: {
+            const char *sh = rng.chance(0.34)   ? "sll "
+                             : rng.chance(0.5) ? "srl "
+                                               : "sra ";
+            line(sh + reg() + ", " + reg());
+            break;
+          }
+          case 8: {
+            static const char *imms[] = {"addi", "subi", "addci",
+                                         "subci", "andi", "ori",
+                                         "xori"};
+            line(std::string(imms[rng.uniformInt(0, 6)]) + " " + reg() +
+                 ", " + num(rng.uniform16()));
+            break;
+          }
+          case 9: {
+            static const char *shi[] = {"slli", "srli", "srai"};
+            line(std::string(shi[rng.uniformInt(0, 2)]) + " " + reg() +
+                 ", " + num(rng.uniformInt(0, 15)));
+            break;
+          }
+          case 10: line("li " + reg() + ", " + num(rng.uniform16())); break;
+          case 11: line("mov " + reg() + ", " + reg()); break;
+          case 12:
+            line("bfs " + reg() + ", " + reg() + ", " +
+                 num(rng.uniform16()));
+            break;
+          case 13: line("rand " + reg()); break;
+          case 14:
+            if (rng.chance(0.3))
+                line("seed " + reg());
+            else
+                line("rand " + reg());
+            break;
+          case 15: line("dbgout " + reg()); break;
+        }
+    }
+
+    /** A short forward branch over one or two pool ops. */
+    void
+    forwardBranch()
+    {
+        static const char *conds[] = {"beqz", "bnez", "bltz", "bgez"};
+        std::string l = newLabel("F");
+        line(std::string(conds[rng.uniformInt(0, 3)]) + " " + reg() +
+             ", " + l);
+        poolOp();
+        if (rng.chance(0.5))
+            poolOp();
+        line(l + ":");
+    }
+
+    /** DMEM access (base kept in a pool reg; r0 stays 0). */
+    void
+    memOp()
+    {
+        if (rng.chance(0.3)) {
+            // Indexed through a freshly loaded base register.
+            std::string b = reg();
+            line("li " + b + ", " + num(rng.uniformInt(0, 200)));
+            if (rng.chance(0.5))
+                line("ldw " + reg() + ", " +
+                     num(rng.uniformInt(0, 55)) + "(" + b + ")");
+            else
+                line("stw " + reg() + ", " +
+                     num(rng.uniformInt(0, 55)) + "(" + b + ")");
+        } else if (rng.chance(0.25)) {
+            // IMEM scratch region, never executed.
+            std::string b = reg();
+            line("li " + b + ", " + num(1600 + rng.uniformInt(0, 300)));
+            if (rng.chance(0.5))
+                line("sti " + reg() + ", 0(" + b + ")");
+            else
+                line("ldi " + reg() + ", 0(" + b + ")");
+        } else if (rng.chance(0.5)) {
+            line("ldw " + reg() + ", " + num(rng.uniformInt(0, 255)) +
+                 "(r0)");
+        } else {
+            line("stw " + reg() + ", " + num(rng.uniformInt(0, 255)) +
+                 "(r0)");
+        }
+    }
+
+    /** Bounded backward loop: r9 counts down, body uses r1..r8 only. */
+    void
+    loopBlock()
+    {
+        std::string l = newLabel("L");
+        line("li r9, " + num(1 + rng.uniformInt(0, 3)));
+        line(l + ":");
+        int body = 2 + static_cast<int>(rng.uniformInt(0, 3));
+        for (int i = 0; i < body; ++i)
+            poolOp();
+        line("subi r9, 1");
+        line("bnez r9, " + l);
+    }
+
+    /** Call to a generated leaf subroutine (appended after halt). */
+    void
+    callBlock()
+    {
+        std::string f = newLabel("S");
+        line("call " + f);
+        std::string body = f + ":\n";
+        sim::Rng &r = rng;
+        int n = 2 + static_cast<int>(r.uniformInt(0, 3));
+        std::string saved;
+        std::swap(saved, src);
+        for (int i = 0; i < n; ++i)
+            poolOp();
+        std::swap(saved, src);
+        subroutines.push_back(body + saved + "ret\n");
+    }
+
+    /** r15 traffic, bounded so the echo process never deadlocks. */
+    void
+    msgIoOp()
+    {
+        // The harness echo turns every word pushed into exactly one
+        // word to read back; keep at most 4 in flight (the FIFO
+        // depth), so neither side ever blocks forever.
+        if (outstanding > 0 &&
+            (outstanding >= 4 || rng.chance(0.45))) {
+            line("mov " + reg() + ", r15");
+            --outstanding;
+        } else if (outstanding > 0 && rng.chance(0.2)) {
+            // Read-modify-write through the FIFO window: pops one
+            // echoed word, pushes one new command word.
+            line("add r15, " + reg());
+        } else {
+            line("mov r15, " + reg());
+            ++outstanding;
+        }
+    }
+
+    void
+    drainMsgIo()
+    {
+        while (outstanding > 0) {
+            std::string r = reg();
+            line("mov " + r + ", r15");
+            line("dbgout " + r);
+            --outstanding;
+        }
+    }
+
+    /** Patch a dedicated slot subroutine, then call it. */
+    void
+    smcBlock()
+    {
+        using isa::AluFn;
+        std::string f = newLabel("P");
+        // A safe one-word instruction to patch in.
+        std::uint16_t patch;
+        std::uint8_t a = static_cast<std::uint8_t>(1 + rng.uniformInt(0, 7));
+        std::uint8_t b = static_cast<std::uint8_t>(1 + rng.uniformInt(0, 7));
+        switch (rng.uniformInt(0, 5)) {
+          case 0: patch = isa::encodeAluR(AluFn::Add, a, b); break;
+          case 1: patch = isa::encodeAluR(AluFn::Xor, a, b); break;
+          case 2: patch = isa::encodeAluR(AluFn::Mov, a, b); break;
+          case 3: patch = isa::encodeAluR(AluFn::Not, a, b); break;
+          case 4: patch = isa::encodeSys(isa::SysFn::DbgOut, a); break;
+          default: patch = isa::encodeSys(isa::SysFn::Nop, 0); break;
+        }
+        line("li r10, " + num(patch));
+        line("li r11, " + f);
+        line("sti r10, 0(r11)");
+        line("call " + f);
+        subroutines.push_back(f + ":\nnop\nret\n");
+    }
+
+    /** Seed the pool registers and the guest LFSR. */
+    void
+    prologue()
+    {
+        for (int r = 1; r <= 8; ++r)
+            line("li r" + std::to_string(r) + ", " +
+                 num(rng.uniform16()));
+        line("seed r" + std::to_string(1 + rng.uniformInt(0, 7)));
+    }
+
+    /** Make the whole pool state observable, then stop. */
+    void
+    epilogue()
+    {
+        drainMsgIo();
+        for (int r = 1; r <= 8; ++r)
+            line("dbgout r" + std::to_string(r));
+        line("halt");
+        for (const std::string &s : subroutines)
+            src += s;
+    }
+
+    /** Event-driven program: its own whole-program shape. */
+    void
+    timerProgram(int blocks)
+    {
+        const int timers = 1 + static_cast<int>(rng.uniformInt(0, 2));
+        const int budget = 3 + static_cast<int>(rng.uniformInt(0, 5));
+        prologue();
+        line("li r10, " + num(budget));
+        line("stw r10, 0(r0)");
+        for (int t = 0; t < timers; ++t) {
+            line("li r10, " + num(t));
+            line("li r11, H" + std::to_string(t));
+            line("setaddr r10, r11");
+        }
+        for (int t = 0; t < timers; ++t) {
+            line("li r10, " + num(t));
+            line("li r11, 0");
+            line("schedhi r10, r11");
+            line("li r11, " + num(1 + rng.uniformInt(0, 24)));
+            line("schedlo r10, r11");
+        }
+        int boot_ops = std::min(blocks, 4);
+        for (int i = 0; i < boot_ops; ++i)
+            poolOp();
+        line("done");
+        for (int t = 0; t < timers; ++t) {
+            line("H" + std::to_string(t) + ":");
+            line("ldw r10, 0(r0)");
+            line("subi r10, 1");
+            line("stw r10, 0(r0)");
+            line("bnez r10, C" + std::to_string(t));
+            for (int r = 1; r <= 4; ++r)
+                line("dbgout r" + std::to_string(r));
+            line("halt");
+            line("C" + std::to_string(t) + ":");
+            int ops = 1 + static_cast<int>(rng.uniformInt(0, 2));
+            for (int i = 0; i < ops; ++i)
+                poolOp();
+            // Always re-arm this timer: guarantees another token, so
+            // the activation budget is always exhausted.
+            line("li r10, " + num(t));
+            line("li r11, 0");
+            line("schedhi r10, r11");
+            line("li r11, " + num(1 + rng.uniformInt(0, 24)));
+            line("schedlo r10, r11");
+            if (timers > 1 && rng.chance(0.3)) {
+                // Cancel a sibling; if it was armed, its token (and
+                // handler activation) still arrives, per the ISA.
+                int other =
+                    (t + 1 + static_cast<int>(rng.uniformInt(
+                                 0, static_cast<std::uint64_t>(
+                                        timers - 2)))) %
+                    timers;
+                line("li r10, " + num(other));
+                line("cancel r10");
+            }
+            line("done");
+        }
+    }
+};
+
+} // namespace
+
+std::string_view
+className(ProgClass c)
+{
+    switch (c) {
+      case ProgClass::Alu: return "alu";
+      case ProgClass::Memory: return "memory";
+      case ProgClass::Control: return "control";
+      case ProgClass::MsgIo: return "msgio";
+      case ProgClass::TimerEvent: return "timer";
+      case ProgClass::Smc: return "smc";
+      default: return "?";
+    }
+}
+
+std::optional<ProgClass>
+classByName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumProgClasses; ++i) {
+        ProgClass c = static_cast<ProgClass>(i);
+        if (className(c) == name)
+            return c;
+    }
+    return std::nullopt;
+}
+
+ProgClass
+pickClass(sim::Rng &rng, bool include_smc)
+{
+    return static_cast<ProgClass>(
+        rng.uniformInt(0, kNumProgClasses - (include_smc ? 1 : 2)));
+}
+
+GenProgram
+generate(sim::Rng &rng, ProgClass cls, const GenOptions &opt)
+{
+    Gen g(rng);
+    GenProgram out;
+    out.cls = cls;
+
+    if (cls == ProgClass::TimerEvent) {
+        g.timerProgram(opt.blocks);
+        out.source = std::move(g.src);
+        return out;
+    }
+
+    g.prologue();
+    for (int b = 0; b < opt.blocks; ++b) {
+        switch (cls) {
+          case ProgClass::Alu:
+            if (rng.chance(0.2))
+                g.forwardBranch();
+            else
+                g.poolOp();
+            break;
+          case ProgClass::Memory:
+            if (rng.chance(0.45))
+                g.memOp();
+            else if (rng.chance(0.2))
+                g.forwardBranch();
+            else
+                g.poolOp();
+            break;
+          case ProgClass::Control:
+            if (rng.chance(0.18))
+                g.loopBlock();
+            else if (rng.chance(0.15))
+                g.callBlock();
+            else if (rng.chance(0.25))
+                g.forwardBranch();
+            else
+                g.poolOp();
+            break;
+          case ProgClass::MsgIo:
+            if (rng.chance(0.35))
+                g.msgIoOp();
+            else if (rng.chance(0.2))
+                g.forwardBranch();
+            else
+                g.poolOp();
+            break;
+          case ProgClass::Smc:
+            if (rng.chance(0.15))
+                g.smcBlock();
+            else if (rng.chance(0.3))
+                g.memOp();
+            else
+                g.poolOp();
+            break;
+          default:
+            g.poolOp();
+            break;
+        }
+    }
+    g.epilogue();
+    out.source = std::move(g.src);
+    out.usesMsgIo = (cls == ProgClass::MsgIo);
+    return out;
+}
+
+} // namespace snaple::ref

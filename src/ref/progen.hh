@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Seeded random SNAP program generator for differential testing.
+ *
+ * Programs are generated as assembler source (so the corpus also
+ * exercises the assembler and feeds the asm round-trip property test)
+ * and are constrained to terminate: loops carry an explicit bounded
+ * counter, every event handler re-arms its timer until a shared
+ * activation budget runs out and then halts, and r15 traffic never
+ * exceeds the FIFO capacity that the diff harness's echo process can
+ * absorb. Self-modifying code is its own opt-in class whose stores
+ * patch dedicated slots that are only reached through a later control
+ * transfer (the architectural contract of docs/ISA.md).
+ *
+ * Register conventions inside generated code: r1–r8 are the random
+ * data pool, r9 is the loop counter, r10/r11 are setup scratch
+ * (timers, handlers, SMC), r13 the link register; r0 stays zero and
+ * serves as the memory base.
+ */
+
+#ifndef SNAPLE_REF_PROGEN_HH
+#define SNAPLE_REF_PROGEN_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/rng.hh"
+
+namespace snaple::ref {
+
+/** Program classes, from plain ALU traffic to self-modifying code. */
+enum class ProgClass : std::uint8_t
+{
+    Alu,        ///< straight-line ALU/LFSR/bfs + forward branches
+    Memory,     ///< + DMEM/IMEM loads and stores (scratch region)
+    Control,    ///< + bounded backward loops and subroutine calls
+    MsgIo,      ///< + r15 FIFO traffic against the harness echo
+    TimerEvent, ///< event-driven: handlers, timers, cancel, sleep/wake
+    Smc,        ///< + self-modifying patch slots (opt-in)
+    NumClasses,
+};
+
+inline constexpr std::size_t kNumProgClasses =
+    static_cast<std::size_t>(ProgClass::NumClasses);
+
+/** Lower-case class name (CLI and reports). */
+std::string_view className(ProgClass c);
+
+/** Parse a class name; nullopt if unknown. */
+std::optional<ProgClass> classByName(std::string_view name);
+
+/** Generation knobs. */
+struct GenOptions
+{
+    int blocks = 48; ///< number of generated body blocks
+};
+
+/** A generated program plus what the harness must provide for it. */
+struct GenProgram
+{
+    std::string source;
+    ProgClass cls = ProgClass::Alu;
+    bool usesMsgIo = false; ///< needs the r15 echo process attached
+};
+
+/** Generate one terminating program of class @p cls. */
+GenProgram generate(sim::Rng &rng, ProgClass cls,
+                    const GenOptions &opt = {});
+
+/** Pick a class uniformly (SMC only when @p include_smc). */
+ProgClass pickClass(sim::Rng &rng, bool include_smc);
+
+} // namespace snaple::ref
+
+#endif // SNAPLE_REF_PROGEN_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Pins the edge semantics of the carry chain and of bfs, per
+ * docs/ISA.md: the carry flag on add/addc is the adder's carry out,
+ * on sub/subc it is the *no-borrow* flag (the carry out of
+ * `a + ~b + 1`), and bfs merges `rd <- (rd & ~mask) | (rs & mask)` for
+ * any mask including the degenerate zero-width (0x0000), full-word
+ * (0xffff) and wrapping (non-contiguous) patterns.
+ *
+ * Every case is checked three ways: the docs formula evaluated in the
+ * test, the timed CHP core, and the untimed reference interpreter —
+ * so a future regression in either executor (or a silent divergence
+ * between them and the document) fails here with the exact boundary
+ * value that broke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "asm/snap_backend.hh"
+#include "core/machine.hh"
+#include "ref/commit_log.hh"
+#include "ref/ref_machine.hh"
+#include "sim/kernel.hh"
+
+namespace {
+
+using namespace snaple;
+
+struct ArithCase
+{
+    const char *op; ///< add | addc | sub | subc
+    std::uint16_t a, b;
+    bool carryIn; ///< only consumed by addc/subc
+    std::uint16_t expect;
+    bool expectCarry;
+};
+
+/** The docs/ISA.md formula, evaluated independently of both models. */
+void
+formula(const ArithCase &c, std::uint16_t *result, bool *carry)
+{
+    std::uint32_t wide = 0;
+    const std::string op = c.op;
+    if (op == "add")
+        wide = std::uint32_t(c.a) + c.b;
+    else if (op == "addc")
+        wide = std::uint32_t(c.a) + c.b + (c.carryIn ? 1 : 0);
+    else if (op == "sub")
+        wide = std::uint32_t(c.a) + (~c.b & 0xffffu) + 1;
+    else if (op == "subc")
+        wide = std::uint32_t(c.a) + (~c.b & 0xffffu) + (c.carryIn ? 1 : 0);
+    *result = static_cast<std::uint16_t>(wide);
+    *carry = (wide >> 16) & 1;
+}
+
+/**
+ * One op with a controlled carry-in, as a program: the carry flag is
+ * set architecturally (sub r3, r4 leaves C=1 for 0-0 and C=0 for 0-1)
+ * so the sequence also runs unmodified on the reference.
+ */
+std::string
+arithProgram(const ArithCase &c)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "li r1, 0x%04x\n"
+                  "li r2, 0x%04x\n"
+                  "li r3, 0\n"
+                  "li r4, %d\n"
+                  "sub r3, r4\n"
+                  "%s r1, r2\n"
+                  "halt\n",
+                  c.a, c.b, c.carryIn ? 0 : 1, c.op);
+    return buf;
+}
+
+struct RunState
+{
+    std::uint16_t r1;
+    bool carry;
+};
+
+RunState
+runOnCore(const assembler::Program &prog)
+{
+    sim::Kernel kernel;
+    core::Machine machine(kernel);
+    machine.load(prog);
+    machine.start();
+    kernel.run(sim::fromMs(10));
+    EXPECT_TRUE(machine.core().halted());
+    return {machine.core().reg(1), machine.core().carry()};
+}
+
+RunState
+runOnRef(const assembler::Program &prog)
+{
+    ref::RefMachine refm(prog);
+    ref::Injection inj;
+    ref::CommitSink sink;
+    EXPECT_EQ(refm.run(inj, sink), ref::RefMachine::Stop::Halt);
+    return {refm.reg(1), refm.carry()};
+}
+
+TEST(AluEdgeTest, CarryChainBoundaries)
+{
+    const ArithCase cases[] = {
+        // add: carry out is bit 16 of the unsigned sum. 0x7fff+1
+        // overflows the signed range but produces NO carry.
+        {"add", 0x7fff, 0x0001, false, 0x8000, false},
+        {"add", 0x8000, 0x8000, false, 0x0000, true},
+        {"add", 0xffff, 0x0001, false, 0x0000, true},
+        {"add", 0xffff, 0xffff, false, 0xfffe, true},
+        {"add", 0x0000, 0x0000, false, 0x0000, false},
+        // addc consumes the flag on top of the same rule.
+        {"addc", 0x7fff, 0x8000, true, 0x0000, true},
+        {"addc", 0x7fff, 0x8000, false, 0xffff, false},
+        {"addc", 0xffff, 0x0000, true, 0x0000, true},
+        {"addc", 0xfffe, 0x0001, true, 0x0000, true},
+        // sub: carry is "no borrow". a >= b  =>  C=1.
+        {"sub", 0x0005, 0x0003, false, 0x0002, true},
+        {"sub", 0x0003, 0x0005, false, 0xfffe, false},
+        {"sub", 0x0000, 0x0000, false, 0x0000, true},
+        {"sub", 0x0000, 0x0001, false, 0xffff, false},
+        {"sub", 0x8000, 0x0001, false, 0x7fff, true},
+        {"sub", 0x7fff, 0x8000, false, 0xffff, false},
+        {"sub", 0xffff, 0xffff, false, 0x0000, true},
+        // subc: a - b - !C (multiword subtraction chains).
+        {"subc", 0x0005, 0x0003, true, 0x0002, true},
+        {"subc", 0x0005, 0x0003, false, 0x0001, true},
+        {"subc", 0x0000, 0x0000, false, 0xffff, false},
+        {"subc", 0x8000, 0x7fff, false, 0x0000, true},
+    };
+
+    for (const ArithCase &c : cases) {
+        SCOPED_TRACE(std::string(c.op) + " " + std::to_string(c.a) +
+                     ", " + std::to_string(c.b) +
+                     (c.carryIn ? " (C=1)" : " (C=0)"));
+
+        std::uint16_t want;
+        bool wantCarry;
+        formula(c, &want, &wantCarry);
+        // The table itself must agree with the docs formula: a typo in
+        // a case would otherwise "pin" nonsense.
+        ASSERT_EQ(want, c.expect);
+        ASSERT_EQ(wantCarry, c.expectCarry);
+
+        assembler::Program prog =
+            assembler::assembleSnap(arithProgram(c), "arith");
+        const RunState core = runOnCore(prog);
+        EXPECT_EQ(core.r1, c.expect) << "(CHP core result)";
+        EXPECT_EQ(core.carry, c.expectCarry) << "(CHP core carry)";
+        const RunState refm = runOnRef(prog);
+        EXPECT_EQ(refm.r1, c.expect) << "(reference result)";
+        EXPECT_EQ(refm.carry, c.expectCarry) << "(reference carry)";
+    }
+}
+
+struct BfsCase
+{
+    std::uint16_t rd, rs, mask;
+};
+
+TEST(BfsEdgeTest, ZeroWidthFullWidthAndWrappingFields)
+{
+    const BfsCase cases[] = {
+        {0x1234, 0xabcd, 0x0000}, // zero-width field: rd unchanged
+        {0x1234, 0xabcd, 0xffff}, // full word: rd <- rs
+        {0x1234, 0xabcd, 0x00ff}, // aligned low byte
+        {0x1234, 0xabcd, 0xff00}, // aligned high byte
+        {0x1234, 0xabcd, 0xc007}, // wrapping: bits 15:14 and 2:0
+        {0xffff, 0x0000, 0x8001}, // clear only the edge bits
+        {0x0000, 0xffff, 0x5555}, // every other bit
+        {0xa5a5, 0x5a5a, 0x0ff0}, // mid-word field
+    };
+
+    for (const BfsCase &c : cases) {
+        SCOPED_TRACE("bfs rd=" + std::to_string(c.rd) +
+                     " rs=" + std::to_string(c.rs) +
+                     " mask=" + std::to_string(c.mask));
+        const std::uint16_t want = static_cast<std::uint16_t>(
+            (c.rd & ~c.mask) | (c.rs & c.mask));
+
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "li r1, 0x%04x\n"
+                      "li r2, 0x%04x\n"
+                      "bfs r1, r2, 0x%04x\n"
+                      "halt\n",
+                      c.rd, c.rs, c.mask);
+        assembler::Program prog = assembler::assembleSnap(buf, "bfs");
+        const RunState core = runOnCore(prog);
+        EXPECT_EQ(core.r1, want) << "(CHP core)";
+        // bfs must not disturb the carry flag.
+        EXPECT_FALSE(core.carry);
+        const RunState refm = runOnRef(prog);
+        EXPECT_EQ(refm.r1, want) << "(reference)";
+        EXPECT_FALSE(refm.carry);
+    }
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * snap-diff: differential co-simulation fuzzer for the SNAP ISA.
+ *
+ * Usage: snap-diff [--seed S] [--count N] [--class C] [--no-smc]
+ *                  [--blocks B] [--mutation M] [--max-seconds T]
+ *                  [--replay SEED] [--dump-asm] [--quiet]
+ *
+ * Generates N seeded random programs (per-program seed i is
+ * sim::deriveSeed(S, i)), runs each on the timed CHP machine model and
+ * on the untimed architectural reference, and diffs the two per-
+ * instruction commit streams plus the final architectural state. The
+ * first divergence stops the run and prints a self-contained report:
+ * both commit records, a disassembly window around the divergent pc,
+ * and a --replay command that re-runs exactly that program.
+ *
+ * --class fixes the generator class (alu, memory, control, msgio,
+ * timer, smc); by default the class is picked from each program's
+ * seed, with smc included. --mutation M plants seeded bug M in the
+ * *reference* (see ref/ref_machine.hh), so a passing sweep under
+ * --mutation is itself a failure of the harness. --max-seconds
+ * time-boxes long fuzz runs (nightly CI): the sweep stops cleanly
+ * after the current program once the budget is spent.
+ *
+ * Exit status: 0 all programs agreed, 1 divergence or harness failure,
+ * 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "ref/diff.hh"
+#include "ref/progen.hh"
+#include "sim/rng.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snaple;
+
+    std::uint64_t seed = 1;
+    std::uint64_t count = 1000;
+    bool replay = false;
+    std::uint64_t replaySeed = 0;
+    double maxSeconds = 0; // 0 = no time box
+    bool dumpAsm = false;
+    bool quiet = false;
+    ref::DiffConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--count") && i + 1 < argc)
+            count = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--replay") && i + 1 < argc) {
+            replay = true;
+            replaySeed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--class") && i + 1 < argc) {
+            auto c = ref::classByName(argv[++i]);
+            if (!c) {
+                std::fprintf(stderr, "unknown class '%s'\n", argv[i]);
+                return 2;
+            }
+            cfg.anyClass = false;
+            cfg.cls = *c;
+        } else if (!std::strcmp(argv[i], "--no-smc"))
+            cfg.includeSmc = false;
+        else if (!std::strcmp(argv[i], "--blocks") && i + 1 < argc)
+            cfg.gen.blocks = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--mutation") && i + 1 < argc)
+            cfg.mutation =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
+            maxSeconds = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--dump-asm"))
+            dumpAsm = true;
+        else if (!std::strcmp(argv[i], "--quiet"))
+            quiet = true;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: snap-diff [--seed S] [--count N] [--class C] "
+                "[--no-smc] [--blocks B] [--mutation M] "
+                "[--max-seconds T] [--replay SEED] [--dump-asm] "
+                "[--quiet]\n");
+            return 2;
+        }
+    }
+
+    if (dumpAsm) {
+        // Print the generated program for one seed and exit; useful
+        // when inspecting a failing --replay seed.
+        const std::uint64_t s =
+            replay ? replaySeed : sim::deriveSeed(seed, 0);
+        sim::Rng rng(s);
+        const ref::ProgClass cls =
+            cfg.anyClass ? ref::pickClass(rng, cfg.includeSmc) : cfg.cls;
+        ref::GenProgram gp = ref::generate(rng, cls, cfg.gen);
+        std::printf("; seed 0x%016llx class %s\n%s",
+                    static_cast<unsigned long long>(s),
+                    std::string(ref::className(cls)).c_str(),
+                    gp.source.c_str());
+        return 0;
+    }
+
+    const std::clock_t t0 = std::clock();
+    std::uint64_t perClass[ref::kNumProgClasses] = {};
+    std::uint64_t ran = 0;
+    for (std::uint64_t i = 0; i < (replay ? 1 : count); ++i) {
+        const std::uint64_t s =
+            replay ? replaySeed : sim::deriveSeed(seed, i);
+        ref::DiffOutcome out = ref::diffOne(s, cfg);
+        ++ran;
+        ++perClass[static_cast<std::size_t>(out.cls)];
+        if (!out.ok) {
+            std::fprintf(stderr, "FAIL after %llu program%s:\n%s",
+                         static_cast<unsigned long long>(ran),
+                         ran == 1 ? "" : "s", out.report.c_str());
+            return 1;
+        }
+        if (!quiet && !replay && count >= 1000 &&
+            (i + 1) % (count / 10) == 0)
+            std::printf("  %llu/%llu ok\n",
+                        static_cast<unsigned long long>(i + 1),
+                        static_cast<unsigned long long>(count));
+        if (maxSeconds > 0) {
+            const double elapsed = double(std::clock() - t0) /
+                                   double(CLOCKS_PER_SEC);
+            if (elapsed >= maxSeconds) {
+                if (!quiet)
+                    std::printf("time box of %.0f s reached\n",
+                                maxSeconds);
+                break;
+            }
+        }
+    }
+
+    std::printf("OK: %llu program%s, 0 divergences (",
+                static_cast<unsigned long long>(ran),
+                ran == 1 ? "" : "s");
+    bool firstCls = true;
+    for (std::size_t c = 0; c < ref::kNumProgClasses; ++c) {
+        if (!perClass[c])
+            continue;
+        std::printf("%s%s %llu", firstCls ? "" : ", ",
+                    std::string(ref::className(
+                                    static_cast<ref::ProgClass>(c)))
+                        .c_str(),
+                    static_cast<unsigned long long>(perClass[c]));
+        firstCls = false;
+    }
+    std::printf(")\n");
+    return 0;
+}
