@@ -1,0 +1,59 @@
+; metrics_demo.s — a small beaconing workload for the metrics pipeline.
+;
+; Every node arms Timer0 with a rand-jittered period, transmits one
+; beacon word per expiration, and listens in between; received beacons
+; are drained from the message FIFO and echoed through dbgout. The
+; jitter draws from the per-node LFSR (seeded from --seed and the node
+; id), so a multi-node run desynchronizes naturally and exercises every
+; metric family: timer and handler activity, radio TX/RX, air
+; collisions, sleep/wake duty cycle.
+;
+;   snap-run examples/metrics_demo.s --nodes 4 --jobs 2 --ms 200 \
+;            --volts 1.8,0.9,0.6 --seed 7 \
+;            --metrics=out.jsonl --metrics-interval=10000000000 \
+;            --profile
+;   snap-report out.jsonl
+;
+; (Intervals are simulator ticks: 1 tick = 1 ps, so 1e10 = 10 ms.)
+
+    .equ EV_T0,    0        ; Timer0 event number
+    .equ EV_RX,    3        ; RadioRx
+    .equ EV_TXRDY, 6        ; RadioTxRdy
+    .equ CMD_RX,   0x8001   ; msg-coproc: radio to receive mode
+    .equ CMD_TX,   0x8002   ; msg-coproc: next word is TX data
+    .equ PERIOD,   2000     ; base beacon period, timer ticks (~2 ms)
+
+boot:
+    li   r1, EV_T0
+    la   r2, on_t0
+    setaddr r1, r2
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r15, CMD_RX        ; listen between beacons
+    li   r4, 0              ; beacon payload counter
+    jmp  rearm              ; first beacon after a jittered delay
+
+on_t0:
+    inc  r4
+    li   r15, CMD_TX
+    mov  r15, r4
+    done                    ; TXRDY re-arms the beacon
+
+on_txrdy:
+    li   r15, CMD_RX        ; back to listening
+rearm:
+    rand r2
+    andi r2, 0x03ff         ; 0..1023 ticks of jitter
+    addi r2, PERIOD
+    li   r1, 0
+    schedlo r1, r2
+    done
+
+on_rx:
+    mov  r3, r15            ; drain the assembled word
+    dbgout r3
+    done

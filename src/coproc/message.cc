@@ -14,7 +14,13 @@ MessageCoproc::MessageCoproc(core::NodeContext &ctx,
                              core::WordFifo &msg_out,
                              core::EventQueue &event_queue)
     : ctx_(ctx), msgIn_(msg_in), msgOut_(msg_out),
-      eventQueue_(event_queue), trace_(ctx.kernel, "msg-coproc")
+      eventQueue_(event_queue), trace_(ctx.kernel, "msg-coproc"),
+      commands_(&ctx.metrics.counter("msg.commands")),
+      txWords_(&ctx.metrics.counter("msg.tx_words")),
+      rxWords_(&ctx.metrics.counter("msg.rx_words")),
+      queries_(&ctx.metrics.counter("msg.queries")),
+      interrupts_(&ctx.metrics.counter("msg.interrupts")),
+      eventsDropped_(&ctx.metrics.counter("msg.events_dropped"))
 {}
 
 void
@@ -43,25 +49,26 @@ MessageCoproc::start()
 void
 MessageCoproc::raiseSensorInterrupt()
 {
-    ++stats_.interrupts;
+    interrupts_->inc();
     pushEvent(isa::EventNum::SensorIrq);
 }
 
 void
 MessageCoproc::pushEvent(isa::EventNum e)
 {
-    core::EventToken tok{static_cast<std::uint8_t>(e)};
+    core::EventToken tok{static_cast<std::uint8_t>(e),
+                         ctx_.kernel.now()};
     if (!eventQueue_.tryPush(tok)) {
         // A dropped token means the core never hears about this event
         // (a received message, a sensor reading): trace and warn rather
         // than losing it silently.
-        ++stats_.eventsDropped;
-        trace_.emit(sim::TraceEvent::TokenDrop, tok.num,
-                    stats_.eventsDropped);
-        if (dropWarn_.shouldReport(stats_.eventsDropped))
+        eventsDropped_->inc();
+        const std::uint64_t dropped = eventsDropped_->value();
+        trace_.emit(sim::TraceEvent::TokenDrop, tok.num, dropped);
+        if (dropWarn_.shouldReport(dropped))
             sim::warn("msg-coproc: hardware event queue full, event ",
-                      unsigned(tok.num), " dropped (",
-                      stats_.eventsDropped, " dropped so far)");
+                      unsigned(tok.num), " dropped (", dropped,
+                      " dropped so far)");
     }
 }
 
@@ -70,7 +77,7 @@ MessageCoproc::commandProcess()
 {
     for (;;) {
         std::uint16_t w = co_await msgIn_.recv();
-        ++stats_.commands;
+        commands_->inc();
         trace_.emit(sim::TraceEvent::MsgCommand, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
         co_await ctx_.kernel.delay(ctx_.gd(4));
@@ -91,7 +98,7 @@ MessageCoproc::commandProcess()
             sim::fatalIf(!radio_, "TX command with no radio attached");
             std::uint16_t data = co_await msgIn_.recv();
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-            ++stats_.txWords;
+            txWords_->inc();
             trace_.emit(sim::TraceEvent::MsgTx, data);
             radio_->setMode(RadioMode::Tx);
             co_await radio_->transmit(data);
@@ -101,7 +108,7 @@ MessageCoproc::commandProcess()
             unsigned id = querySensor(w);
             sim::fatalIf(!sensors_[id], "query of unattached sensor ",
                          id);
-            ++stats_.queries;
+            queries_->inc();
             // ADC-style conversion time before the value is ready.
             co_await ctx_.kernel.delay(ctx_.cfg.sensorConvTime);
             std::uint16_t v = sensors_[id]->query(ctx_.kernel.now());
@@ -120,7 +127,7 @@ MessageCoproc::rxProcess()
 {
     for (;;) {
         std::uint16_t w = co_await radio_->rxWords().recv();
-        ++stats_.rxWords;
+        rxWords_->inc();
         trace_.emit(sim::TraceEvent::MsgRx, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
         co_await msgOut_.send(w);

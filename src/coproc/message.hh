@@ -32,6 +32,7 @@ class MessageCoproc
   public:
     static constexpr std::size_t kMaxSensors = 16;
 
+    /** Snapshot view of the registry-native counters ("msg.*"). */
     struct Stats
     {
         std::uint64_t commands = 0;
@@ -63,7 +64,14 @@ class MessageCoproc
      */
     void raiseSensorInterrupt();
 
-    const Stats &stats() const { return stats_; }
+    /** Counters live in ctx.metrics; this assembles a snapshot. */
+    Stats
+    stats() const
+    {
+        return Stats{commands_->value(),   txWords_->value(),
+                     rxWords_->value(),    queries_->value(),
+                     interrupts_->value(), eventsDropped_->value()};
+    }
 
   private:
     sim::Co<void> commandProcess();
@@ -78,7 +86,14 @@ class MessageCoproc
     sim::WarnRateLimiter dropWarn_;
     RadioPort *radio_ = nullptr;
     std::array<SensorPort *, kMaxSensors> sensors_{};
-    Stats stats_;
+    /** Registry-native counters — visible to metrics sampling (and
+     *  without SNAPLE_TRACE builds, unlike the TokenDrop trace). */
+    sim::MetricCounter *commands_;
+    sim::MetricCounter *txWords_;
+    sim::MetricCounter *rxWords_;
+    sim::MetricCounter *queries_;
+    sim::MetricCounter *interrupts_;
+    sim::MetricCounter *eventsDropped_;
 };
 
 } // namespace snaple::coproc

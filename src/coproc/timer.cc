@@ -8,7 +8,11 @@ using isa::TimerFn;
 TimerCoproc::TimerCoproc(core::NodeContext &ctx, core::TimerPort &port,
                          core::EventQueue &event_queue)
     : ctx_(ctx), port_(port), eventQueue_(event_queue),
-      trace_(ctx.kernel, "timer-coproc")
+      trace_(ctx.kernel, "timer-coproc"),
+      scheduled_(&ctx.metrics.counter("timer.scheduled")),
+      expired_(&ctx.metrics.counter("timer.expired")),
+      canceled_(&ctx.metrics.counter("timer.canceled")),
+      tokensDropped_(&ctx.metrics.counter("timer.tokens_dropped"))
 {}
 
 void
@@ -43,7 +47,7 @@ TimerCoproc::commandProcess()
                 // exactly one token per schedule, expired or canceled.
                 t.armed = false;
                 ++t.generation;
-                ++stats_.canceled;
+                canceled_->inc();
                 trace_.emit(sim::TraceEvent::TimerCancel, cmd.timer);
                 pushToken(cmd.timer);
             }
@@ -59,7 +63,7 @@ TimerCoproc::arm(unsigned n, std::uint32_t ticks24)
     // Re-scheduling an armed timer silently replaces the countdown.
     ++t.generation;
     t.armed = true;
-    ++stats_.scheduled;
+    scheduled_->inc();
     const std::uint64_t this_generation = t.generation;
     // A zero duration expires after one tick, not immediately: the
     // register decrements through zero.
@@ -77,7 +81,7 @@ TimerCoproc::expire(unsigned n, std::uint64_t generation)
     if (!t.armed || t.generation != generation)
         return; // canceled or re-armed meanwhile
     t.armed = false;
-    ++stats_.expired;
+    expired_->inc();
     ctx_.charge(Cat::Coproc, ctx_.ecal.timerExpirePj);
     trace_.emit(sim::TraceEvent::TimerExpire, n);
     pushToken(n);
@@ -86,17 +90,19 @@ TimerCoproc::expire(unsigned n, std::uint64_t generation)
 void
 TimerCoproc::pushToken(unsigned n)
 {
-    core::EventToken tok{static_cast<std::uint8_t>(n)};
+    core::EventToken tok{static_cast<std::uint8_t>(n),
+                         ctx_.kernel.now()};
     if (!eventQueue_.tryPush(tok)) {
         // A dropped expiration token is a lost interrupt: the handler
         // never runs. Make it observable instead of silently bumping a
         // counter nobody reads.
-        ++stats_.tokensDropped;
-        trace_.emit(sim::TraceEvent::TokenDrop, n, stats_.tokensDropped);
-        if (dropWarn_.shouldReport(stats_.tokensDropped))
+        tokensDropped_->inc();
+        const std::uint64_t dropped = tokensDropped_->value();
+        trace_.emit(sim::TraceEvent::TokenDrop, n, dropped);
+        if (dropWarn_.shouldReport(dropped))
             sim::warn("timer-coproc: hardware event queue full, timer ",
-                      n, " expiration token dropped (",
-                      stats_.tokensDropped, " dropped so far)");
+                      n, " expiration token dropped (", dropped,
+                      " dropped so far)");
     }
 }
 

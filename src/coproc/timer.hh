@@ -34,6 +34,7 @@ namespace snaple::coproc {
 class TimerCoproc
 {
   public:
+    /** Snapshot view of the registry-native counters ("timer.*"). */
     struct Stats
     {
         std::uint64_t scheduled = 0;
@@ -54,7 +55,13 @@ class TimerCoproc
     /** True if timer @p n is counting down. */
     bool armed(unsigned n) const { return timers_[n].armed; }
 
-    const Stats &stats() const { return stats_; }
+    /** Counters live in ctx.metrics; this assembles a snapshot. */
+    Stats
+    stats() const
+    {
+        return Stats{scheduled_->value(), expired_->value(),
+                     canceled_->value(), tokensDropped_->value()};
+    }
 
   private:
     struct Timer
@@ -75,7 +82,12 @@ class TimerCoproc
     sim::TraceScope trace_;
     sim::WarnRateLimiter dropWarn_;
     std::array<Timer, 3> timers_;
-    Stats stats_;
+    /** Registry-native counters — visible to metrics sampling (and
+     *  without SNAPLE_TRACE builds, unlike the TokenDrop trace). */
+    sim::MetricCounter *scheduled_;
+    sim::MetricCounter *expired_;
+    sim::MetricCounter *canceled_;
+    sim::MetricCounter *tokensDropped_;
 };
 
 } // namespace snaple::coproc

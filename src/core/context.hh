@@ -19,7 +19,9 @@
 #include "energy/calibration.hh"
 #include "energy/ledger.hh"
 #include "energy/voltage.hh"
+#include "isa/isa.hh"
 #include "sim/kernel.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace snaple::core {
@@ -86,12 +88,26 @@ struct CoreConfig
 /** Everything a node's components share. */
 struct NodeContext
 {
+    /** Handler-attribution slots: one per event plus one for boot /
+     *  background activity (index isa::kNumEvents). */
+    static constexpr std::size_t kHandlerSlots = isa::kNumEvents + 1;
+    static constexpr std::size_t kBootSlot = isa::kNumEvents;
+
     sim::Kernel &kernel;
     CoreConfig cfg;
     energy::OperatingPoint op;
     energy::EnergyCal ecal;
     energy::TimingCal tcal;
     energy::EnergyLedger ledger;
+    /** This node's metrics instruments (docs/METRICS.md). */
+    sim::MetricsRegistry metrics;
+
+    /**
+     * Event whose handler is currently executing, for energy
+     * attribution; 0xff means boot or background (asleep). Maintained
+     * by the core's fetch process at dispatch/sleep boundaries.
+     */
+    std::uint8_t activeHandler = 0xff;
 
     NodeContext(sim::Kernel &k, const CoreConfig &c = {})
         : kernel(k), cfg(c), op(c.volts),
@@ -112,8 +128,29 @@ struct NodeContext
     {
         const double pj = op.scalePj(pj_nominal) * cfg.sizingEnergyScale;
         ledger.add(cat, pj);
+        chargedPj_ += pj;
+        handlerPj_[handlerSlot()] += pj;
         energyScopes_[static_cast<std::size_t>(cat)].emit(
             sim::TraceEvent::EnergyDebit, 0, 0, pj);
+    }
+
+    /** The attribution slot for the currently running handler. */
+    std::size_t
+    handlerSlot() const
+    {
+        return activeHandler < isa::kNumEvents ? activeHandler
+                                               : kBootSlot;
+    }
+
+    /** Cumulative dynamic energy charged so far (excludes leakage and
+     *  direct ledger.add() paths like radio TX/RX word energy). */
+    double chargedPj() const { return chargedPj_; }
+
+    /** Dynamic energy attributed to one handler slot. */
+    double
+    handlerPj(std::size_t slot) const
+    {
+        return handlerPj_[slot];
     }
 
     /** Static (leakage) power at this operating point, nanowatts. */
@@ -144,6 +181,33 @@ struct NodeContext
         leakAccruedTo_ = now;
     }
 
+    /**
+     * Mirror the energy ledger into the metrics registry (gauges
+     * "energy.<cat>_pj", handler attribution "handler.<ev>.pj").
+     * Accrues leakage to now() first, so a final sample at the end
+     * of a run always covers the full simulated interval.
+     */
+    void
+    publishEnergyMetrics()
+    {
+        accrueLeakage();
+        for (std::size_t c = 0; c < energy::kNumCats; ++c) {
+            const auto cat = static_cast<energy::Cat>(c);
+            metrics
+                .gauge(std::string("energy.") +
+                           std::string(energy::catName(cat)) + "_pj")
+                .set(ledger.pj(cat));
+        }
+        for (std::size_t s = 0; s < kHandlerSlots; ++s) {
+            const std::string ev =
+                s == kBootSlot
+                    ? std::string("boot")
+                    : std::string(isa::eventName(
+                          static_cast<isa::EventNum>(s)));
+            metrics.gauge("handler." + ev + ".pj").set(handlerPj_[s]);
+        }
+    }
+
   private:
     template <std::size_t... I>
     static std::array<sim::TraceScope, sizeof...(I)>
@@ -156,6 +220,8 @@ struct NodeContext
     }
 
     sim::Tick leakAccruedTo_ = 0;
+    double chargedPj_ = 0.0;
+    std::array<double, kHandlerSlots> handlerPj_{};
     /** One trace scope per ledger category ("energy.<cat>"). */
     std::array<sim::TraceScope, energy::kNumCats> energyScopes_;
 };

@@ -24,8 +24,14 @@ SnapCore::SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
       fetchQ_(ctx.kernel, ctx.cfg.fetchQueueDepth, 0, name + ".fetchq"),
       redirect_(ctx.kernel, 0, name + ".redirect"),
       traceFetch_(ctx.kernel, name + ".fetch"),
-      traceExec_(ctx.kernel, name + ".exec")
-{}
+      traceExec_(ctx.kernel, name + ".exec"),
+      evqWaitAll_(&ctx.metrics.histogram("core.evq_wait_ticks"))
+{
+    for (std::size_t e = 0; e < isa::kNumEvents; ++e)
+        evqWait_[e] = &ctx.metrics.histogram(
+            std::string("core.evq_wait_ticks.") +
+            std::string(isa::eventName(static_cast<isa::EventNum>(e))));
+}
 
 void
 SnapCore::start()
@@ -65,6 +71,9 @@ SnapCore::fetchProcess()
 {
     std::uint16_t pc = 0;
     stats_.lastWake = ctx_.kernel.now();
+    segStart_ = stats_.lastWake;
+    profLastTick_ = stats_.lastWake;
+    profLastPj_ = ctx_.chargedPj();
     for (;;) {
         // Fetch (and minimally predecode) one instruction.
         co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.fetchCycleGd));
@@ -101,6 +110,8 @@ SnapCore::fetchProcess()
             break;
           case Redirect::Kind::Halt:
             halted_ = true;
+            stats_.handlerTicks[slotOf(currentEvent_)] +=
+                ctx_.kernel.now() - segStart_;
             stats_.activeTime +=
                 ctx_.kernel.now() - stats_.lastWake;
             if (ctx_.cfg.stopOnHalt)
@@ -112,11 +123,16 @@ SnapCore::fetchProcess()
             // single, zero-power sleep state.
             const bool sleeping = eventQueue_.empty();
             Tick slept_at = ctx_.kernel.now();
+            stats_.handlerTicks[slotOf(currentEvent_)] +=
+                slept_at - segStart_;
             if (sleeping) {
                 asleep_ = true;
                 ++stats_.sleeps;
                 stats_.lastSleepStart = slept_at;
                 stats_.activeTime += slept_at - stats_.lastWake;
+                // Background charges while asleep (e.g. leakage
+                // samples) are nobody's handler.
+                ctx_.activeHandler = 0xff;
                 traceFetch_.emit(sim::TraceEvent::CoreSleep);
                 if (recordTimeline_) {
                     timeline_.push_back(ActivitySpan{
@@ -130,7 +146,21 @@ SnapCore::fetchProcess()
                 stats_.lastWake = ctx_.kernel.now();
                 traceFetch_.emit(sim::TraceEvent::CoreWake, tok.num);
             }
+            {
+                // Enqueue-to-dispatch wait: how long the token sat in
+                // the hardware queue (plus the wake propagation).
+                const Tick dispatched = ctx_.kernel.now();
+                const Tick waited =
+                    dispatched >= tok.at ? dispatched - tok.at : 0;
+                evqWaitAll_->record(waited);
+                if (tok.num < isa::kNumEvents)
+                    evqWait_[tok.num]->record(waited);
+            }
             currentEvent_ = tok.num;
+            ctx_.activeHandler = tok.num;
+            segStart_ = ctx_.kernel.now();
+            profLastTick_ = segStart_;
+            profLastPj_ = ctx_.chargedPj();
             ++stats_.perEvent[tok.num].activations;
             traceFetch_.emit(sim::TraceEvent::CoreHandler, tok.num);
             // Handler-table dispatch.
@@ -473,6 +503,24 @@ SnapCore::executeProcess()
                 ((d.rd & 0xf) << 8) | low);
             traceExec_.emit(sim::TraceEvent::CoreExec, w,
                             static_cast<std::uint64_t>(d.cls));
+            if (!profile_.empty()) {
+                // Attribute the time and dynamic energy since the
+                // previous retirement to this (pc, handler) cell.
+                const auto pc16 = static_cast<std::uint16_t>(
+                    p.pcNext - (d.twoWord ? 2 : 1));
+                const Tick tnow = ctx_.kernel.now();
+                if (pc16 < ctx_.cfg.imemWords) {
+                    ProfSlot &s =
+                        profile_[std::size_t(pc16) *
+                                     NodeContext::kHandlerSlots +
+                                 slotOf(currentEvent_)];
+                    ++s.count;
+                    s.ticks += tnow - profLastTick_;
+                    s.pj += ctx_.chargedPj() - profLastPj_;
+                }
+                profLastTick_ = tnow;
+                profLastPj_ = ctx_.chargedPj();
+            }
             if (commitSink_) {
                 rec.pc = static_cast<std::uint16_t>(
                     p.pcNext - (d.twoWord ? 2 : 1));
@@ -489,6 +537,110 @@ SnapCore::executeProcess()
         if (d.op == Op::Sys && d.sysFn() == SysFn::Halt)
             co_return;
     }
+}
+
+void
+SnapCore::enableProfile(bool on)
+{
+    if (!on) {
+        profile_.clear();
+        profile_.shrink_to_fit();
+        return;
+    }
+    profile_.assign(ctx_.cfg.imemWords * NodeContext::kHandlerSlots,
+                    ProfSlot{});
+    profLastTick_ = ctx_.kernel.now();
+    profLastPj_ = ctx_.chargedPj();
+}
+
+std::vector<sim::ProfileRow>
+SnapCore::profileRows() const
+{
+    std::vector<sim::ProfileRow> rows;
+    if (profile_.empty())
+        return rows;
+    for (std::size_t s = 0; s < NodeContext::kHandlerSlots; ++s) {
+        const std::string_view handler =
+            s == NodeContext::kBootSlot
+                ? std::string_view("boot")
+                : isa::eventName(static_cast<isa::EventNum>(s));
+        for (std::size_t pc = 0; pc < ctx_.cfg.imemWords; ++pc) {
+            const ProfSlot &cell =
+                profile_[pc * NodeContext::kHandlerSlots + s];
+            if (cell.count == 0)
+                continue;
+            rows.push_back(sim::ProfileRow{
+                handler, static_cast<std::uint16_t>(pc), cell.count,
+                cell.ticks, cell.pj});
+        }
+    }
+    return rows;
+}
+
+namespace {
+
+/** Metric-name slug of an instruction-class name: lowercase, one
+ *  underscore per run of non-alphanumerics ("Arith Reg" ->
+ *  "arith_reg", "Bit-field" -> "bit_field"). */
+std::string
+classSlug(isa::InstrClass c)
+{
+    std::string s;
+    for (char ch : isa::className(c)) {
+        if (ch >= 'A' && ch <= 'Z')
+            s.push_back(static_cast<char>(ch - 'A' + 'a'));
+        else if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9'))
+            s.push_back(ch);
+        else if (!s.empty() && s.back() != '_')
+            s.push_back('_');
+    }
+    return s;
+}
+
+} // namespace
+
+void
+SnapCore::publishMetrics()
+{
+    sim::MetricsRegistry &m = ctx_.metrics;
+    const Tick now = ctx_.kernel.now();
+
+    m.counter("core.instructions").set(stats_.instructions);
+    m.counter("core.words_fetched").set(stats_.wordsFetched);
+    m.counter("core.handlers").set(stats_.handlers);
+    m.counter("core.sleeps").set(stats_.sleeps);
+    m.counter("core.wakeups").set(stats_.wakeups);
+    m.counter("core.active_ticks").set(activeTimeNow());
+    m.gauge("core.duty_cycle", sim::GaugeMerge::Mean)
+        .set(now ? double(activeTimeNow()) / double(now) : 0.0);
+
+    for (std::size_t c = 0; c < isa::kNumClasses; ++c)
+        m.counter("core.class." +
+                  classSlug(static_cast<isa::InstrClass>(c)))
+            .set(stats_.perClass[c]);
+
+    m.counter("core.evq.accepted").set(eventQueue_.accepted());
+    m.counter("core.evq.dropped").set(eventQueue_.dropped());
+    m.gauge("core.evq.occupancy")
+        .set(double(eventQueue_.size()));
+
+    // Per-handler attribution; the running handler's open segment is
+    // added on the fly so samples mid-handler stay monotone.
+    auto ticks = stats_.handlerTicks;
+    if (!halted_ && !asleep_)
+        ticks[slotOf(currentEvent_)] += now - segStart_;
+    for (std::size_t e = 0; e < isa::kNumEvents; ++e) {
+        const std::string prefix =
+            "handler." +
+            std::string(isa::eventName(static_cast<isa::EventNum>(e)));
+        m.counter(prefix + ".activations")
+            .set(stats_.perEvent[e].activations);
+        m.counter(prefix + ".instructions")
+            .set(stats_.perEvent[e].instructions);
+        m.counter(prefix + ".ticks").set(ticks[e]);
+    }
+    m.counter("handler.boot.ticks")
+        .set(ticks[NodeContext::kBootSlot]);
 }
 
 } // namespace snaple::core

@@ -39,7 +39,7 @@
 #include "isa/instruction.hh"
 #include "mem/sram.hh"
 #include "ref/commit_log.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 
 namespace snaple::core {
 
@@ -77,6 +77,10 @@ class SnapCore
         /** Instruction counts attributed to each event's handler
          *  (index = isa::EventNum; boot code is unattributed). */
         std::array<HandlerStats, isa::kNumEvents> perEvent{};
+        /** Active time attributed per handler slot (dispatch to
+         *  `done`); slot NodeContext::kBootSlot is boot code. */
+        std::array<sim::Tick, NodeContext::kHandlerSlots>
+            handlerTicks{};
     };
 
     /** One wake/sleep interval, for activity timelines. */
@@ -144,6 +148,26 @@ class SnapCore
         return stats_.activeTime + (ctx_.kernel.now() - stats_.lastWake);
     }
 
+    /**
+     * Enable (or drop) the per-PC flat profile: every retirement is
+     * attributed to its (pc, handler slot) with the time and dynamic
+     * energy spent since the previous retirement. A few adds per
+     * instruction plus ~imemWords * 8 profile slots of memory; off by
+     * default.
+     */
+    void enableProfile(bool on);
+    bool profileEnabled() const { return !profile_.empty(); }
+
+    /** Non-empty flat-profile rows, ordered by (handler slot, pc). */
+    std::vector<sim::ProfileRow> profileRows() const;
+
+    /**
+     * Mirror the hot-path Stats into the node's metrics registry
+     * (counters "core.*", "handler.*"; docs/METRICS.md lists them).
+     * Called at sample cadence, never on the hot path.
+     */
+    void publishMetrics();
+
   private:
     /** Instruction packet flowing from fetch to execute. */
     struct InstPacket
@@ -165,8 +189,23 @@ class SnapCore
         std::uint16_t pc = 0;
     };
 
+    /** One (pc, handler slot) cell of the flat profile. */
+    struct ProfSlot
+    {
+        std::uint64_t count = 0;
+        sim::Tick ticks = 0;
+        double pj = 0.0;
+    };
+
     sim::Co<void> fetchProcess();
     sim::Co<void> executeProcess();
+
+    /** Attribution slot for the current event (boot when 0xff). */
+    std::size_t
+    slotOf(std::uint8_t ev) const
+    {
+        return ev < isa::kNumEvents ? ev : NodeContext::kBootSlot;
+    }
 
     /**
      * Bus transfer to/from the unit: charges the energy now and
@@ -208,6 +247,21 @@ class SnapCore
     std::vector<ActivitySpan> timeline_;
     std::vector<std::uint16_t> debugOut_;
     Stats stats_;
+
+    /** Start of the current handler (or boot) activity segment. */
+    sim::Tick segStart_ = 0;
+
+    /** Event-queue wait-latency histograms (enqueue to dispatch):
+     *  one combined plus one per event type, registered up front so
+     *  the hot path only dereferences. */
+    sim::MetricHistogram *evqWaitAll_;
+    std::array<sim::MetricHistogram *, isa::kNumEvents> evqWait_;
+
+    /** Flat profile storage, pc-major: [pc * kHandlerSlots + slot].
+     *  Empty when profiling is off. */
+    std::vector<ProfSlot> profile_;
+    sim::Tick profLastTick_ = 0;
+    double profLastPj_ = 0.0;
 };
 
 } // namespace snaple::core

@@ -59,8 +59,27 @@ class Machine
     bool
     postEvent(isa::EventNum e)
     {
-        return eventQueue_.tryPush(
-            EventToken{static_cast<std::uint8_t>(e)});
+        return eventQueue_.tryPush(EventToken{
+            static_cast<std::uint8_t>(e), ctx_.kernel.now()});
+    }
+
+    /**
+     * Refresh every sampled metric in ctx().metrics (core counters,
+     * energy gauges, occupancies). Call at the metrics cadence and
+     * once before reading or writing the registry at end of run.
+     */
+    void
+    sampleMetrics()
+    {
+        core_.publishMetrics();
+        ctx_.publishEnergyMetrics();
+        ctx_.metrics.gauge("msg.in_occupancy")
+            .set(double(msgIn_.size()));
+        ctx_.metrics.gauge("msg.out_occupancy")
+            .set(double(msgOut_.size()));
+        ctx_.metrics.gauge("timer.armed")
+            .set(double(timer_.armed(0)) + double(timer_.armed(1)) +
+                 double(timer_.armed(2)));
     }
 
     NodeContext &ctx() { return ctx_; }

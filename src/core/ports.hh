@@ -11,6 +11,7 @@
 
 #include "isa/isa.hh"
 #include "sim/channel.hh"
+#include "sim/ticks.hh"
 
 namespace snaple::core {
 
@@ -18,6 +19,15 @@ namespace snaple::core {
 struct EventToken
 {
     std::uint8_t num = 0; ///< isa::EventNum value
+
+    /**
+     * Tick at which the producer enqueued the token; the fetch
+     * process measures now() - at on dispatch into the event-queue
+     * wait-latency histograms. Purely observational — no model
+     * behavior depends on it (host code pushing raw tokens may leave
+     * it zero and only skews its own metrics).
+     */
+    sim::Tick at = 0;
 
     isa::EventNum
     event() const

@@ -132,6 +132,22 @@ enum class EventNum : std::uint8_t
 inline constexpr std::size_t kNumEvents =
     static_cast<std::size_t>(EventNum::NumEvents);
 
+/** Human-readable event name (stats tables, metric names). */
+constexpr std::string_view
+eventName(EventNum e)
+{
+    switch (e) {
+      case EventNum::Timer0: return "Timer0";
+      case EventNum::Timer1: return "Timer1";
+      case EventNum::Timer2: return "Timer2";
+      case EventNum::RadioRx: return "RadioRx";
+      case EventNum::SensorIrq: return "SensorIrq";
+      case EventNum::SensorData: return "SensorData";
+      case EventNum::RadioTxRdy: return "RadioTxRdy";
+      default: return "?";
+    }
+}
+
 /** Depth of the hardware event queue (tokens beyond this are dropped). */
 inline constexpr std::size_t kEventQueueDepth = 8;
 

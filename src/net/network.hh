@@ -68,6 +68,9 @@ class AirTraceRing
     /** Words ever pushed, including those the ring has dropped. */
     std::uint64_t total() const { return total_; }
 
+    /** Words the ring overwrote (lost to the capacity bound). */
+    std::uint64_t overwrites() const { return total_ - ring_.size(); }
+
     /** @p i = 0 is the oldest retained word. */
     const AirWord &
     operator[](std::size_t i) const

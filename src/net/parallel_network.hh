@@ -26,6 +26,7 @@
 #define SNAPLE_NET_PARALLEL_NETWORK_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -113,7 +114,29 @@ class ParallelNetwork
     }
 
     /** Global air statistics (identical to a jobs=1 run). */
-    const radio::Medium::Stats &stats() const { return exchange_.stats(); }
+    radio::Medium::Stats stats() const { return exchange_.stats(); }
+
+    /**
+     * Stream periodic metrics snapshots to @p out: one sample per node
+     * (registration order), one "all" aggregate merged in node-id
+     * order, and one "net" row for the air-channel counters, every
+     * @p interval ticks of simulated time. Samples land on window
+     * barriers — the first barrier at or past each cadence point — so
+     * the sample instants, like every other cross-shard effect, depend
+     * only on the barrier grid and the output is byte-identical for
+     * any jobs() count. @p csv selects the flat CSV form instead of
+     * JSONL. Call before the first runFor(); @p out must outlive the
+     * run.
+     */
+    void enableMetrics(std::ostream &out, sim::Tick interval,
+                       bool csv = false);
+
+    /**
+     * Emit the final sample at now() (unless one just landed there)
+     * plus, in JSONL mode, per-PC profile rows for every node whose
+     * core has profiling enabled. Call once, after the last runFor().
+     */
+    void finishMetrics();
 
     /** The air-trace ring; empty unless enableAirTrace() was called. */
     const AirTraceRing &trace() const { return trace_; }
@@ -193,6 +216,7 @@ class ParallelNetwork
 
     void runWindow(sim::Tick horizon);
     static void stepShard(Shard &s, sim::Tick horizon);
+    void sampleMetricsNow();
 
     /** First barrier strictly after @p t on the absolute grid. */
     sim::Tick gridNext(sim::Tick t) const { return (t / window_ + 1) * window_; }
@@ -214,6 +238,16 @@ class ParallelNetwork
     bool started_ = false;
     bool tracing_ = false;
     bool traceRecord_ = false;
+
+    // Metrics streaming (enableMetrics). Coordinator-only state.
+    std::ostream *metricsOut_ = nullptr;
+    sim::Tick metricsInterval_ = 0;
+    sim::Tick metricsNext_ = 0;
+    sim::Tick metricsLastAt_ = sim::kMaxTick; ///< last sample instant
+    bool metricsCsv_ = false;
+    bool metricsMetaWritten_ = false;
+    sim::MetricsRegistry aggregate_;  ///< scratch for the "all" rows
+    sim::MetricsRegistry netScratch_; ///< scratch for the "net" rows
 };
 
 } // namespace snaple::net

@@ -120,6 +120,34 @@ class SnapNode
         msgCoproc_.start();
     }
 
+    /**
+     * Refresh every sampled metric in ctx().metrics to "now": core
+     * counters and histograms, energy gauges (leakage and radio
+     * idle-listening accrued first), coprocessor occupancies and radio
+     * mode. Call immediately before reading or serializing the
+     * registry; between calls the gauges hold the previous sample.
+     */
+    void
+    sampleMetrics()
+    {
+        if (radio_)
+            radio_->accrueListenEnergy();
+        core_.publishMetrics();
+        ctx_.publishEnergyMetrics();
+        ctx_.metrics.gauge("msg.in_occupancy", sim::GaugeMerge::Sum)
+            .set(double(msgIn_.size()));
+        ctx_.metrics.gauge("msg.out_occupancy", sim::GaugeMerge::Sum)
+            .set(double(msgOut_.size()));
+        unsigned armed = 0;
+        for (unsigned n = 0; n < 3; ++n)
+            armed += timer_.armed(n) ? 1 : 0;
+        ctx_.metrics.gauge("timer.armed", sim::GaugeMerge::Sum)
+            .set(double(armed));
+        if (radio_)
+            ctx_.metrics.gauge("radio.mode", sim::GaugeMerge::Skip)
+                .set(double(static_cast<int>(radio_->mode())));
+    }
+
     core::NodeContext &ctx() { return ctx_; }
     const core::NodeContext &ctx() const { return ctx_; }
     core::SnapCore &core() { return core_; }

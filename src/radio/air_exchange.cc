@@ -62,7 +62,7 @@ AirExchange::exchangeAt(sim::Tick barrier)
     // other shard for the still-on-air remainder [barrier, end).
     for (std::size_t i = firstFresh; i < pending_.size(); ++i) {
         const AirFlight &f = pending_[i];
-        ++stats_.wordsSent;
+        wordsSent_->inc();
         if (f.end > barrier)
             for (ShardMedium *m : shards_)
                 if (m->nodeId_ != f.srcNode && m->local_ != nullptr)
@@ -97,7 +97,7 @@ AirExchange::exchangeAt(sim::Tick barrier)
         if (sniffer_)
             sniffer_(f, f.end + propagation_);
         if (f.collided) {
-            ++stats_.collisions;
+            collisions_->inc();
             continue;
         }
         const sim::Tick at = std::max(f.end + propagation_, barrier);
@@ -107,7 +107,7 @@ AirExchange::exchangeAt(sim::Tick barrier)
             if (linkFilter_ && !linkFilter_(f.srcNode, m->nodeId_))
                 continue;
             m->injectDelivery(at, f.word);
-            ++stats_.wordsDelivered;
+            wordsDelivered_->inc();
         }
     }
     pending_.resize(kept);

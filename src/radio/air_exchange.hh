@@ -78,7 +78,10 @@ class AirExchange
         std::function<void(const AirFlight &f, sim::Tick deliverAt)>;
 
     explicit AirExchange(sim::Tick propagation)
-        : propagation_(propagation)
+        : propagation_(propagation),
+          wordsSent_(&registry_.counter("air.words_sent")),
+          wordsDelivered_(&registry_.counter("air.words_delivered")),
+          collisions_(&registry_.counter("air.collisions"))
     {}
 
     AirExchange(const AirExchange &) = delete;
@@ -91,7 +94,18 @@ class AirExchange
     void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
 
     sim::Tick propagation() const { return propagation_; }
-    const Medium::Stats &stats() const { return stats_; }
+
+    /** Counters live in metrics(); this assembles a snapshot. */
+    Medium::Stats
+    stats() const
+    {
+        return Medium::Stats{wordsSent_->value(),
+                             wordsDelivered_->value(),
+                             collisions_->value()};
+    }
+
+    /** Network-scoped metrics registry (the "air.*" counters). */
+    const sim::MetricsRegistry &metrics() const { return registry_; }
 
     /**
      * True when no flight awaits resolution and no outbox holds an
@@ -111,7 +125,11 @@ class AirExchange
     sim::Tick propagation_;
     std::vector<ShardMedium *> shards_;
     std::vector<AirFlight> pending_; ///< sorted by (start, src, seq)
-    Medium::Stats stats_;
+    /** Network-scoped registry, mutated only at barriers. */
+    sim::MetricsRegistry registry_;
+    sim::MetricCounter *wordsSent_;
+    sim::MetricCounter *wordsDelivered_;
+    sim::MetricCounter *collisions_;
     LinkFilter linkFilter_;
     Sniffer sniffer_;
 };
@@ -163,7 +181,13 @@ class ShardMedium : public Medium
     }
 
     /** Global air statistics, shared through the exchange. */
-    const Stats &stats() const override { return exchange_.stats(); }
+    Stats stats() const override { return exchange_.stats(); }
+
+    const sim::MetricsRegistry &
+    metrics() const override
+    {
+        return exchange_.metrics();
+    }
 
   private:
     friend class AirExchange;

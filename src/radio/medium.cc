@@ -10,7 +10,7 @@ void
 Medium::beginTransmit(Transceiver *src, std::uint16_t word,
                       sim::Tick airtime)
 {
-    ++stats_.wordsSent;
+    wordsSent_->inc();
     std::size_t id = allocFlight(src, word);
 
     // Any overlap collides everything currently on the air.
@@ -68,7 +68,7 @@ Medium::deliver(std::size_t id)
         sniffer_(f.src, f.word, f.collided);
 
     if (f.collided) {
-        ++stats_.collisions;
+        collisions_->inc();
         return; // garbled on the air; receivers see nothing usable
     }
     for (Transceiver *t : nodes_) {
@@ -77,7 +77,7 @@ Medium::deliver(std::size_t id)
         if (linkFilter_ && !linkFilter_(f.src, t))
             continue;
         t->deliver(f.word);
-        ++stats_.wordsDelivered;
+        wordsDelivered_->inc();
     }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/kernel.hh"
+#include "sim/metrics.hh"
 #include "sim/ticks.hh"
 
 namespace snaple::radio {
@@ -27,6 +28,7 @@ class Transceiver;
 class Medium
 {
   public:
+    /** Snapshot view of the registry-native counters ("air.*"). */
     struct Stats
     {
         std::uint64_t wordsSent = 0;
@@ -50,7 +52,10 @@ class Medium
 
     explicit Medium(sim::Kernel &kernel,
                     sim::Tick propagation = 1 * sim::kMicrosecond)
-        : kernel_(kernel), propagation_(propagation)
+        : kernel_(kernel), propagation_(propagation),
+          wordsSent_(&registry_.counter("air.words_sent")),
+          wordsDelivered_(&registry_.counter("air.words_delivered")),
+          collisions_(&registry_.counter("air.collisions"))
     {}
 
     Medium(const Medium &) = delete;
@@ -78,7 +83,19 @@ class Medium
     virtual void beginTransmit(Transceiver *src, std::uint16_t word,
                                sim::Tick airtime);
 
-    virtual const Stats &stats() const { return stats_; }
+    /** Counters live in metrics(); this assembles a snapshot. */
+    virtual Stats
+    stats() const
+    {
+        return Stats{wordsSent_->value(), wordsDelivered_->value(),
+                     collisions_->value()};
+    }
+
+    /** Channel-scoped metrics registry (the "air.*" counters). */
+    virtual const sim::MetricsRegistry &metrics() const
+    {
+        return registry_;
+    }
 
     /**
      * Flight slots ever allocated. Bounded by the peak number of words
@@ -107,7 +124,11 @@ class Medium
     std::vector<std::size_t> freeFlights_; ///< retired slot ids
     std::vector<std::size_t> activeFlights_;
     unsigned active_ = 0;
-    Stats stats_;
+    /** Channel-scoped registry: a medium is not owned by any node. */
+    sim::MetricsRegistry registry_;
+    sim::MetricCounter *wordsSent_;
+    sim::MetricCounter *wordsDelivered_;
+    sim::MetricCounter *collisions_;
     Sniffer sniffer_;
     LinkFilter linkFilter_;
 };

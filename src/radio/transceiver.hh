@@ -56,6 +56,7 @@ struct RadioConfig
 class Transceiver : public coproc::RadioPort
 {
   public:
+    /** Snapshot view of the registry-native counters ("radio.*"). */
     struct Stats
     {
         std::uint64_t txWords = 0;
@@ -68,7 +69,13 @@ class Transceiver : public coproc::RadioPort
                 const RadioConfig &cfg = {},
                 std::size_t rx_fifo_depth = 8)
         : ctx_(ctx), medium_(medium), cfg_(cfg),
-          rxFifo_(ctx.kernel, rx_fifo_depth, 0, "radio-rx")
+          rxFifo_(ctx.kernel, rx_fifo_depth, 0, "radio-rx"),
+          txWords_(&ctx.metrics.counter("radio.tx_words")),
+          rxWords_(&ctx.metrics.counter("radio.rx_words")),
+          rxDroppedFifoFull_(
+              &ctx.metrics.counter("radio.rx_dropped_fifo_full")),
+          rxMissedWrongMode_(
+              &ctx.metrics.counter("radio.rx_missed_wrong_mode"))
     {
         medium_.attach(this);
     }
@@ -109,7 +116,7 @@ class Transceiver : public coproc::RadioPort
     sim::Co<void>
     transmit(std::uint16_t word) override
     {
-        ++stats_.txWords;
+        txWords_->inc();
         if (!cfg_.selfPowered)
             ctx_.ledger.add(energy::Cat::Radio, cfg_.txPjPerWord);
         medium_.beginTransmit(this, word, wordAirtime());
@@ -127,19 +134,28 @@ class Transceiver : public coproc::RadioPort
     deliver(std::uint16_t word)
     {
         if (mode_ != coproc::RadioMode::Rx) {
-            ++stats_.rxMissedWrongMode;
+            rxMissedWrongMode_->inc();
             return;
         }
         if (!cfg_.selfPowered)
             ctx_.ledger.add(energy::Cat::Radio, cfg_.rxPjPerWord);
         if (rxFifo_.tryPush(word))
-            ++stats_.rxWords;
+            rxWords_->inc();
         else
-            ++stats_.rxDroppedFifoFull;
+            rxDroppedFifoFull_->inc();
     }
 
     coproc::RadioMode mode() const { return mode_; }
-    const Stats &stats() const { return stats_; }
+
+    /** Counters live in ctx.metrics; this assembles a snapshot. */
+    Stats
+    stats() const
+    {
+        return Stats{txWords_->value(), rxWords_->value(),
+                     rxDroppedFifoFull_->value(),
+                     rxMissedWrongMode_->value()};
+    }
+
     const RadioConfig &config() const { return cfg_; }
 
   private:
@@ -149,7 +165,11 @@ class Transceiver : public coproc::RadioPort
     coproc::RadioMode mode_ = coproc::RadioMode::Idle;
     sim::Tick listenAccruedTo_ = 0;
     sim::Fifo<std::uint16_t> rxFifo_;
-    Stats stats_;
+    /** Registry-native counters in the node's metrics registry. */
+    sim::MetricCounter *txWords_;
+    sim::MetricCounter *rxWords_;
+    sim::MetricCounter *rxDroppedFifoFull_;
+    sim::MetricCounter *rxMissedWrongMode_;
 };
 
 } // namespace snaple::radio

@@ -1,12 +1,11 @@
 /**
  * @file
- * Tests for the host RNG and statistics helpers.
+ * Tests for the host RNG.
  */
 
 #include <gtest/gtest.h>
 
 #include "sim/rng.hh"
-#include "sim/stats.hh"
 
 namespace {
 
@@ -64,39 +63,6 @@ TEST(RngTest, ExponentialHasRequestedMean)
     for (int i = 0; i < n; ++i)
         sum += r.exponential(3.0);
     EXPECT_NEAR(sum / n, 3.0, 0.1);
-}
-
-TEST(StatsTest, CounterAccumulates)
-{
-    Counter c;
-    c.inc();
-    c.inc(4);
-    EXPECT_EQ(c.value(), 5u);
-    c.reset();
-    EXPECT_EQ(c.value(), 0u);
-}
-
-TEST(StatsTest, SampleStatTracksMoments)
-{
-    SampleStat s;
-    EXPECT_EQ(s.mean(), 0.0);
-    s.add(1.0);
-    s.add(2.0);
-    s.add(6.0);
-    EXPECT_EQ(s.count(), 3u);
-    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
-    EXPECT_DOUBLE_EQ(s.min(), 1.0);
-    EXPECT_DOUBLE_EQ(s.max(), 6.0);
-}
-
-TEST(StatsTest, StatDumpPrintsSortedKeys)
-{
-    StatDump d;
-    d.set("b", 2);
-    d.set("a", 1);
-    std::ostringstream os;
-    d.print(os, "x.");
-    EXPECT_EQ(os.str(), "x.a = 1\nx.b = 2\n");
 }
 
 } // namespace

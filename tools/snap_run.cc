@@ -2,9 +2,11 @@
  * @file
  * snap-run: run a SNAP program on a simulated SNAP/LE machine.
  *
- * Usage: snap-run FILE.s [--volts V] [--ms N] [--stats]
+ * Usage: snap-run FILE.s [--volts V[,V...]] [--ms N] [--stats]
  *                        [--nodes N] [--jobs K] [--seed S]
  *                        [--trace=FILE] [--trace-format=json|vcd]
+ *                        [--metrics=FILE] [--metrics-interval=TICKS]
+ *                        [--metrics-format=jsonl|csv] [--profile]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
  * prints the `dbgout` stream, and optionally a stats/energy report.
@@ -19,14 +21,23 @@
  * --jobs worker lanes. Each node's LFSR is seeded from --seed and its
  * node id (sim::deriveSeed), so runs are reproducible and the per-node
  * trace hashes printed at the end are independent of the job count.
+ * --volts takes a comma-separated list assigned round-robin over the
+ * nodes (a heterogeneous-supply deployment in one run).
+ *
+ * With --metrics, periodic registry snapshots stream to FILE every
+ * --metrics-interval ticks of simulated time (docs/METRICS.md has the
+ * schema); --profile adds end-of-run per-PC flat-profile rows. Feed
+ * the file to snap-report for paper-style tables.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asm/snap_backend.hh"
 #include "core/machine.hh"
@@ -34,24 +45,111 @@
 #include "node/power.hh"
 #include "sim/trace.hh"
 
+namespace {
+
+using namespace snaple;
+
+/**
+ * Self-rearming cadence sampler for the single-machine path (the
+ * parallel harness samples at its own window barriers instead). Lives
+ * on the kernel it samples; captures only `this`, so the callback fits
+ * the kernel's inline event storage.
+ */
+struct MetricsPump
+{
+    core::Machine &machine;
+    std::ostream &out;
+    sim::Tick interval;
+    bool csv;
+    sim::Tick lastAt = sim::kMaxTick;
+
+    void
+    start(double volts)
+    {
+        if (csv)
+            sim::MetricsRegistry::writeCsvHeader(out);
+        else
+            sim::MetricsRegistry::writeMetaJsonl(out, "n0", volts,
+                                                 interval);
+        machine.ctx().kernel.scheduleAfter(interval,
+                                           [this] { tick(); });
+    }
+
+    void
+    tick()
+    {
+        sample();
+        machine.ctx().kernel.scheduleAfter(interval,
+                                           [this] { tick(); });
+    }
+
+    void
+    sample()
+    {
+        machine.sampleMetrics();
+        const sim::Tick t = machine.ctx().kernel.now();
+        if (csv)
+            machine.ctx().metrics.writeCsv(out, t, "n0");
+        else
+            machine.ctx().metrics.writeJsonl(out, t, "n0");
+        lastAt = t;
+    }
+
+    /** Final sample (unless one just landed) plus profile rows. */
+    void
+    finish()
+    {
+        if (lastAt != machine.ctx().kernel.now())
+            sample();
+        if (!csv)
+            for (const sim::ProfileRow &row :
+                 machine.core().profileRows())
+                sim::MetricsRegistry::writeProfileJsonl(out, "n0", row);
+        out.flush();
+    }
+};
+
+/** Parse a comma-separated voltage list ("1.8,0.9,0.6"). */
+std::vector<double>
+parseVolts(const char *arg)
+{
+    std::vector<double> out;
+    std::string s(arg);
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        out.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace snaple;
 
     const char *path = nullptr;
-    double volts = 0.6;
+    std::vector<double> volts{0.6};
     double ms = 100.0;
     unsigned nodes = 1;
     unsigned jobs = 1;
     std::uint64_t seed = 1;
     bool stats = false;
     bool timeline = false;
+    bool profile = false;
     std::string trace_path;
     std::string trace_format = "json";
+    std::string metrics_path;
+    std::string metrics_format = "jsonl";
+    sim::Tick metrics_interval = 10 * sim::kMillisecond;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--volts") && i + 1 < argc)
-            volts = std::atof(argv[++i]);
+            volts = parseVolts(argv[++i]);
         else if (!std::strcmp(argv[i], "--ms") && i + 1 < argc)
             ms = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
@@ -64,10 +162,18 @@ main(int argc, char **argv)
             stats = true;
         else if (!std::strcmp(argv[i], "--timeline"))
             timeline = true;
+        else if (!std::strcmp(argv[i], "--profile"))
+            profile = true;
         else if (!std::strncmp(argv[i], "--trace=", 8))
             trace_path = argv[i] + 8;
         else if (!std::strncmp(argv[i], "--trace-format=", 15))
             trace_format = argv[i] + 15;
+        else if (!std::strncmp(argv[i], "--metrics=", 10))
+            metrics_path = argv[i] + 10;
+        else if (!std::strncmp(argv[i], "--metrics-interval=", 19))
+            metrics_interval = std::strtoull(argv[i] + 19, nullptr, 0);
+        else if (!std::strncmp(argv[i], "--metrics-format=", 17))
+            metrics_format = argv[i] + 17;
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -75,11 +181,15 @@ main(int argc, char **argv)
             path = argv[i];
     }
     if (!path) {
-        std::fprintf(stderr, "usage: snap-run FILE.s [--volts V] "
+        std::fprintf(stderr, "usage: snap-run FILE.s [--volts V[,V...]] "
                              "[--ms N] [--stats] [--timeline] "
                              "[--nodes N] [--jobs K] [--seed S] "
                              "[--trace=FILE] "
-                             "[--trace-format=json|vcd]\n");
+                             "[--trace-format=json|vcd] "
+                             "[--metrics=FILE] "
+                             "[--metrics-interval=TICKS] "
+                             "[--metrics-format=jsonl|csv] "
+                             "[--profile]\n");
         return 2;
     }
     if (trace_format != "json" && trace_format != "vcd") {
@@ -87,6 +197,27 @@ main(int argc, char **argv)
                              "(expected json or vcd)\n",
                      trace_format.c_str());
         return 2;
+    }
+    if (metrics_format != "jsonl" && metrics_format != "csv") {
+        std::fprintf(stderr, "unknown metrics format '%s' "
+                             "(expected jsonl or csv)\n",
+                     metrics_format.c_str());
+        return 2;
+    }
+    if (volts.empty() || metrics_interval == 0) {
+        std::fprintf(stderr, "--volts needs at least one voltage and "
+                             "--metrics-interval must be positive\n");
+        return 2;
+    }
+    const bool metrics_csv = metrics_format == "csv";
+    std::ofstream metrics_out;
+    if (!metrics_path.empty()) {
+        metrics_out.open(metrics_path);
+        if (!metrics_out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
     }
 
     std::ifstream in(path);
@@ -99,20 +230,38 @@ main(int argc, char **argv)
 
     if (nodes > 1) {
         net::ParallelNetwork net(1 * sim::kMicrosecond, jobs);
+        std::uint64_t net_instructions = 0;
+        double net_elapsed = 0.0;
         try {
             assembler::Program prog =
                 assembler::assembleSnap(src.str(), path);
             node::NodeConfig ncfg;
-            ncfg.core.volts = volts;
             ncfg.core.stopOnHalt = false;
             ncfg.baseSeed = seed;
             for (unsigned i = 0; i < nodes; ++i) {
+                // Round-robin over the voltage list: one file can hold
+                // every operating point of a heterogeneous deployment.
+                ncfg.core.volts = volts[i % volts.size()];
                 ncfg.name = "n" + std::to_string(i);
-                net.addNode(ncfg, prog);
+                node::SnapNode &n = net.addNode(ncfg, prog);
+                if (profile)
+                    n.core().enableProfile(true);
             }
             net.enableTracing(/*record=*/false);
+            if (!metrics_path.empty())
+                net.enableMetrics(metrics_out, metrics_interval,
+                                  metrics_csv);
             net.start();
+            auto t0 = std::chrono::steady_clock::now();
             net.runFor(sim::fromMs(ms));
+            net_elapsed = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            if (!metrics_path.empty())
+                net.finishMetrics();
+            for (std::size_t i = 0; i < net.size(); ++i)
+                net_instructions +=
+                    net.node(i).core().stats().instructions;
         } catch (const sim::FatalError &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
@@ -145,22 +294,40 @@ main(int argc, char **argv)
                             net.eventsDispatched()),
                         nodes, jobs, jobs == 1 ? "" : "s",
                         sim::toUs(net.window()));
+            if (net_elapsed > 0.0)
+                std::printf("host speed   : %.0f instr/sec (%.2f s "
+                            "host)\n",
+                            double(net_instructions) / net_elapsed,
+                            net_elapsed);
         }
         return 0;
     }
 
     core::CoreConfig cfg;
-    cfg.volts = volts;
+    cfg.volts = volts.front();
     sim::Kernel kernel;
     sim::TraceSink tracer;
     if (!trace_path.empty())
         kernel.setTracer(&tracer);
     core::Machine machine(kernel, cfg);
     machine.core().recordTimeline(timeline);
+    if (profile)
+        machine.core().enableProfile(true);
+    MetricsPump pump{machine, metrics_out, metrics_interval,
+                     metrics_csv};
+    double elapsed = 0.0;
     try {
         machine.load(assembler::assembleSnap(src.str(), path));
+        if (!metrics_path.empty())
+            pump.start(cfg.volts);
         machine.start();
+        auto t0 = std::chrono::steady_clock::now();
         kernel.run(kernel.now() + sim::fromMs(ms));
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        if (!metrics_path.empty())
+            pump.finish();
     } catch (const sim::FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
@@ -205,6 +372,9 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(st.wakeups));
         std::printf("active time  : %.2f us\n",
                     sim::toUs(st.activeTime));
+        if (elapsed > 0.0)
+            std::printf("host speed   : %.0f instr/sec (%.2f s host)\n",
+                        double(st.instructions) / elapsed, elapsed);
         if (st.instructions) {
             std::printf("energy       : %.1f nJ dynamic "
                         "(%.1f pJ/ins), %.1f nJ leakage\n",
