@@ -1,0 +1,80 @@
+; dutycycle_node.s — duty-cycled periodic sensing, the paper's core
+; workload shape: sleep with the radio off, wake on a timer to query
+; the temperature sensor (Query id 0 -> SensorData event), and only
+; power the radio up to report every REPORT_EVERY-th reading to the
+; always-listening sink, which logs received words through dbgout.
+; Radio off-time between reports is where the energy goes (or
+; doesn't) — the scenario's metrics stream shows it per node.
+;
+; Scenario-injected parameters:
+;   IS_SINK       1 on the sink (listen + log, no sensing)
+;   PERIOD_TK     sampling period, timer ticks (<= 65535)
+;   REPORT_EVERY  transmit one reading out of this many
+;
+; Register use: r4 sample count, r5 last reading.
+
+    .equ EV_T0,    0        ; sampling timer
+    .equ EV_RX,    3
+    .equ EV_DATA,  5        ; SensorData: Query reply in r15
+    .equ EV_TXRDY, 6
+    .equ CMD_IDLE, 0x8000   ; radio off (the duty-cycling half)
+    .equ CMD_RX,   0x8001
+    .equ CMD_TX,   0x8002
+    .equ CMD_QRY,  0x9000   ; query sensor 0
+
+boot:
+    li   r1, EV_T0
+    la   r2, on_t0
+    setaddr r1, r2
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r1, EV_DATA
+    la   r2, on_sample
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r4, 0
+    li   r3, IS_SINK
+    bnez r3, sink
+    li   r15, CMD_IDLE      ; sensors sleep dark between reports
+    rand r2                 ; LFSR phase offset (seeded per node)
+    andi r2, 0x3fff         ; desynchronizes the report slots
+    addi r2, PERIOD_TK
+    li   r1, 0
+    schedlo r1, r2
+    done
+
+sink:
+    li   r15, CMD_RX        ; the sink pays for always-on listening
+    done
+
+on_t0:
+    li   r15, CMD_QRY       ; start an ADC conversion
+rearm:
+    li   r1, 0
+    li   r2, PERIOD_TK
+    schedlo r1, r2
+    done
+
+on_sample:
+    mov  r5, r15            ; latest reading
+    addi r4, 1
+    mov  r3, r4
+    subi r3, REPORT_EVERY
+    bltz r3, keep_dark
+    li   r4, 0
+    li   r15, CMD_TX        ; radio up just long enough to report
+    mov  r15, r5
+keep_dark:
+    done
+
+on_txrdy:
+    li   r15, CMD_IDLE      ; report sent: back to the dark
+    done
+
+on_rx:
+    mov  r3, r15
+    dbgout r3
+    done

@@ -1,0 +1,100 @@
+; leach_node.s — LEACH-style clusterhead rotation. Every ROUND_TK
+; ticks each node draws from its LFSR and elects itself clusterhead
+; with probability CH_THRESH/32768. Heads advertise (type 0x4000 |
+; id); members that hear an advert join that head and send one data
+; word (type 0x1000 | id) in a slot staggered by their own id. At the
+; next round boundary the outgoing head reports how many data words
+; it collected (dbgout) and the lottery repeats.
+;
+; Scenario-injected parameters:
+;   MY_ID       this node's id (staggers the member data slot)
+;   ROUND_TK    round length, timer ticks (<= 65535)
+;   CH_THRESH   election threshold against a 15-bit draw
+;   SLOT_SHIFT  member slot stride, log2 timer ticks
+;   SLOT_BASE_TK first member slot offset after an advert
+;
+; Register use: r5 head flag, r6 collected words, r8 my data slot,
+; r9 my data word.
+
+    .equ EV_T0,    0        ; round timer
+    .equ EV_T1,    1        ; member data slot
+    .equ EV_RX,    3
+    .equ EV_TXRDY, 6
+    .equ CMD_RX,   0x8001
+    .equ CMD_TX,   0x8002
+    .equ T_ADVERT, 0x4000   ; word type: clusterhead advert
+    .equ T_DATA,   0x1000   ; word type: member data
+
+boot:
+    li   r1, EV_T0
+    la   r2, on_round
+    setaddr r1, r2
+    li   r1, EV_T1
+    la   r2, on_slot
+    setaddr r1, r2
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r15, CMD_RX
+    li   r5, 0
+    li   r6, 0
+    li   r8, MY_ID          ; my data slot: base + (id << shift)
+    slli r8, SLOT_SHIFT
+    addi r8, SLOT_BASE_TK
+    li   r9, T_DATA         ; my data word: type | id
+    addi r9, MY_ID
+    jmp  rearm
+
+on_round:
+    beqz r5, lottery
+    dbgout r6               ; outgoing head: report the round's take
+    li   r5, 0
+    li   r6, 0
+lottery:
+    rand r3
+    andi r3, 0x7fff
+    subi r3, CH_THRESH
+    bgez r3, rearm          ; not elected: wait for adverts
+    li   r5, 1              ; elected: advertise type | id
+    li   r2, T_ADVERT
+    addi r2, MY_ID
+    li   r15, CMD_TX
+    mov  r15, r2
+rearm:
+    li   r1, 0
+    li   r2, ROUND_TK
+    schedlo r1, r2
+    done
+
+on_txrdy:
+    li   r15, CMD_RX
+    done
+
+on_slot:                    ; member data slot: one word to the head
+    li   r15, CMD_TX
+    mov  r15, r9
+    done
+
+on_rx:
+    mov  r3, r15
+    mov  r2, r3
+    andi r2, 0xf000
+    subi r2, T_ADVERT
+    beqz r2, advert
+    mov  r2, r3
+    andi r2, 0xf000
+    subi r2, T_DATA
+    bnez r2, ignore
+    beqz r5, ignore         ; data words only matter to the head
+    addi r6, 1
+ignore:
+    done
+advert:
+    bnez r5, ignore         ; heads ignore rival adverts
+    li   r1, 1              ; member: claim my staggered slot
+    mov  r2, r8
+    schedlo r1, r2
+    done

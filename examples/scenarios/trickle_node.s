@@ -1,0 +1,104 @@
+; trickle_node.s — Trickle-style version dissemination (RFC 6206 in
+; spirit): every node periodically beacons its data version; hearing
+; the same version suppresses the next beacon, hearing an older one
+; resets the interval to TMIN, hearing a newer one adopts it (dbgout)
+; and resets. Consistent rounds double the interval up to TMAX.
+;
+; Scenario-injected parameters (.equ, see docs/SCENARIOS.md):
+;   IS_SEED        1 on the node that originates versions, else 0
+;   TMIN_TK        minimum interval, timer ticks (power of two)
+;   TMAX_TK        maximum interval (power of two, <= 16384 so the
+;                  doubled value never wraps 16 bits)
+;   SEED_PERIOD_TK version-bump period on the seed node
+;
+; Register use: r4 version, r5 interval, r6 suppressed flag.
+
+    .equ EV_T0,    0        ; trickle timer
+    .equ EV_T1,    1        ; seeder version bump
+    .equ EV_RX,    3
+    .equ EV_TXRDY, 6
+    .equ CMD_RX,   0x8001
+    .equ CMD_TX,   0x8002
+
+boot:
+    li   r1, EV_T0
+    la   r2, on_t0
+    setaddr r1, r2
+    li   r1, EV_T1
+    la   r2, on_t1
+    setaddr r1, r2
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r15, CMD_RX        ; always listening
+    li   r4, IS_SEED        ; seed boots at version 1
+    li   r5, TMIN_TK
+    li   r6, 0
+    li   r3, IS_SEED
+    beqz r3, no_seed_timer
+    li   r1, 1              ; the seeder bumps versions on Timer1
+    li   r2, SEED_PERIOD_TK
+    schedlo r1, r2
+no_seed_timer:
+    jmp  rearm
+
+on_t0:
+    mov  r3, r6             ; suppressed this round?
+    li   r6, 0
+    bnez r3, double
+    beqz r4, double         ; nothing to say at version 0
+    li   r15, CMD_TX        ; beacon the current version
+    mov  r15, r4
+    jmp  double             ; TXRDY restores receive mode
+
+on_txrdy:
+    li   r15, CMD_RX
+    done
+
+double:                     ; interval <- min(2*interval, TMAX)
+    slli r5, 1
+    mov  r3, r5
+    subi r3, TMAX_TK
+    bltz r3, rearm
+    li   r5, TMAX_TK
+rearm:                      ; fire in [I/2, I): half + (rand & half-1)
+    mov  r2, r5
+    srli r2, 1
+    mov  r1, r2
+    subi r1, 1
+    rand r3
+    and  r3, r1
+    add  r2, r3
+    li   r1, 0
+    schedlo r1, r2
+    done
+
+on_t1:                      ; seeder: new version, tell the world soon
+    addi r4, 1
+    li   r5, TMIN_TK
+    li   r1, 1
+    li   r2, SEED_PERIOD_TK
+    schedlo r1, r2
+    done
+
+on_rx:
+    mov  r3, r15            ; peer's version
+    mov  r2, r3
+    sub  r2, r4
+    beqz r2, same
+    bltz r2, older
+    mov  r4, r3             ; newer: adopt, log, spread fast
+    dbgout r4
+    li   r5, TMIN_TK
+    li   r6, 0
+    done
+same:
+    li   r6, 1              ; consistent: suppress the next beacon
+    done
+older:
+    li   r5, TMIN_TK        ; inconsistent peer: re-advertise soon
+    li   r6, 0
+    done

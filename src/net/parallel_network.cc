@@ -154,6 +154,22 @@ ParallelNetwork::finishMetrics()
 }
 
 void
+ParallelNetwork::killNode(std::size_t i)
+{
+    sim::fatalIf(!started_, "killNode() before start()");
+    Shard &s = *shards_.at(i);
+    if (s.dead)
+        return;
+    // Freeze the shard exactly like an early kernel stop: its clock
+    // stops tracking the barrier grid, its trace hash and energy
+    // ledger keep their values at the kill barrier. The exchange side
+    // truncates in-flight words and suppresses future deliveries.
+    s.dead = true;
+    s.halted = true;
+    exchange_.setNodeDown(i, true);
+}
+
+void
 ParallelNetwork::stepShard(Shard &s, sim::Tick horizon)
 {
     if (s.halted)
@@ -211,6 +227,13 @@ ParallelNetwork::runFor(sim::Tick t)
             while (metricsNext_ <= now_)
                 metricsNext_ += metricsInterval_;
         }
+        // Fault hooks run last, with every shard paused at the
+        // barrier. The set of barriers reached depends only on shard
+        // state (the fast-forward rule above), never lane count, so
+        // hook instants — and any faults they inject — stay
+        // jobs-invariant.
+        if (barrierHook_)
+            barrierHook_(now_);
     }
 }
 

@@ -26,6 +26,7 @@
 #define SNAPLE_NET_PARALLEL_NETWORK_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <vector>
@@ -83,6 +84,62 @@ class ParallelNetwork
     {
         exchange_.setLinkFilter(std::move(f));
     }
+
+    /**
+     * @name Fault injection (scenario engine; see docs/SCENARIOS.md)
+     *
+     * All three calls are coordinator-side and must land between
+     * runFor() segments (i.e. at a barrier, every shard paused), so
+     * their effects are defined purely by the barrier tick at which
+     * they are applied — jobs-invariant like every other cross-shard
+     * effect.
+     */
+    ///@{
+    /**
+     * Kill a node: its shard freezes at the current barrier (kernel
+     * never advances again, trace hash and energy ledger are frozen),
+     * its in-flight words are truncated (resolve as collided), and it
+     * receives no further carrier or deliveries. Irreversible.
+     */
+    void killNode(std::size_t i);
+
+    /** True once killNode(i) has been applied. */
+    bool nodeDead(std::size_t i) const { return shards_.at(i)->dead; }
+
+    /** Take the undirected link a-b down (or back up). Deliveries
+     *  suppressed by a downed link count in "air.drops_link". */
+    void
+    setLinkUp(std::size_t a, std::size_t b, bool up)
+    {
+        exchange_.setLinkUp(a, b, up);
+    }
+
+    /**
+     * Invoke @p hook after every window barrier (after the air
+     * exchange and any metrics sample), with the barrier tick. The
+     * scenario engine uses it for battery-depletion checks; hooks run
+     * on the coordinator with all shards paused and may call
+     * killNode()/setLinkUp().
+     */
+    void
+    setBarrierHook(std::function<void(sim::Tick)> hook)
+    {
+        barrierHook_ = std::move(hook);
+    }
+
+    /** Unresolved flights in the exchange (fault tests: no leaks). */
+    std::size_t
+    airPendingFlights() const
+    {
+        return exchange_.pendingFlights();
+    }
+
+    /** Deliveries suppressed by downed links ("air.drops_link"). */
+    std::uint64_t airDropsLink() const { return exchange_.dropsLink(); }
+
+    /** Deliveries suppressed by dead receivers ("air.drops_dead"). */
+    std::uint64_t airDropsDead() const { return exchange_.dropsDead(); }
+    ///@}
 
     /**
      * Sniff the air into a bounded ring of the @p capacity most recent
@@ -212,6 +269,7 @@ class ParallelNetwork
         node::SnapNode node;
         std::unique_ptr<sim::TraceSink> sink;
         bool halted = false; ///< kernel stopped early; frozen since
+        bool dead = false;   ///< killNode() applied (fault injection)
     };
 
     void runWindow(sim::Tick horizon);
@@ -230,6 +288,7 @@ class ParallelNetwork
     radio::AirExchange exchange_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::unique_ptr<sim::WorkerPool> pool_;
+    std::function<void(sim::Tick)> barrierHook_;
     AirTraceRing trace_;
     sim::Tick now_ = 0;
     sim::Tick window_ = 0;

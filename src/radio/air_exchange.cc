@@ -11,6 +11,37 @@ AirExchange::addShard(ShardMedium *m)
 {
     m->nodeId_ = static_cast<std::uint32_t>(shards_.size());
     shards_.push_back(m);
+    down_.push_back(false);
+}
+
+void
+AirExchange::setNodeDown(std::size_t id, bool down)
+{
+    sim::fatalIf(id >= down_.size(), "setNodeDown of unknown node ", id);
+    if (down_[id] == down)
+        return;
+    down_[id] = down;
+    // Going down truncates the node's own words still on the air: a
+    // transmitter dying mid-word garbles the word, exactly as an
+    // airtime overlap would. (Every pending flight is unresolved by
+    // construction — resolved ones were compacted away — so marking
+    // all of this source's pending flights is the truncation rule.)
+    if (down)
+        for (AirFlight &f : pending_)
+            if (f.srcNode == id)
+                f.collided = true;
+}
+
+void
+AirExchange::setLinkUp(std::size_t a, std::size_t b, bool up)
+{
+    sim::fatalIf(a == b, "link fault needs two distinct nodes");
+    sim::fatalIf(a >= down_.size() || b >= down_.size(),
+                 "link fault on unknown node pair ", a, "-", b);
+    if (up)
+        downLinks_.erase(orderedPair(a, b));
+    else
+        downLinks_.insert(orderedPair(a, b));
 }
 
 bool
@@ -41,10 +72,13 @@ AirExchange::exchangeAt(sim::Tick barrier)
     // pending flights — so the pending list stays globally sorted.
     const std::size_t firstFresh = pending_.size();
     for (ShardMedium *m : shards_) {
+        // Words from a node that has since died were truncated on the
+        // air: they still occupy the channel but resolve as collided.
+        const bool truncated = down_[m->nodeId_];
         for (const ShardMedium::PendingTx &tx : m->outbox_)
             pending_.push_back(AirFlight{tx.start, tx.start + tx.airtime,
                                          m->nodeId_, tx.seq, tx.word,
-                                         false});
+                                         truncated});
         m->outbox_.clear();
     }
     if (firstFresh == pending_.size() && pending_.empty())
@@ -65,7 +99,8 @@ AirExchange::exchangeAt(sim::Tick barrier)
         wordsSent_->inc();
         if (f.end > barrier)
             for (ShardMedium *m : shards_)
-                if (m->nodeId_ != f.srcNode && m->local_ != nullptr)
+                if (m->nodeId_ != f.srcNode && m->local_ != nullptr &&
+                    !down_[m->nodeId_])
                     m->remoteCarrierUntil(f.end);
     }
 
@@ -106,6 +141,17 @@ AirExchange::exchangeAt(sim::Tick barrier)
                 continue;
             if (linkFilter_ && !linkFilter_(f.srcNode, m->nodeId_))
                 continue;
+            // Fault drops are counted (unlike static-topology
+            // filtering above), so air counters reconcile per
+            // reachable receiver: delivered + drops_dead + drops_link.
+            if (down_[m->nodeId_]) {
+                dropsDead_->inc();
+                continue;
+            }
+            if (!linkUp(f.srcNode, m->nodeId_)) {
+                dropsLink_->inc();
+                continue;
+            }
             m->injectDelivery(at, f.word);
             wordsDelivered_->inc();
         }

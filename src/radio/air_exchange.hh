@@ -39,6 +39,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "radio/medium.hh"
@@ -81,7 +83,9 @@ class AirExchange
         : propagation_(propagation),
           wordsSent_(&registry_.counter("air.words_sent")),
           wordsDelivered_(&registry_.counter("air.words_delivered")),
-          collisions_(&registry_.counter("air.collisions"))
+          collisions_(&registry_.counter("air.collisions")),
+          dropsLink_(&registry_.counter("air.drops_link")),
+          dropsDead_(&registry_.counter("air.drops_dead"))
     {}
 
     AirExchange(const AirExchange &) = delete;
@@ -92,6 +96,56 @@ class AirExchange
 
     void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
     void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
+
+    /**
+     * Fault injection: mark a node down (dead) or back up. A node
+     * going down truncates its own in-flight words — they are marked
+     * collided (a transmitter dying mid-word garbles the word), and
+     * words still sitting in its outbox resolve the same way. A down
+     * node receives neither carrier nor deliveries; suppressed
+     * deliveries count in "air.drops_dead". Coordinator only (between
+     * windows, shards paused), so the effect is defined purely by the
+     * barrier tick at which it is applied.
+     */
+    void setNodeDown(std::size_t id, bool down);
+
+    /** True when setNodeDown(id, true) is in effect. */
+    bool
+    nodeDown(std::size_t id) const
+    {
+        return id < down_.size() && down_[id];
+    }
+
+    /**
+     * Fault injection: take the (undirected) link between @p a and
+     * @p b down or back up. Independent of the static LinkFilter: the
+     * filter describes topology (out-of-range pairs — suppressed
+     * deliveries are not counted), link state describes faults on
+     * otherwise-connected pairs (counted in "air.drops_link"). A word
+     * is delivered iff the link is up at the barrier where its flight
+     * resolves — a flap during a word's airtime drops the word.
+     */
+    void setLinkUp(std::size_t a, std::size_t b, bool up);
+
+    /** True unless setLinkUp(a, b, false) is in effect. */
+    bool
+    linkUp(std::size_t a, std::size_t b) const
+    {
+        return downLinks_.find(orderedPair(a, b)) == downLinks_.end();
+    }
+
+    /** Deliveries suppressed by a downed link ("air.drops_link"). */
+    std::uint64_t dropsLink() const { return dropsLink_->value(); }
+
+    /** Deliveries suppressed by a dead receiver ("air.drops_dead"). */
+    std::uint64_t dropsDead() const { return dropsDead_->value(); }
+
+    /**
+     * Flights currently awaiting resolution (fault tests pin that
+     * faults leak no flight slots: this returns to 0 once the air
+     * clears). Coordinator only.
+     */
+    std::size_t pendingFlights() const { return pending_.size(); }
 
     sim::Tick propagation() const { return propagation_; }
 
@@ -122,14 +176,28 @@ class AirExchange
     void exchangeAt(sim::Tick barrier);
 
   private:
+    /** Canonical (lo, hi) key for the undirected link state set. */
+    static std::pair<std::uint32_t, std::uint32_t>
+    orderedPair(std::size_t a, std::size_t b)
+    {
+        const auto x = static_cast<std::uint32_t>(a);
+        const auto y = static_cast<std::uint32_t>(b);
+        return x < y ? std::make_pair(x, y) : std::make_pair(y, x);
+    }
+
     sim::Tick propagation_;
     std::vector<ShardMedium *> shards_;
     std::vector<AirFlight> pending_; ///< sorted by (start, src, seq)
+    std::vector<bool> down_;         ///< per-node dead flag (faults)
+    /** Links taken down by fault injection, as (lo, hi) node pairs. */
+    std::set<std::pair<std::uint32_t, std::uint32_t>> downLinks_;
     /** Network-scoped registry, mutated only at barriers. */
     sim::MetricsRegistry registry_;
     sim::MetricCounter *wordsSent_;
     sim::MetricCounter *wordsDelivered_;
     sim::MetricCounter *collisions_;
+    sim::MetricCounter *dropsLink_;
+    sim::MetricCounter *dropsDead_;
     LinkFilter linkFilter_;
     Sniffer sniffer_;
 };

@@ -1,0 +1,303 @@
+#include "scenario/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "asm/snap_backend.hh"
+#include "net/parallel_network.hh"
+#include "node/node.hh"
+#include "sensor/sensor.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
+
+namespace snaple::scenario {
+
+namespace {
+
+/** Sensor seed stream tag ("SENS" | node id), distinct from the
+ *  guest LFSR streams keyed directly on node ids. */
+constexpr std::uint64_t kSensorStream = 0x53454e5300000000ull;
+
+sim::Tick
+msToTicks(double ms)
+{
+    return static_cast<sim::Tick>(
+        std::llround(ms * double(sim::kMillisecond)));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    sim::fatalIf(!in, "cannot open program file ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** `.equ` prolog + source, cached per (path, params) combination. */
+class ProgramCache
+{
+  public:
+    ProgramCache(const Scenario &sc, const RunOptions &opt)
+        : sc_(sc), opt_(opt)
+    {}
+
+    const assembler::Program &
+    get(const NodeSettings &ns)
+    {
+        std::ostringstream key;
+        key << *ns.program;
+        for (const auto &[k, v] : ns.params)
+            key << '\0' << k << '=' << v;
+        const auto it = programs_.find(key.str());
+        if (it != programs_.end())
+            return it->second;
+
+        std::ostringstream src;
+        for (const auto &[k, v] : ns.params)
+            src << ".equ " << k << ", " << v << "\n";
+        src << source(*ns.program);
+        return programs_
+            .emplace(key.str(),
+                     assembler::assembleSnap(src.str(), *ns.program))
+            .first->second;
+    }
+
+  private:
+    const std::string &
+    source(const std::string &path)
+    {
+        const auto it = sources_.find(path);
+        if (it != sources_.end())
+            return it->second;
+        std::string text;
+        if (opt_.loadSource)
+            text = opt_.loadSource(path);
+        else if (!path.empty() && path[0] == '/')
+            text = readFile(path);
+        else if (sc_.baseDir.empty())
+            text = readFile(path);
+        else
+            text = readFile(sc_.baseDir + "/" + path);
+        return sources_.emplace(path, std::move(text)).first->second;
+    }
+
+    const Scenario &sc_;
+    const RunOptions &opt_;
+    std::map<std::string, std::string> sources_;
+    std::map<std::string, assembler::Program> programs_;
+};
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+RunResult::row() const
+{
+    std::size_t deaths = 0, dbg = 0;
+    double energyPj = 0;
+    for (const NodeOutcome &o : outcomes) {
+        deaths += o.dead ? 1 : 0;
+        dbg += o.dbgWords;
+        energyPj += o.energyPj;
+    }
+    std::ostringstream os;
+    os << "scenario=" << scenario << " nodes=" << nodes
+       << " topology=" << topology << " seed=" << seed
+       << " duration_ms=" << sim::formatDouble(durationMs)
+       << " trace=" << hex16(combinedTraceHash)
+       << " sent=" << air.wordsSent
+       << " delivered=" << air.wordsDelivered
+       << " collisions=" << air.collisions
+       << " drops_link=" << dropsLink << " drops_dead=" << dropsDead
+       << " pending=" << pendingFlights << " deaths=" << deaths
+       << " dbg=" << dbg
+       << " energy_uj=" << sim::formatDouble(energyPj / 1e6);
+    return os.str();
+}
+
+std::string
+RunResult::rows() const
+{
+    std::ostringstream os;
+    os << row() << "\n";
+    for (const NodeOutcome &o : outcomes)
+        os << "node=" << o.name << " trace=" << hex16(o.traceHash)
+           << " dead=" << (o.dead ? 1 : 0) << " death_ms="
+           << sim::formatDouble(double(o.deathAt) /
+                                double(sim::kMillisecond))
+           << " dbg=" << o.dbgWords << " energy_uj="
+           << sim::formatDouble(o.energyPj / 1e6) << "\n";
+    return os.str();
+}
+
+RunResult
+runScenario(const Scenario &sc, const RunOptions &opt)
+{
+    ProgramCache programs(sc, opt);
+
+    const sim::Tick propagation = static_cast<sim::Tick>(
+        std::llround(sc.propagationUs * double(sim::kMicrosecond)));
+    net::ParallelNetwork net(propagation, opt.jobs);
+
+    std::vector<std::unique_ptr<sensor::TemperatureSensor>> sensors(
+        sc.nodes);
+    std::vector<double> capacityPj(sc.nodes, 0.0);
+    for (std::size_t i = 0; i < sc.nodes; ++i) {
+        const NodeSettings ns = sc.resolved(i);
+        node::NodeConfig cfg;
+        cfg.name = "n" + std::to_string(i);
+        cfg.baseSeed = sc.seed;
+        if (ns.volts)
+            cfg.core.volts = *ns.volts;
+        node::SnapNode &node = net.addNode(cfg, programs.get(ns));
+        if (ns.sensor && *ns.sensor) {
+            sensor::TemperatureSensor::Config scfg;
+            scfg.seed = sim::deriveSeed(sc.seed, kSensorStream | i);
+            sensors[i] =
+                std::make_unique<sensor::TemperatureSensor>(scfg);
+            node.attachSensor(0, *sensors[i]);
+        }
+        if (ns.batteryUj && *ns.batteryUj > 0)
+            capacityPj[i] = *ns.batteryUj * 1e6; // uJ -> pJ
+    }
+
+    if (sc.topology == "line") {
+        net.setLineTopology();
+    } else if (sc.topology == "ring") {
+        const std::size_t n = sc.nodes;
+        net.setLinkFilter([n](std::size_t s, std::size_t d) {
+            const std::size_t diff = s > d ? s - d : d - s;
+            return diff == 1 || diff == n - 1;
+        });
+    }
+
+    net.enableTracing(false);
+    if (sc.windowUs > 0)
+        net.setWindow(static_cast<sim::Tick>(
+            std::llround(sc.windowUs * double(sim::kMicrosecond))));
+    const sim::Tick metricsTick = msToTicks(sc.metricsMs);
+    const bool metrics = opt.metricsOut && metricsTick > 0;
+    if (metrics)
+        net.enableMetrics(*opt.metricsOut, metricsTick,
+                          opt.metricsCsv);
+    net.start();
+
+    RunResult res;
+    res.scenario = sc.name;
+    res.nodes = sc.nodes;
+    res.topology = sc.topology;
+    res.seed = sc.seed;
+    res.durationMs = sc.durationMs;
+    res.outcomes.resize(sc.nodes);
+
+    // Battery depletion: at every barrier, bring each metered node's
+    // ledger up to date (idle listening + leakage accrue lazily) and
+    // kill it the first time the capacity is spent. Barrier instants
+    // are jobs-invariant, so depletion kills are too.
+    net.setBarrierHook([&](sim::Tick at) {
+        for (std::size_t i = 0; i < sc.nodes; ++i) {
+            if (capacityPj[i] <= 0 || net.nodeDead(i))
+                continue;
+            node::SnapNode &node = net.node(i);
+            if (radio::Transceiver *t = node.transceiver())
+                t->accrueListenEnergy();
+            node.ctx().accrueLeakage();
+            if (node.ctx().ledger.totalPj() >= capacityPj[i]) {
+                net.killNode(i);
+                res.outcomes[i].dead = true;
+                res.outcomes[i].deathAt = at;
+            }
+        }
+    });
+
+    // Quantize the fault schedule to the barrier grid and group
+    // faults by barrier tick; the schedule is applied between
+    // runFor() segments, with every shard paused at the fault tick.
+    const sim::Tick w = net.window();
+    const sim::Tick duration = msToTicks(sc.durationMs);
+    std::map<sim::Tick, std::vector<Fault>> schedule;
+    for (const Fault &f : sc.faults) {
+        const sim::Tick raw = msToTicks(f.atMs);
+        const sim::Tick at = (raw + w - 1) / w * w;
+        if (at <= duration)
+            schedule[at].push_back(f);
+    }
+
+    sim::Tick now = 0;
+    for (const auto &[at, faults] : schedule) {
+        if (at > now) {
+            net.runFor(at - now);
+            now = at;
+        }
+        for (const Fault &f : faults) {
+            switch (f.kind) {
+              case Fault::Kind::Kill:
+                if (!net.nodeDead(f.a)) {
+                    net.killNode(f.a);
+                    res.outcomes[f.a].dead = true;
+                    res.outcomes[f.a].deathAt = at;
+                }
+                break;
+              case Fault::Kind::LinkDown:
+                net.setLinkUp(f.a, f.b, false);
+                break;
+              case Fault::Kind::LinkUp:
+                net.setLinkUp(f.a, f.b, true);
+                break;
+            }
+        }
+    }
+    if (now < duration)
+        net.runFor(duration - now);
+    if (metrics)
+        net.finishMetrics();
+
+    std::uint64_t combined = 14695981039346656037ull;
+    for (std::size_t i = 0; i < sc.nodes; ++i) {
+        node::SnapNode &node = net.node(i);
+        NodeOutcome &o = res.outcomes[i];
+        o.name = node.name();
+        // Bring the ledger up to the node's final instant (its death
+        // barrier when dead — the frozen kernel pins now() there).
+        if (radio::Transceiver *t = node.transceiver())
+            t->accrueListenEnergy();
+        node.ctx().accrueLeakage();
+        o.energyPj = node.ctx().ledger.totalPj();
+        o.dbgWords = node.core().debugOut().size();
+        o.traceHash = net.nodeTraceHash(i);
+        combined = fnv1a(combined, o.traceHash);
+    }
+    res.combinedTraceHash = combined;
+    res.air = net.stats();
+    res.dropsLink = net.airDropsLink();
+    res.dropsDead = net.airDropsDead();
+    res.pendingFlights = net.airPendingFlights();
+    return res;
+}
+
+} // namespace snaple::scenario

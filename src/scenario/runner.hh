@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scenario execution on the sharded parallel network.
+ *
+ * runScenario() turns a parsed Scenario into a ParallelNetwork run:
+ * assemble each node's program with its `.equ`-injected parameters,
+ * wire topology, sensors and per-node seeds, quantize the fault
+ * schedule to the window barrier grid, and drive runFor() segment by
+ * segment, applying faults between segments and battery-depletion
+ * kills from the barrier hook. Every observable in the RunResult —
+ * per-node trace hashes, air counters, energy totals, the metrics
+ * stream — is byte-identical for any RunOptions::jobs, because every
+ * cross-shard effect (faults included) is defined purely by barrier
+ * ticks and node ids (docs/SIMULATOR.md).
+ */
+
+#ifndef SNAPLE_SCENARIO_RUNNER_HH
+#define SNAPLE_SCENARIO_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radio/medium.hh"
+#include "scenario/scenario.hh"
+#include "sim/ticks.hh"
+
+namespace snaple::scenario {
+
+/** Host-side knobs for one run (not part of the scenario). */
+struct RunOptions
+{
+    /** Worker lanes; results are identical for any value. */
+    unsigned jobs = 1;
+
+    /** Stream periodic metrics here (cadence = Scenario::metricsMs;
+     *  no stream when null or the cadence is 0). */
+    std::ostream *metricsOut = nullptr;
+    bool metricsCsv = false; ///< CSV instead of JSONL
+
+    /**
+     * Program-source loader, given the path as written in the
+     * scenario. Defaults to reading the file relative to
+     * Scenario::baseDir; tests inject sources directly.
+     */
+    std::function<std::string(const std::string &path)> loadSource;
+};
+
+/** What one node ended the run with. */
+struct NodeOutcome
+{
+    std::string name;
+    std::uint64_t traceHash = 0; ///< frozen at death for dead nodes
+    bool dead = false;           ///< killed (fault or battery)
+    sim::Tick deathAt = 0;       ///< kill barrier; 0 when alive
+    double energyPj = 0;         ///< whole-ledger total
+    std::size_t dbgWords = 0;    ///< `dbgout` values emitted
+};
+
+/** Everything a scenario run reports. */
+struct RunResult
+{
+    std::string scenario;
+    std::size_t nodes = 0;
+    std::string topology;
+    std::uint64_t seed = 0;
+    double durationMs = 0;
+
+    std::vector<NodeOutcome> outcomes; ///< registration order
+    radio::Medium::Stats air{};
+    std::uint64_t dropsLink = 0; ///< deliveries lost to downed links
+    std::uint64_t dropsDead = 0; ///< deliveries lost to dead nodes
+    std::size_t pendingFlights = 0; ///< unresolved flights at the end
+
+    /** FNV-1a fold of the per-node trace hashes in id order: one
+     *  64-bit witness for the whole run. */
+    std::uint64_t combinedTraceHash = 0;
+
+    /** The one-line experiment row (golden-file format). */
+    std::string row() const;
+
+    /** row() plus one `node=` line per node — the full canonical
+     *  report the golden .row files pin. */
+    std::string rows() const;
+};
+
+/** Execute @p sc; throws sim::FatalError on bad programs/config. */
+RunResult runScenario(const Scenario &sc, const RunOptions &opt = {});
+
+} // namespace snaple::scenario
+
+#endif // SNAPLE_SCENARIO_RUNNER_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Scenario parser properties: parse ∘ serialize is a fixed point
+ * (canonical form), and malformed files are rejected with
+ * line-numbered errors.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace snaple;
+using scenario::Fault;
+using scenario::parseScenario;
+using scenario::Scenario;
+using scenario::serializeScenario;
+
+const char *kFull = R"(# a kitchen-sink scenario
+scenario everything
+nodes 4
+topology ring
+seed 99
+duration_ms 123.5
+metrics_ms 10
+propagation_us 2
+window_us 500
+
+node * program proto.s
+node * volts 0.9
+node * param PERIOD 2000
+node * param ZETA 0x1f
+node 0 program sink.s     # overrides win
+node 0 sensor on
+node 2 battery_uj 1500.25
+node 2 param PERIOD 4000
+
+fault kill 3 at_ms 50
+fault link_down 0 1 at_ms 10.5
+fault link_up 0 1 at_ms 20
+)";
+
+TEST(ScenarioParser, RoundTripIsFixedPoint)
+{
+    const Scenario sc1 = parseScenario(kFull, "full.scn");
+    const std::string s1 = serializeScenario(sc1);
+    const Scenario sc2 = parseScenario(s1, "full.scn#2");
+    const std::string s2 = serializeScenario(sc2);
+    EXPECT_EQ(s1, s2);
+
+    // And the parsed values themselves survive the round trip.
+    EXPECT_EQ(sc2.name, "everything");
+    EXPECT_EQ(sc2.nodes, 4u);
+    EXPECT_EQ(sc2.topology, "ring");
+    EXPECT_EQ(sc2.seed, 99u);
+    EXPECT_DOUBLE_EQ(sc2.durationMs, 123.5);
+    EXPECT_DOUBLE_EQ(sc2.metricsMs, 10.0);
+    EXPECT_DOUBLE_EQ(sc2.propagationUs, 2.0);
+    EXPECT_DOUBLE_EQ(sc2.windowUs, 500.0);
+    EXPECT_EQ(sc2.defaults, sc1.defaults);
+    EXPECT_EQ(sc2.overrides, sc1.overrides);
+    EXPECT_EQ(sc2.faults, sc1.faults);
+}
+
+TEST(ScenarioParser, ResolvedMergesDefaultsAndOverrides)
+{
+    const Scenario sc = parseScenario(kFull, "full.scn");
+    const scenario::NodeSettings n0 = sc.resolved(0);
+    EXPECT_EQ(*n0.program, "sink.s"); // override wins
+    EXPECT_EQ(*n0.volts, 0.9);        // default survives
+    EXPECT_TRUE(*n0.sensor);
+    EXPECT_EQ(n0.params.at("PERIOD"), 2000);
+
+    const scenario::NodeSettings n2 = sc.resolved(2);
+    EXPECT_EQ(*n2.program, "proto.s");
+    EXPECT_EQ(n2.params.at("PERIOD"), 4000); // param merged by name
+    EXPECT_EQ(n2.params.at("ZETA"), 0x1f);
+    EXPECT_DOUBLE_EQ(*n2.batteryUj, 1500.25);
+}
+
+TEST(ScenarioParser, CanonicalFormSortsFaults)
+{
+    const Scenario sc = parseScenario(kFull, "full.scn");
+    ASSERT_EQ(sc.faults.size(), 3u);
+    EXPECT_EQ(sc.faults[0].kind, Fault::Kind::LinkDown); // 10.5 ms
+    EXPECT_EQ(sc.faults[1].kind, Fault::Kind::LinkUp);   // 20 ms
+    EXPECT_EQ(sc.faults[2].kind, Fault::Kind::Kill);     // 50 ms
+}
+
+/** EXPECT that parsing @p text throws and the message contains
+ *  @p needle (typically "origin:line:"). */
+void
+expectRejects(const std::string &text, const std::string &needle)
+{
+    try {
+        parseScenario(text, "bad.scn");
+        FAIL() << "accepted malformed scenario; wanted error with '"
+               << needle << "'";
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "error was: " << e.what();
+    }
+}
+
+TEST(ScenarioParser, RejectsWithLineNumbers)
+{
+    const std::string ok = "nodes 2\nduration_ms 5\n"
+                           "node * program p.s\n";
+    // Line 4 in each: the directives above are lines 1-3.
+    expectRejects(ok + "bogus 1\n", "bad.scn:4");
+    expectRejects(ok + "nodes 3\n", "bad.scn:4"); // duplicate scalar
+    expectRejects(ok + "node x program p.s\n", "bad.scn:4");
+    expectRejects(ok + "node 0 param 9NAME 1\n", "bad.scn:4");
+    expectRejects(ok + "node 0 param P 99999\n", "bad.scn:4");
+    expectRejects(ok + "node 0 sensor maybe\n", "bad.scn:4");
+    expectRejects(ok + "fault melt 0 at_ms 1\n", "bad.scn:4");
+    expectRejects(ok + "fault kill 0 at 1\n", "bad.scn:4");
+    expectRejects(ok + "duration_ms -5\n", "bad.scn:4");
+}
+
+TEST(ScenarioParser, RejectsInvalidWholes)
+{
+    expectRejects("duration_ms 5\nnode * program p.s\n",
+                  "missing 'nodes'");
+    expectRejects("nodes 2\nnode * program p.s\n",
+                  "missing 'duration_ms'");
+    expectRejects("nodes 2\nduration_ms 5\n", "resolves no program");
+    expectRejects("nodes 2\nduration_ms 5\ntopology mesh\n"
+                  "node * program p.s\n",
+                  "unknown topology");
+    expectRejects("nodes 2\nduration_ms 5\nnode * program p.s\n"
+                  "node 7 volts 1.8\n",
+                  "override for node 7");
+    expectRejects("nodes 2\nduration_ms 5\nnode * program p.s\n"
+                  "fault kill 5 at_ms 1\n",
+                  "fault references node 5");
+    expectRejects("nodes 2\nduration_ms 5\nnode * program p.s\n"
+                  "fault link_down 1 1 at_ms 1\n",
+                  "distinct endpoints");
+}
+
+TEST(ScenarioParser, CommentsAndBlanksAreIgnored)
+{
+    const Scenario sc = parseScenario(
+        "# header\n\n  nodes 1  # trailing\n\nduration_ms 1\n"
+        "node * program p.s\n",
+        "c.scn");
+    EXPECT_EQ(sc.nodes, 1u);
+}
+
+} // namespace

@@ -7,6 +7,8 @@
  *                        [--trace=FILE] [--trace-format=json|vcd]
  *                        [--metrics=FILE] [--metrics-interval=TICKS]
  *                        [--metrics-format=jsonl|csv] [--profile]
+ *        snap-run --scenario=FILE.scn [--jobs K] [--row=FILE]
+ *                        [--metrics=FILE] [--metrics-format=jsonl|csv]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
  * prints the `dbgout` stream, and optionally a stats/energy report.
@@ -28,6 +30,13 @@
  * --metrics-interval ticks of simulated time (docs/METRICS.md has the
  * schema); --profile adds end-of-run per-PC flat-profile rows. Feed
  * the file to snap-report for paper-style tables.
+ *
+ * With --scenario, a declarative scenario file (docs/SCENARIOS.md)
+ * supplies everything — topology, programs, seeds, duty cycles and a
+ * fault schedule — and the canonical experiment rows (trace hash +
+ * counters + energy) print to stdout, byte-identical for any --jobs;
+ * --row also writes them to FILE. The metrics cadence comes from the
+ * scenario's metrics_ms, not --metrics-interval.
  */
 
 #include <chrono>
@@ -43,6 +52,7 @@
 #include "core/machine.hh"
 #include "net/parallel_network.hh"
 #include "node/power.hh"
+#include "scenario/runner.hh"
 #include "sim/trace.hh"
 
 namespace {
@@ -146,6 +156,8 @@ main(int argc, char **argv)
     std::string trace_format = "json";
     std::string metrics_path;
     std::string metrics_format = "jsonl";
+    std::string scenario_path;
+    std::string row_path;
     sim::Tick metrics_interval = 10 * sim::kMillisecond;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--volts") && i + 1 < argc)
@@ -174,14 +186,20 @@ main(int argc, char **argv)
             metrics_interval = std::strtoull(argv[i] + 19, nullptr, 0);
         else if (!std::strncmp(argv[i], "--metrics-format=", 17))
             metrics_format = argv[i] + 17;
+        else if (!std::strncmp(argv[i], "--scenario=", 11))
+            scenario_path = argv[i] + 11;
+        else if (!std::strncmp(argv[i], "--row=", 6))
+            row_path = argv[i] + 6;
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
         } else
             path = argv[i];
     }
-    if (!path) {
-        std::fprintf(stderr, "usage: snap-run FILE.s [--volts V[,V...]] "
+    if (!path && scenario_path.empty()) {
+        std::fprintf(stderr, "usage: snap-run FILE.s | "
+                             "--scenario=FILE.scn [--row=FILE] "
+                             "[--volts V[,V...]] "
                              "[--ms N] [--stats] [--timeline] "
                              "[--nodes N] [--jobs K] [--seed S] "
                              "[--trace=FILE] "
@@ -218,6 +236,35 @@ main(int argc, char **argv)
                          metrics_path.c_str());
             return 1;
         }
+    }
+
+    if (!scenario_path.empty()) {
+        try {
+            const scenario::Scenario sc =
+                scenario::loadScenario(scenario_path);
+            scenario::RunOptions opt;
+            opt.jobs = jobs;
+            opt.metricsCsv = metrics_csv;
+            if (!metrics_path.empty())
+                opt.metricsOut = &metrics_out;
+            const scenario::RunResult res =
+                scenario::runScenario(sc, opt);
+            const std::string rows = res.rows();
+            std::fputs(rows.c_str(), stdout);
+            if (!row_path.empty()) {
+                std::ofstream out(row_path);
+                if (!out) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 row_path.c_str());
+                    return 1;
+                }
+                out << rows;
+            }
+        } catch (const sim::FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        return 0;
     }
 
     std::ifstream in(path);
