@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cmath>
 #include <vector>
 
 #include "apps/apps.hh"
@@ -287,6 +288,102 @@ BENCHMARK(BM_ParallelNetworkScaling)
     ->Args({8, 1})
     ->Args({8, 4})
     ->UseRealTime();
+
+/** Rx-parked beacon with a seed-staggered first round: every node
+ *  boots into receive mode; beacons draw a per-node LFSR offset so
+ *  the field sees staggered, partially-overlapping traffic rather
+ *  than one synchronized pileup. */
+const char *kFieldBeacon = R"(
+    .equ EV_T0, 0
+    .equ EV_TXRDY, 6
+    .equ CMD_RX, 0x8001
+    .equ CMD_TX, 0x8002
+boot:
+    li   r1, EV_T0
+    la   r2, on_t0
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r15, CMD_RX
+    rand r3
+    andi r3, 0x1fff
+    addi r3, 100
+    li   r1, 0
+    schedlo r1, r3
+    done
+on_t0:
+    li   r15, CMD_TX
+    mov  r15, r4
+    addi r4, 1
+    li   r1, 0
+    li   r2, 10000
+    schedlo r1, r2
+    done
+on_txrdy:
+    li   r15, CMD_RX
+    done
+)";
+
+const char *kFieldListener = R"(
+    .equ EV_RX, 3
+    .equ CMD_RX, 0x8001
+boot:
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r15, CMD_RX
+    done
+on_rx:
+    mov  r3, r15
+    done
+)";
+
+void
+BM_FieldScaling(benchmark::State &state)
+{
+    // The spatial FieldMedium at sensor-network scale: N nodes on a
+    // 20 m grid (default 30 m cells, ~46 m sensitivity range), every
+    // 16th node beaconing every 10 ms from a seed-staggered offset.
+    // Cell sharding bounds each flight's work to its neighborhood, so
+    // events/s should hold roughly flat from 1k to 100k nodes; the
+    // run is bit-identical for any --jobs (FieldNetworkTest).
+    const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+    const std::size_t side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(nodes))));
+    const assembler::Program beacon =
+        assembler::assembleSnap(kFieldBeacon, "beacon.s");
+    const assembler::Program listener =
+        assembler::assembleSnap(kFieldListener, "listener.s");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        net::ParallelNetwork net(1 * sim::kMicrosecond, 1);
+        node::NodeConfig c;
+        c.core.stopOnHalt = false;
+        c.baseSeed = 0xf1e1d5ca1edbeef1ull;
+        for (std::size_t i = 0; i < nodes; ++i) {
+            c.name = "n" + std::to_string(i);
+            net.addNode(c, i % 16 == 0 ? beacon : listener);
+        }
+        net.setField(radio::FieldConfig{});
+        for (std::size_t i = 0; i < nodes; ++i)
+            net.setNodePosition(i,
+                                20.0 * static_cast<double>(i % side),
+                                20.0 * static_cast<double>(i / side));
+        net.start();
+        net.runFor(20 * sim::kMillisecond);
+        events += net.eventsDispatched();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("kernel events/s");
+}
+BENCHMARK(BM_FieldScaling)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_SnapCoreMix(benchmark::State &state)

@@ -1,0 +1,125 @@
+; rssi_cluster_node.s — RSSI-based cluster affiliation over a spatial
+; field. Fixed clusterheads advertise every ROUND_TK ticks; members
+; read the signal strength of each advert (CMD_RSSI) and affiliate
+; with the loudest head they heard this round — the radio's path-loss
+; model, not an id or a hop count, decides the clustering. At its
+; staggered slot a member reports its choice (dbgout) and sends one
+; data word tagged with the chosen head's id; heads count the data
+; words addressed to them and report the take at the next advert.
+;
+; Scenario-injected parameters:
+;   MY_ID        this node's id (also staggers slots and adverts)
+;   IS_HEAD      1 = fixed clusterhead, 0 = member
+;   ROUND_TK     round length, timer ticks (<= 65535)
+;   SLOT_SHIFT   slot stride, log2 timer ticks
+;   SLOT_BASE_TK first member slot offset after the first advert
+;
+; Register use: r5 best advert RSSI this round (0 = none yet),
+; r6 chosen head id (members) / collected words (heads),
+; r8 MY_ID << 4 (head: match field of incoming data words),
+; r9 my slot offset in timer ticks.
+
+    .equ EV_T0,    0        ; round timer (heads)
+    .equ EV_T1,    1        ; member data slot
+    .equ EV_RX,    3
+    .equ EV_TXRDY, 6
+    .equ CMD_RX,   0x8001
+    .equ CMD_TX,   0x8002
+    .equ CMD_RSSI, 0x8004
+    .equ T_ADVERT, 0x4000   ; word type: clusterhead advert
+    .equ T_DATA,   0x1000   ; word: type | head id << 4 | member id
+
+boot:
+    li   r1, EV_T0
+    la   r2, on_round
+    setaddr r1, r2
+    li   r1, EV_T1
+    la   r2, on_slot
+    setaddr r1, r2
+    li   r1, EV_RX
+    la   r2, on_rx
+    setaddr r1, r2
+    li   r1, EV_TXRDY
+    la   r2, on_txrdy
+    setaddr r1, r2
+    li   r15, CMD_RX
+    li   r5, 0
+    li   r6, 0
+    li   r8, MY_ID
+    slli r8, 4
+    li   r9, MY_ID          ; slot offset: base + (id << shift)
+    slli r9, SLOT_SHIFT
+    addi r9, SLOT_BASE_TK
+    li   r2, IS_HEAD
+    beqz r2, member
+    li   r1, 0              ; head: first advert staggered by id so
+    li   r2, ROUND_TK       ; co-located heads don't collide forever
+    add  r2, r9
+    schedlo r1, r2
+member:
+    done
+
+on_round:                   ; heads only
+    dbgout r6               ; last round's take (0 on the first)
+    li   r6, 0
+    li   r2, T_ADVERT
+    addi r2, MY_ID
+    li   r15, CMD_TX
+    mov  r15, r2
+    li   r1, 0
+    li   r2, ROUND_TK
+    schedlo r1, r2
+    done
+
+on_txrdy:
+    li   r15, CMD_RX
+    done
+
+on_slot:                    ; member data slot
+    dbgout r6               ; the head this round's RSSI picked
+    mov  r2, r6
+    slli r2, 4
+    addi r2, MY_ID
+    ori  r2, T_DATA
+    li   r15, CMD_TX
+    mov  r15, r2
+    li   r5, 0              ; fresh election next round
+    li   r6, 0
+    done
+
+on_rx:
+    mov  r3, r15
+    mov  r2, r3
+    andi r2, 0xf000
+    subi r2, T_ADVERT
+    beqz r2, advert
+    mov  r2, r3
+    andi r2, 0xf000
+    subi r2, T_DATA
+    bnez r2, ignore
+    li   r2, IS_HEAD        ; data words only matter to their head
+    beqz r2, ignore
+    mov  r2, r3
+    andi r2, 0x00f0
+    sub  r2, r8
+    bnez r2, ignore
+    addi r6, 1
+ignore:
+    done
+advert:
+    li   r2, IS_HEAD        ; heads ignore rival adverts
+    bnez r2, ignore
+    li   r15, CMD_RSSI
+    mov  r2, r15            ; synchronous reply: advert's RSSI
+    bnez r5, compare
+    li   r1, 1              ; first advert this round: claim my slot
+    schedlo r1, r9
+compare:
+    mov  r4, r2             ; adopt only a strictly louder head
+    sub  r4, r5
+    subi r4, 1
+    bltz r4, ignore
+    mov  r5, r2
+    mov  r6, r3
+    andi r6, 0x000f
+    done

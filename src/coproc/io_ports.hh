@@ -45,6 +45,15 @@ class RadioPort
 
     /** Carrier detect: is any transmission on the air right now? */
     virtual bool channelBusy() const = 0;
+
+    /**
+     * Received signal strength of the last word the receiver accepted,
+     * as the monotone half-dB encoding rssiWord = (dBm + 120) * 2
+     * clamped to [0, 65535] (so -120 dBm -> 0, -85 dBm -> 70). A
+     * medium with no signal-strength model reports 0 ("unknown");
+     * spatial media (radio::FieldMedium) fill it per receiver.
+     */
+    virtual std::uint16_t lastRssi() const { return 0; }
 };
 
 /** What the message coprocessor needs from a sensor. */

@@ -94,6 +94,13 @@ MessageCoproc::commandProcess()
             sim::fatalIf(!radio_, "carrier sense with no radio");
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
             co_await msgOut_.send(radio_->channelBusy() ? 1 : 0);
+        } else if (w == core::msgcmd::kRssi) {
+            // Signal strength of the last accepted word, replied
+            // synchronously like carrier sense. 0 on media without a
+            // signal-strength model (io_ports.hh has the encoding).
+            sim::fatalIf(!radio_, "RSSI read with no radio");
+            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            co_await msgOut_.send(radio_->lastRssi());
         } else if (w == kTx) {
             sim::fatalIf(!radio_, "TX command with no radio attached");
             std::uint16_t data = co_await msgIn_.recv();

@@ -58,6 +58,8 @@ inline constexpr std::uint16_t kRx = 0x8001;    ///< radio to receive mode
 inline constexpr std::uint16_t kTx = 0x8002;    ///< next word is TX data
 inline constexpr std::uint16_t kCarrier = 0x8003; ///< carrier sense:
                                                   ///< reply 0/1 in r15
+inline constexpr std::uint16_t kRssi = 0x8004;  ///< last-word RSSI:
+                                                ///< reply rssi word in r15
 inline constexpr std::uint16_t kQuery = 0x9000; ///< | sensor id (lo 4 bits)
 
 /** True if @p w is a Query command. */

@@ -46,6 +46,7 @@ ParallelNetwork::start()
             window_ = sim::kMillisecond;
     }
     sim::fatalIf(window_ == 0, "sync window must be positive");
+    exchange_.finalizeField(); // no-op outside field mode
     for (auto &s : shards_)
         s->node.start();
     started_ = true;

@@ -86,6 +86,41 @@ class ParallelNetwork
     }
 
     /**
+     * @name Spatial field mode
+     *
+     * setField() swaps the single-cell channel for the spatial model
+     * (radio/field_medium.hh): log-distance path loss, per-receiver
+     * RSSI, capture-threshold collision resolution, sharded by
+     * cell_m-sized grid cells so a flight's barrier work touches only
+     * its cell neighborhood. Call before start(), then place every
+     * node with setNodePosition(); start() freezes the cell binning.
+     */
+    ///@{
+    void
+    setField(const radio::FieldConfig &cfg)
+    {
+        sim::fatalIf(started_, "setField() after start()");
+        exchange_.setField(cfg);
+    }
+
+    bool fieldMode() const { return exchange_.fieldMode(); }
+
+    /** Place node @p i at (@p xM, @p yM) meters. Before start(). */
+    void
+    setNodePosition(std::size_t i, double xM, double yM)
+    {
+        exchange_.setPosition(i, xM, yM);
+    }
+
+    /** Receiver-side signal strength of @p src heard at @p dst. */
+    double
+    rssiDbm(std::size_t src, std::size_t dst) const
+    {
+        return exchange_.rssiDbm(src, dst);
+    }
+    ///@}
+
+    /**
      * @name Fault injection (scenario engine; see docs/SCENARIOS.md)
      *
      * All three calls are coordinator-side and must land between
@@ -140,6 +175,27 @@ class ParallelNetwork
     /** Deliveries suppressed by dead receivers ("air.drops_dead"). */
     std::uint64_t airDropsDead() const { return exchange_.dropsDead(); }
     ///@}
+
+    /** Offers the receiver missed in the wrong mode ("air.drops_mode"). */
+    std::uint64_t airDropsMode() const { return exchange_.dropsMode(); }
+
+    /** Offers lost to a full RX FIFO ("air.drops_fifo"). */
+    std::uint64_t airDropsFifo() const { return exchange_.dropsFifo(); }
+
+    /** Field mode: (flight, in-range receiver) opportunities. */
+    std::uint64_t airRxInRange() const { return exchange_.rxInRange(); }
+
+    /**
+     * Delivery offers injected into shards but not yet resolved by
+     * the receiver (radio::AirExchange::pendingDeliveries). With this
+     * term the air counters reconcile exactly at any barrier — see
+     * docs/SIMULATOR.md, "Channel accounting".
+     */
+    std::uint64_t
+    airPendingDeliveries() const
+    {
+        return exchange_.pendingDeliveries();
+    }
 
     /**
      * Sniff the air into a bounded ring of the @p capacity most recent

@@ -1,6 +1,8 @@
 #include "radio/air_exchange.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "radio/transceiver.hh"
 
@@ -9,9 +11,75 @@ namespace snaple::radio {
 void
 AirExchange::addShard(ShardMedium *m)
 {
+    sim::fatalIf(fieldFinal_, "addShard after finalizeField");
     m->nodeId_ = static_cast<std::uint32_t>(shards_.size());
     shards_.push_back(m);
     down_.push_back(false);
+}
+
+void
+AirExchange::setPosition(std::size_t id, double xM, double yM)
+{
+    sim::fatalIf(fieldFinal_, "setPosition after finalizeField");
+    if (id >= pos_.size())
+        pos_.resize(id + 1, {0.0, 0.0});
+    pos_[id] = {xM, yM};
+}
+
+double
+AirExchange::rssiDbm(std::size_t src, std::size_t dst) const
+{
+    sim::fatalIf(!field_, "rssiDbm without field mode");
+    sim::fatalIf(src >= pos_.size() || dst >= pos_.size(),
+                 "rssiDbm of unplaced node");
+    const auto &[sx, sy] = pos_[src];
+    const auto &[dx, dy] = pos_[dst];
+    return field::rssiDbm(*field_, sx - dx, sy - dy);
+}
+
+void
+AirExchange::finalizeField()
+{
+    if (!field_ || fieldFinal_)
+        return;
+    sim::fatalIf(field_->cellM <= 0.0, "field cell size must be positive");
+    pos_.resize(shards_.size(), {0.0, 0.0});
+    cellOf_.resize(shards_.size());
+    cells_.clear();
+
+    // A receiver farther than cellReach_ cells away (either axis) is
+    // more than reach * cell_m meters out, hence beyond the
+    // carrier-sense/decode range — the per-flight candidate scan never
+    // has to look past the neighborhood.
+    const double range = field::rangeM(*field_, field_->sensitivityDbm);
+    cellReach_ = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::ceil(range / field_->cellM)));
+
+    for (std::uint32_t id = 0; id < shards_.size(); ++id) {
+        const auto cell = std::make_pair(
+            static_cast<std::int32_t>(
+                std::floor(pos_[id].first / field_->cellM)),
+            static_cast<std::int32_t>(
+                std::floor(pos_[id].second / field_->cellM)));
+        cellOf_[id] = cell;
+        cells_[cell].push_back(id); // id order within a cell
+    }
+    fieldFinal_ = true;
+}
+
+void
+AirExchange::fieldCandidates(std::uint32_t node,
+                             std::vector<std::uint32_t> &out) const
+{
+    out.clear();
+    const auto [cx, cy] = cellOf_[node];
+    for (std::int32_t dx = -cellReach_; dx <= cellReach_; ++dx)
+        for (std::int32_t dy = -cellReach_; dy <= cellReach_; ++dy) {
+            const auto it = cells_.find({cx + dx, cy + dy});
+            if (it != cells_.end())
+                out.insert(out.end(), it->second.begin(),
+                           it->second.end());
+        }
 }
 
 void
@@ -23,12 +91,12 @@ AirExchange::setNodeDown(std::size_t id, bool down)
     down_[id] = down;
     // Going down truncates the node's own words still on the air: a
     // transmitter dying mid-word garbles the word, exactly as an
-    // airtime overlap would. (Every pending flight is unresolved by
-    // construction — resolved ones were compacted away — so marking
-    // all of this source's pending flights is the truncation rule.)
+    // airtime overlap would. (Resolved field-mode flights are only
+    // retained as interference records; their outcome is already
+    // final, so only unresolved flights are marked.)
     if (down)
         for (AirFlight &f : pending_)
-            if (f.srcNode == id)
+            if (f.srcNode == id && !f.resolved)
                 f.collided = true;
 }
 
@@ -44,10 +112,20 @@ AirExchange::setLinkUp(std::size_t a, std::size_t b, bool up)
         downLinks_.insert(orderedPair(a, b));
 }
 
+std::size_t
+AirExchange::pendingFlights() const
+{
+    std::size_t n = 0;
+    for (const AirFlight &f : pending_)
+        if (!f.resolved)
+            ++n;
+    return n;
+}
+
 bool
 AirExchange::quiet() const
 {
-    if (!pending_.empty())
+    if (pendingFlights() != 0)
         return false;
     for (const ShardMedium *m : shards_)
         if (!m->outbox_.empty())
@@ -56,16 +134,50 @@ AirExchange::quiet() const
 }
 
 void
-ShardMedium::injectDelivery(sim::Tick at, std::uint16_t word)
+ShardMedium::injectDelivery(sim::Tick at, std::uint16_t word,
+                            std::uint16_t rssi)
 {
-    Transceiver *t = local_;
-    kernel_.schedule(at, [t, word] { t->deliver(word); });
+    kernel_.schedule(at, [this, word, rssi] {
+        // Shard context: count the receiver's verdict locally; the
+        // coordinator folds it into the air registry at the next
+        // barrier (registry counters are not thread-safe).
+        switch (local_->deliver(word, rssi)) {
+          case DeliverStatus::Accepted:
+            ++outcomes_.accepted;
+            break;
+          case DeliverStatus::DroppedMode:
+            ++outcomes_.dropsMode;
+            break;
+          case DeliverStatus::DroppedFifo:
+            ++outcomes_.dropsFifo;
+            break;
+        }
+    });
 }
 
 void
-AirExchange::exchangeAt(sim::Tick barrier)
+AirExchange::drainOutcomes()
 {
-    // 1. Drain every outbox into the pending list in deterministic
+    for (ShardMedium *m : shards_) {
+        ShardMedium::Outcomes &o = m->outcomes_;
+        const std::uint64_t drained =
+            o.accepted + o.dropsMode + o.dropsFifo;
+        if (drained == 0)
+            continue;
+        wordsDelivered_->inc(o.accepted);
+        dropsMode_->inc(o.dropsMode);
+        dropsFifo_->inc(o.dropsFifo);
+        sim::fatalIf(drained > offersOutstanding_,
+                     "delivery outcomes exceed outstanding offers");
+        offersOutstanding_ -= drained;
+        o = {};
+    }
+}
+
+std::size_t
+AirExchange::drainOutboxes()
+{
+    // Drain every outbox into the pending list in deterministic
     // (start, source, sequence) order. Within one outbox entries are
     // already time-ordered (a kernel's clock is monotone), and every
     // new start lies in (previous barrier, barrier] — after all older
@@ -81,9 +193,8 @@ AirExchange::exchangeAt(sim::Tick barrier)
                                          truncated});
         m->outbox_.clear();
     }
-    if (firstFresh == pending_.size() && pending_.empty())
-        return;
-    std::sort(pending_.begin() + firstFresh, pending_.end(),
+    std::sort(pending_.begin() + static_cast<std::ptrdiff_t>(firstFresh),
+              pending_.end(),
               [](const AirFlight &a, const AirFlight &b) {
                   if (a.start != b.start)
                       return a.start < b.start;
@@ -91,8 +202,26 @@ AirExchange::exchangeAt(sim::Tick barrier)
                       return a.srcNode < b.srcNode;
                   return a.seq < b.seq;
               });
+    return firstFresh;
+}
 
-    // 2. Fresh flights: count them and raise the carrier in every
+void
+AirExchange::exchangeAt(sim::Tick barrier)
+{
+    drainOutcomes();
+    const std::size_t firstFresh = drainOutboxes();
+    if (pending_.empty())
+        return;
+    if (field_)
+        exchangeField(barrier, firstFresh);
+    else
+        exchangeSingleCell(barrier, firstFresh);
+}
+
+void
+AirExchange::exchangeSingleCell(sim::Tick barrier, std::size_t firstFresh)
+{
+    // 1. Fresh flights: count them and raise the carrier in every
     // other shard for the still-on-air remainder [barrier, end).
     for (std::size_t i = firstFresh; i < pending_.size(); ++i) {
         const AirFlight &f = pending_[i];
@@ -104,7 +233,7 @@ AirExchange::exchangeAt(sim::Tick barrier)
                     m->remoteCarrierUntil(f.end);
     }
 
-    // 3. Collision marking: the sequential medium's rule — airtime
+    // 2. Collision marking: the sequential medium's rule — airtime
     // intervals that overlap garble each other. Pairwise over the
     // start-sorted list with an early break; idempotent re-marking of
     // old pairs is harmless.
@@ -116,12 +245,13 @@ AirExchange::exchangeAt(sim::Tick barrier)
             pending_[j].collided = true;
         }
 
-    // 4. Finalize flights whose airtime has fully elapsed: every
+    // 3. Finalize flights whose airtime has fully elapsed: every
     // transmission that could overlap one has started by now, so its
     // collision status is final. Deliveries land at the sequential
     // medium's instant (end + propagation) unless that already lies
     // inside this window — then they are pushed to the barrier (the
-    // documented lookahead quantization).
+    // documented lookahead quantization). Acceptance is counted when
+    // the receiver executes the offer, not here (drainOutcomes).
     std::size_t kept = 0;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         const AirFlight &f = pending_[i];
@@ -143,7 +273,7 @@ AirExchange::exchangeAt(sim::Tick barrier)
                 continue;
             // Fault drops are counted (unlike static-topology
             // filtering above), so air counters reconcile per
-            // reachable receiver: delivered + drops_dead + drops_link.
+            // reachable receiver: delivered + drops_* + pending.
             if (down_[m->nodeId_]) {
                 dropsDead_->inc();
                 continue;
@@ -152,10 +282,119 @@ AirExchange::exchangeAt(sim::Tick barrier)
                 dropsLink_->inc();
                 continue;
             }
-            m->injectDelivery(at, f.word);
-            wordsDelivered_->inc();
+            m->injectDelivery(at, f.word, 0);
+            ++offersOutstanding_;
         }
     }
+    pending_.resize(kept);
+}
+
+void
+AirExchange::exchangeField(sim::Tick barrier, std::size_t firstFresh)
+{
+    sim::fatalIf(!fieldFinal_,
+                 "field exchange before finalizeField()");
+    const FieldConfig &cfg = *field_;
+
+    // 1. Fresh flights: count them and raise the carrier only where
+    // the word is audible — nodes in the transmitter's cell
+    // neighborhood whose receiver-side signal clears the
+    // carrier-sense cutoff. This is the spatial-sharding payoff: the
+    // inner loop is over the neighborhood, never the whole network.
+    for (std::size_t i = firstFresh; i < pending_.size(); ++i) {
+        const AirFlight &f = pending_[i];
+        wordsSent_->inc();
+        if (f.end <= barrier)
+            continue;
+        fieldCandidates(f.srcNode, candScratch_);
+        for (std::uint32_t r : candScratch_) {
+            if (r == f.srcNode)
+                continue;
+            ShardMedium *m = shards_[r];
+            if (m->local_ == nullptr || down_[r])
+                continue;
+            if (rssiDbm(f.srcNode, r) >= cfg.sensitivityDbm)
+                m->remoteCarrierUntil(f.end);
+        }
+    }
+
+    // 2. Resolve flights whose airtime has elapsed: every overlapping
+    // transmission has started by now (it would be in some outbox
+    // drained this barrier), so the interference picture is complete.
+    // Per in-range receiver, the capture rule decides delivery, with
+    // interferers summed in pending-list order — (start, src, seq),
+    // independent of shard assignment.
+    const double capture = field::dbFactor(cfg.captureDb);
+    const double noiseMw = field::dbmToMw(cfg.noiseDbm);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        AirFlight &f = pending_[i];
+        if (f.resolved || f.end > barrier)
+            continue;
+        f.resolved = true;
+        const sim::Tick at = std::max(f.end + propagation_, barrier);
+        fieldCandidates(f.srcNode, candScratch_);
+        for (std::uint32_t r : candScratch_) {
+            if (r == f.srcNode)
+                continue;
+            ShardMedium *m = shards_[r];
+            if (m->local_ == nullptr)
+                continue;
+            if (linkFilter_ && !linkFilter_(f.srcNode, r))
+                continue;
+            const double sigDbm = rssiDbm(f.srcNode, r);
+            if (sigDbm < cfg.sensitivityDbm)
+                continue; // out of range: not an opportunity at all
+            rxInRange_->inc();
+            if (down_[r]) {
+                dropsDead_->inc();
+                continue;
+            }
+            if (!linkUp(f.srcNode, r)) {
+                dropsLink_->inc();
+                continue;
+            }
+            if (f.collided) { // transmitter died mid-word
+                collisions_->inc();
+                continue;
+            }
+            // Capture: the signal must clear noise plus the sum of
+            // every overlapping word's received power by the margin
+            // (exactly at the threshold still decodes). A signal
+            // below the noise floor does not interfere.
+            double interfMw = noiseMw;
+            for (const AirFlight &g : pending_) {
+                if (g.start >= f.end)
+                    break; // start-sorted: nothing later overlaps
+                if (&g == &f || g.end <= f.start)
+                    continue;
+                const double gDbm = rssiDbm(g.srcNode, r);
+                if (gDbm >= cfg.noiseDbm)
+                    interfMw += field::dbmToMw(gDbm);
+            }
+            if (field::dbmToMw(sigDbm) >= capture * interfMw) {
+                m->injectDelivery(at, f.word,
+                                  field::rssiToWord(sigDbm));
+                ++offersOutstanding_;
+            } else {
+                collisions_->inc(); // garbled at this receiver
+            }
+        }
+        if (sniffer_)
+            sniffer_(f, f.end + propagation_);
+    }
+
+    // 3. Prune. An unresolved flight keeps every flight overlapping
+    // it alive as an interference record; anything older is done.
+    // Future flights start after this barrier, hence after every
+    // resolved flight's end — they can never need a pruned record.
+    sim::Tick minUnresolved = std::numeric_limits<sim::Tick>::max();
+    for (const AirFlight &f : pending_)
+        if (!f.resolved)
+            minUnresolved = std::min(minUnresolved, f.start);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+        if (!pending_[i].resolved || pending_[i].end > minUnresolved)
+            pending_[kept++] = pending_[i];
     pending_.resize(kept);
 }
 

@@ -28,6 +28,25 @@
  * None of these rules mention shard assignment or worker count, which
  * is what makes per-node traces bit-identical for any --jobs=K.
  *
+ * Field mode (setField + per-node positions) swaps the single-cell
+ * channel rules for radio::FieldMedium's spatial ones — log-distance
+ * path loss, per-receiver RSSI, capture-threshold resolution — and
+ * shards the air by spatial cells: each node is binned into a
+ * cell_m-sized grid cell, and a flight's carrier, delivery and
+ * interference work touches only nodes in cells within the radio
+ * range of its transmitter. That is the node-count unlock: barrier
+ * cost per flight is bounded by the cell neighborhood, not the
+ * network size. Every field rule is still a pure function of barrier
+ * ticks, node ids and (fixed) positions, so jobs-independence holds
+ * unchanged.
+ *
+ * Delivery acceptance in both modes is counted when the receiver
+ * takes the word, not when the exchange offers it: the injected
+ * delivery callback records the outcome (accepted / wrong mode / FIFO
+ * full) in plain per-shard counters, which the coordinator drains
+ * into the "air.*" registry at the next barrier. Offers not yet
+ * resolved are visible as pendingDeliveries().
+ *
  * Thread safety: ShardMedium members are touched only by the thread
  * currently running that shard's kernel; AirExchange methods run only
  * on the coordinator between windows, while every shard kernel is
@@ -39,10 +58,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "radio/field_medium.hh"
 #include "radio/medium.hh"
 #include "sim/kernel.hh"
 #include "sim/ticks.hh"
@@ -60,6 +82,9 @@ struct AirFlight
     std::uint32_t seq;     ///< per-source transmission sequence
     std::uint16_t word;
     bool collided;
+    /** Field mode: outcome decided, record retained only while an
+     *  unresolved flight might still overlap it (interference). */
+    bool resolved = false;
 };
 
 /**
@@ -85,7 +110,10 @@ class AirExchange
           wordsDelivered_(&registry_.counter("air.words_delivered")),
           collisions_(&registry_.counter("air.collisions")),
           dropsLink_(&registry_.counter("air.drops_link")),
-          dropsDead_(&registry_.counter("air.drops_dead"))
+          dropsDead_(&registry_.counter("air.drops_dead")),
+          dropsMode_(&registry_.counter("air.drops_mode")),
+          dropsFifo_(&registry_.counter("air.drops_fifo")),
+          rxInRange_(&registry_.counter("air.rx_in_range"))
     {}
 
     AirExchange(const AirExchange &) = delete;
@@ -96,6 +124,34 @@ class AirExchange
 
     void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
     void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
+
+    /**
+     * @name Spatial field mode
+     *
+     * setField() switches the channel rules to the spatial model
+     * (radio/field_medium.hh); every node then needs a setPosition()
+     * call, and finalizeField() — after the last addShard — bins the
+     * nodes into cell_m-sized grid cells. All three are
+     * coordinator-side setup calls, before the first exchange.
+     */
+    ///@{
+    void setField(const FieldConfig &cfg) { field_ = cfg; }
+    bool fieldMode() const { return field_.has_value(); }
+    const FieldConfig *fieldConfig() const
+    {
+        return field_ ? &*field_ : nullptr;
+    }
+
+    /** Place node @p id at (@p xM, @p yM) meters. */
+    void setPosition(std::size_t id, double xM, double yM);
+
+    /** Receiver-side signal strength of @p src heard at @p dst. */
+    double rssiDbm(std::size_t src, std::size_t dst) const;
+
+    /** Bin nodes into cells; required before the first exchange in
+     *  field mode (no-op otherwise). */
+    void finalizeField();
+    ///@}
 
     /**
      * Fault injection: mark a node down (dead) or back up. A node
@@ -140,12 +196,35 @@ class AirExchange
     /** Deliveries suppressed by a dead receiver ("air.drops_dead"). */
     std::uint64_t dropsDead() const { return dropsDead_->value(); }
 
+    /** Offers the receiver missed in the wrong mode ("air.drops_mode"). */
+    std::uint64_t dropsMode() const { return dropsMode_->value(); }
+
+    /** Offers lost to a full RX FIFO ("air.drops_fifo"). */
+    std::uint64_t dropsFifo() const { return dropsFifo_->value(); }
+
+    /** Field mode: (flight, in-range receiver) opportunities. */
+    std::uint64_t rxInRange() const { return rxInRange_->value(); }
+
     /**
      * Flights currently awaiting resolution (fault tests pin that
      * faults leak no flight slots: this returns to 0 once the air
      * clears). Coordinator only.
      */
-    std::size_t pendingFlights() const { return pending_.size(); }
+    std::size_t pendingFlights() const;
+
+    /**
+     * Delivery offers injected into shard kernels whose outcome has
+     * not yet been drained back — at a barrier, exactly the offers
+     * scheduled at or past it. The channel arithmetic closes once
+     * these are added: every resolved clean flight is, per reachable
+     * receiver, a delivery, a drop (mode / fifo / link / dead), or an
+     * offer still pending here. Coordinator only.
+     */
+    std::uint64_t
+    pendingDeliveries() const
+    {
+        return offersOutstanding_;
+    }
 
     sim::Tick propagation() const { return propagation_; }
 
@@ -155,7 +234,8 @@ class AirExchange
     {
         return Medium::Stats{wordsSent_->value(),
                              wordsDelivered_->value(),
-                             collisions_->value()};
+                             collisions_->value(), dropsMode_->value(),
+                             dropsFifo_->value()};
     }
 
     /** Network-scoped metrics registry (the "air.*" counters). */
@@ -168,6 +248,14 @@ class AirExchange
      * Coordinator only (shards paused).
      */
     bool quiet() const;
+
+    /**
+     * Fold the per-shard delivery-outcome counters (written by the
+     * injected callbacks in shard context) into the air registry.
+     * Runs first in every exchangeAt(); call directly before reading
+     * stats()/metrics() between runs. Coordinator only.
+     */
+    void drainOutcomes();
 
     /**
      * Run one barrier exchange. Coordinator only; every shard kernel
@@ -185,6 +273,18 @@ class AirExchange
         return x < y ? std::make_pair(x, y) : std::make_pair(y, x);
     }
 
+    /** Drain outboxes into pending_ in (start, src, seq) order;
+     *  returns the index of the first fresh flight. */
+    std::size_t drainOutboxes();
+
+    void exchangeSingleCell(sim::Tick barrier, std::size_t firstFresh);
+    void exchangeField(sim::Tick barrier, std::size_t firstFresh);
+
+    /** Field mode: node ids in cells within radio reach of @p node's
+     *  cell, appended to @p out (scratch; cleared first). */
+    void fieldCandidates(std::uint32_t node,
+                         std::vector<std::uint32_t> &out) const;
+
     sim::Tick propagation_;
     std::vector<ShardMedium *> shards_;
     std::vector<AirFlight> pending_; ///< sorted by (start, src, seq)
@@ -198,8 +298,24 @@ class AirExchange
     sim::MetricCounter *collisions_;
     sim::MetricCounter *dropsLink_;
     sim::MetricCounter *dropsDead_;
+    sim::MetricCounter *dropsMode_;
+    sim::MetricCounter *dropsFifo_;
+    sim::MetricCounter *rxInRange_;
+    std::uint64_t offersOutstanding_ = 0;
     LinkFilter linkFilter_;
     Sniffer sniffer_;
+
+    // Field mode (spatial cell sharding).
+    std::optional<FieldConfig> field_;
+    std::vector<std::pair<double, double>> pos_; ///< meters, by node id
+    std::vector<std::pair<std::int32_t, std::int32_t>> cellOf_;
+    /** Grid cell -> node ids in it, ascending (built in id order). */
+    std::map<std::pair<std::int32_t, std::int32_t>,
+             std::vector<std::uint32_t>>
+        cells_;
+    std::int32_t cellReach_ = 1; ///< neighborhood radius, in cells
+    bool fieldFinal_ = false;
+    mutable std::vector<std::uint32_t> candScratch_;
 };
 
 /**
@@ -221,7 +337,7 @@ class ShardMedium : public Medium
     void
     attach(Transceiver *t) override
     {
-        sim::panicIf(local_ != nullptr,
+        sim::panicIf(local_ != nullptr && local_ != t,
                      "shard medium already has a transceiver");
         local_ = t;
     }
@@ -230,6 +346,8 @@ class ShardMedium : public Medium
      * CSMA sense: own transmission, or a remote carrier learned at a
      * window barrier. A remote word that started mid-window is sensed
      * only from the barrier on — the documented lookahead contract.
+     * In field mode the exchange raises the remote carrier only in
+     * shards within sensing range, so this stays a local test.
      */
     bool
     busy() const override
@@ -268,6 +386,16 @@ class ShardMedium : public Medium
         std::uint32_t seq;
     };
 
+    /** Delivery outcomes counted by the shard (its thread), drained
+     *  by the coordinator at barriers. Plain integers: the two sides
+     *  are ordered by the worker-pool barrier handoff. */
+    struct Outcomes
+    {
+        std::uint64_t accepted = 0;
+        std::uint64_t dropsMode = 0;
+        std::uint64_t dropsFifo = 0;
+    };
+
     /** Barrier-time injection: a remote carrier busy until @p end. */
     void
     remoteCarrierUntil(sim::Tick end)
@@ -276,9 +404,10 @@ class ShardMedium : public Medium
         kernel_.schedule(end, [this] { --remoteCarrier_; });
     }
 
-    /** Barrier-time injection: a word arriving at @p at. */
-    void
-    injectDelivery(sim::Tick at, std::uint16_t word);
+    /** Barrier-time injection: a word arriving at @p at with
+     *  receiver-side signal strength @p rssi (0 = unknown). */
+    void injectDelivery(sim::Tick at, std::uint16_t word,
+                        std::uint16_t rssi);
 
     sim::Kernel &kernel_;
     AirExchange &exchange_;
@@ -288,6 +417,7 @@ class ShardMedium : public Medium
     unsigned ownActive_ = 0;
     unsigned remoteCarrier_ = 0;
     std::vector<PendingTx> outbox_;
+    Outcomes outcomes_;
 };
 
 } // namespace snaple::radio

@@ -1,0 +1,137 @@
+#include "radio/field_medium.hh"
+
+#include <algorithm>
+
+#include "radio/transceiver.hh"
+#include "sim/logging.hh"
+
+namespace snaple::radio {
+
+std::size_t
+FieldMedium::indexOf(const Transceiver *t) const
+{
+    const auto it = std::find(nodes_.begin(), nodes_.end(), t);
+    sim::fatalIf(it == nodes_.end(),
+                 "transceiver is not attached to this field");
+    return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+void
+FieldMedium::setPosition(const Transceiver *t, double xM, double yM)
+{
+    positions_[indexOf(t)] = {xM, yM};
+}
+
+double
+FieldMedium::rssiDbm(const Transceiver *src, const Transceiver *dst) const
+{
+    const auto &[sx, sy] = positions_[indexOf(src)];
+    const auto &[dx, dy] = positions_[indexOf(dst)];
+    return field::rssiDbm(cfg_, sx - dx, sy - dy);
+}
+
+bool
+FieldMedium::busyFor(const Transceiver *rx) const
+{
+    for (std::size_t id : activeFlights_) {
+        const Flight &f = flights_[id];
+        if (f.src == rx)
+            return true; // own word still leaving the antenna
+        if (rssiDbm(f.src, rx) >= cfg_.sensitivityDbm)
+            return true;
+    }
+    return false;
+}
+
+void
+FieldMedium::beginTransmit(Transceiver *src, std::uint16_t word,
+                           sim::Tick airtime)
+{
+    wordsSent_->inc();
+    const sim::Tick now = kernel_.now();
+
+    std::size_t id;
+    if (!freeFlights_.empty()) {
+        id = freeFlights_.back();
+        freeFlights_.pop_back();
+        flights_[id].src = src;
+        flights_[id].word = word;
+        flights_[id].start = now;
+        flights_[id].end = now + airtime;
+        flights_[id].interferers.clear();
+    } else {
+        id = flights_.size();
+        flights_.push_back(Flight{src, word, now, now + airtime, {}});
+    }
+
+    // Record the overlap both ways. Whether the overlap *matters* is a
+    // per-receiver question answered at resolution time by the capture
+    // rule; here every concurrent word is a potential interferer.
+    for (std::size_t a : activeFlights_) {
+        flights_[a].interferers.push_back(src);
+        flights_[id].interferers.push_back(flights_[a].src);
+    }
+    activeFlights_.push_back(id);
+    ++active_;
+
+    // As on the single-cell medium: the interference window is the
+    // airtime; the word resolves one propagation delay after the last
+    // bit leaves the antenna.
+    kernel_.schedule(flights_[id].end, [this, id] {
+        --active_;
+        activeFlights_.erase(std::remove(activeFlights_.begin(),
+                                         activeFlights_.end(), id),
+                             activeFlights_.end());
+        kernel_.schedule(kernel_.now() + propagation_,
+                         [this, id] { resolve(id); });
+    });
+}
+
+void
+FieldMedium::resolve(std::size_t id)
+{
+    // Move the flight out: resolution is its terminal stage, and the
+    // slot is retired to the free list whatever the outcomes below.
+    const Flight f = std::move(flights_[id]);
+    flights_[id].interferers = {}; // moved-from: drop capacity
+    freeFlights_.push_back(id);
+
+    const double capture = field::dbFactor(cfg_.captureDb);
+    const double noiseMw = field::dbmToMw(cfg_.noiseDbm);
+    bool garbled = false;
+
+    for (std::size_t r = 0; r < nodes_.size(); ++r) {
+        Transceiver *rx = nodes_[r];
+        if (rx == f.src)
+            continue;
+        if (linkFilter_ && !linkFilter_(f.src, rx))
+            continue;
+        const double sigDbm = rssiDbm(f.src, rx);
+        if (sigDbm < cfg_.sensitivityDbm)
+            continue; // out of range: not an opportunity at all
+        rxInRange_->inc();
+
+        // Capture: the signal must clear noise plus the sum of every
+        // overlapping word's received power by the margin. Interferers
+        // are summed in overlap-recording order — deterministic, since
+        // flights start in kernel event order.
+        double interfMw = noiseMw;
+        for (const Transceiver *g : f.interferers) {
+            const double gDbm = rssiDbm(g, rx);
+            if (gDbm >= cfg_.noiseDbm)
+                interfMw += field::dbmToMw(gDbm);
+        }
+        if (field::dbmToMw(sigDbm) >= capture * interfMw) {
+            countDeliverOutcome(
+                rx->deliver(f.word, field::rssiToWord(sigDbm)));
+        } else {
+            collisions_->inc(); // garbled at this receiver
+            garbled = true;
+        }
+    }
+
+    if (sniffer_)
+        sniffer_(f.src, f.word, garbled);
+}
+
+} // namespace snaple::radio

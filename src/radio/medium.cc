@@ -57,6 +57,22 @@ Medium::endTransmit(std::size_t id)
 }
 
 void
+Medium::countDeliverOutcome(DeliverStatus status)
+{
+    switch (status) {
+      case DeliverStatus::Accepted:
+        wordsDelivered_->inc();
+        break;
+      case DeliverStatus::DroppedMode:
+        dropsMode_->inc();
+        break;
+      case DeliverStatus::DroppedFifo:
+        dropsFifo_->inc();
+        break;
+    }
+}
+
+void
 Medium::deliver(std::size_t id)
 {
     // Copy the flight out: delivery is its terminal stage, and the
@@ -76,8 +92,11 @@ Medium::deliver(std::size_t id)
             continue;
         if (linkFilter_ && !linkFilter_(f.src, t))
             continue;
-        t->deliver(f.word);
-        wordsDelivered_->inc();
+        // Count what the receiver actually did with the word: a
+        // transceiver in the wrong mode or with a full RX FIFO drops
+        // it, and counting that as "delivered" would break the
+        // per-receiver channel arithmetic.
+        countDeliverOutcome(t->deliver(f.word));
     }
 }
 

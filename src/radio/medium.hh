@@ -7,11 +7,20 @@
  * attached transceiver after a propagation delay; transmissions that
  * overlap in time collide, and collided words are not delivered
  * (the MAC layer's CSMA and ACKs exist to cope with exactly this).
+ *
+ * Delivery accounting distinguishes *offered* words from *accepted*
+ * ones: "air.words_delivered" counts only words the receiver actually
+ * took (radio in Rx mode, RX FIFO not full); words the medium offered
+ * but the transceiver dropped count in "air.drops_mode" /
+ * "air.drops_fifo". Per receiver the channel arithmetic closes:
+ * every clean offered word is exactly one of delivered / drops_mode /
+ * drops_fifo (plus the fault-drop counters in the parallel harness).
  */
 
 #ifndef SNAPLE_RADIO_MEDIUM_HH
 #define SNAPLE_RADIO_MEDIUM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -24,6 +33,14 @@ namespace snaple::radio {
 
 class Transceiver;
 
+/** What a receiver did with an offered word (Transceiver::deliver). */
+enum class DeliverStatus
+{
+    Accepted,    ///< word pushed into the RX FIFO
+    DroppedMode, ///< radio was not in Rx mode
+    DroppedFifo, ///< RX FIFO was full
+};
+
 /** One shared broadcast channel. */
 class Medium
 {
@@ -32,8 +49,10 @@ class Medium
     struct Stats
     {
         std::uint64_t wordsSent = 0;
-        std::uint64_t wordsDelivered = 0;
+        std::uint64_t wordsDelivered = 0; ///< accepted by a receiver
         std::uint64_t collisions = 0; ///< transmissions lost to overlap
+        std::uint64_t dropsMode = 0;  ///< offered, radio not in Rx
+        std::uint64_t dropsFifo = 0;  ///< offered, RX FIFO full
     };
 
     /** Observer invoked for every word put on the air (sniffing). */
@@ -55,20 +74,45 @@ class Medium
         : kernel_(kernel), propagation_(propagation),
           wordsSent_(&registry_.counter("air.words_sent")),
           wordsDelivered_(&registry_.counter("air.words_delivered")),
-          collisions_(&registry_.counter("air.collisions"))
+          collisions_(&registry_.counter("air.collisions")),
+          dropsMode_(&registry_.counter("air.drops_mode")),
+          dropsFifo_(&registry_.counter("air.drops_fifo"))
     {}
 
     Medium(const Medium &) = delete;
     Medium &operator=(const Medium &) = delete;
     virtual ~Medium() = default;
 
-    virtual void attach(Transceiver *t) { nodes_.push_back(t); }
+    /**
+     * Register a transceiver. Idempotent: attaching the same
+     * transceiver twice is ignored (a double registration would
+     * deliver — and charge RX energy for — every word twice).
+     */
+    virtual void
+    attach(Transceiver *t)
+    {
+        if (std::find(nodes_.begin(), nodes_.end(), t) != nodes_.end())
+            return;
+        nodes_.push_back(t);
+    }
 
     void setSniffer(Sniffer s) { sniffer_ = std::move(s); }
     void setLinkFilter(LinkFilter f) { linkFilter_ = std::move(f); }
 
     /** True if any transmission is currently on the air (CSMA sense). */
     virtual bool busy() const { return active_ > 0; }
+
+    /**
+     * Carrier sense from @p rx's point of view. On this single-cell
+     * medium every receiver hears every transmitter, so it equals
+     * busy(); spatial media (FieldMedium) answer per position.
+     */
+    virtual bool
+    busyFor(const Transceiver *rx) const
+    {
+        (void)rx;
+        return busy();
+    }
 
     /**
      * Called by a transceiver: put @p word on the air for @p airtime.
@@ -88,7 +132,8 @@ class Medium
     stats() const
     {
         return Stats{wordsSent_->value(), wordsDelivered_->value(),
-                     collisions_->value()};
+                     collisions_->value(), dropsMode_->value(),
+                     dropsFifo_->value()};
     }
 
     /** Channel-scoped metrics registry (the "air.*" counters). */
@@ -105,6 +150,26 @@ class Medium
      */
     std::size_t flightSlotsAllocated() const { return flights_.size(); }
 
+  protected:
+    // Shared with subclasses (FieldMedium keeps its own flight
+    // bookkeeping but reuses the channel registry, attachment list and
+    // observer hooks).
+    sim::Kernel &kernel_;
+    sim::Tick propagation_;
+    std::vector<Transceiver *> nodes_;
+    /** Channel-scoped registry: a medium is not owned by any node. */
+    sim::MetricsRegistry registry_;
+    sim::MetricCounter *wordsSent_;
+    sim::MetricCounter *wordsDelivered_;
+    sim::MetricCounter *collisions_;
+    sim::MetricCounter *dropsMode_;
+    sim::MetricCounter *dropsFifo_;
+    Sniffer sniffer_;
+    LinkFilter linkFilter_;
+
+    /** Count one offered-word outcome from Transceiver::deliver. */
+    void countDeliverOutcome(DeliverStatus status);
+
   private:
     struct Flight
     {
@@ -117,20 +182,10 @@ class Medium
     void endTransmit(std::size_t id);
     void deliver(std::size_t id);
 
-    sim::Kernel &kernel_;
-    sim::Tick propagation_;
-    std::vector<Transceiver *> nodes_;
     std::vector<Flight> flights_;          ///< slots, recycled by id
     std::vector<std::size_t> freeFlights_; ///< retired slot ids
     std::vector<std::size_t> activeFlights_;
     unsigned active_ = 0;
-    /** Channel-scoped registry: a medium is not owned by any node. */
-    sim::MetricsRegistry registry_;
-    sim::MetricCounter *wordsSent_;
-    sim::MetricCounter *wordsDelivered_;
-    sim::MetricCounter *collisions_;
-    Sniffer sniffer_;
-    LinkFilter linkFilter_;
 };
 
 } // namespace snaple::radio

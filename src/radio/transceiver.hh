@@ -126,23 +126,38 @@ class Transceiver : public coproc::RadioPort
 
     sim::Fifo<std::uint16_t> &rxWords() override { return rxFifo_; }
 
-    bool channelBusy() const override { return medium_.busy(); }
+    /** CSMA sense, from this receiver's position when the medium is
+     *  spatial (out-of-range transmissions are inaudible). */
+    bool channelBusy() const override { return medium_.busyFor(this); }
+
+    /** RSSI of the last accepted word (io_ports.hh: the half-dB
+     *  encoding); 0 until a word arrives on a signal-strength-aware
+     *  medium. */
+    std::uint16_t lastRssi() const override { return lastRssi_; }
 
     // Medium-side interface ------------------------------------------
-    /** Deliver a word that arrived over the air. */
-    void
-    deliver(std::uint16_t word)
+    /**
+     * Deliver a word that arrived over the air, with the medium's
+     * receiver-side signal strength (0 = unknown). Returns what this
+     * receiver did with the word so the medium can count deliveries
+     * it actually made, not merely offered.
+     */
+    DeliverStatus
+    deliver(std::uint16_t word, std::uint16_t rssi = 0)
     {
         if (mode_ != coproc::RadioMode::Rx) {
             rxMissedWrongMode_->inc();
-            return;
+            return DeliverStatus::DroppedMode;
         }
         if (!cfg_.selfPowered)
             ctx_.ledger.add(energy::Cat::Radio, cfg_.rxPjPerWord);
-        if (rxFifo_.tryPush(word))
-            rxWords_->inc();
-        else
+        if (!rxFifo_.tryPush(word)) {
             rxDroppedFifoFull_->inc();
+            return DeliverStatus::DroppedFifo;
+        }
+        rxWords_->inc();
+        lastRssi_ = rssi;
+        return DeliverStatus::Accepted;
     }
 
     coproc::RadioMode mode() const { return mode_; }
@@ -163,6 +178,7 @@ class Transceiver : public coproc::RadioPort
     Medium &medium_;
     RadioConfig cfg_;
     coproc::RadioMode mode_ = coproc::RadioMode::Idle;
+    std::uint16_t lastRssi_ = 0;
     sim::Tick listenAccruedTo_ = 0;
     sim::Fifo<std::uint16_t> rxFifo_;
     /** Registry-native counters in the node's metrics registry. */

@@ -134,7 +134,11 @@ RunResult::row() const
        << " delivered=" << air.wordsDelivered
        << " collisions=" << air.collisions
        << " drops_link=" << dropsLink << " drops_dead=" << dropsDead
-       << " pending=" << pendingFlights << " deaths=" << deaths
+       << " drops_mode=" << air.dropsMode
+       << " drops_fifo=" << air.dropsFifo
+       << " rx_in_range=" << rxInRange
+       << " pending=" << pendingFlights
+       << " pending_rx=" << pendingDeliveries << " deaths=" << deaths
        << " dbg=" << dbg
        << " energy_uj=" << sim::formatDouble(energyPj / 1e6);
     return os.str();
@@ -186,7 +190,16 @@ runScenario(const Scenario &sc, const RunOptions &opt)
             capacityPj[i] = *ns.batteryUj * 1e6; // uJ -> pJ
     }
 
-    if (sc.topology == "line") {
+    if (sc.field) {
+        // Spatial mode: connectivity comes from positions and path
+        // loss; topology is "full" by validation, so no link filter.
+        net.setField(*sc.field);
+        for (std::size_t i = 0; i < sc.nodes; ++i) {
+            const std::pair<double, double> p =
+                *sc.resolved(i).position;
+            net.setNodePosition(i, p.first, p.second);
+        }
+    } else if (sc.topology == "line") {
         net.setLineTopology();
     } else if (sc.topology == "ring") {
         const std::size_t n = sc.nodes;
@@ -296,7 +309,9 @@ runScenario(const Scenario &sc, const RunOptions &opt)
     res.air = net.stats();
     res.dropsLink = net.airDropsLink();
     res.dropsDead = net.airDropsDead();
+    res.rxInRange = net.airRxInRange();
     res.pendingFlights = net.airPendingFlights();
+    res.pendingDeliveries = net.airPendingDeliveries();
     return res;
 }
 

@@ -69,10 +69,13 @@ struct RunResult
     double durationMs = 0;
 
     std::vector<NodeOutcome> outcomes; ///< registration order
-    radio::Medium::Stats air{};
+    radio::Medium::Stats air{}; ///< incl. drops_mode / drops_fifo
     std::uint64_t dropsLink = 0; ///< deliveries lost to downed links
     std::uint64_t dropsDead = 0; ///< deliveries lost to dead nodes
+    std::uint64_t rxInRange = 0; ///< field mode: rx opportunities
     std::size_t pendingFlights = 0; ///< unresolved flights at the end
+    /** Delivery offers still scheduled past the final barrier. */
+    std::uint64_t pendingDeliveries = 0;
 
     /** FNV-1a fold of the per-node trace hashes in id order: one
      *  64-bit witness for the whole run. */

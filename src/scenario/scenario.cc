@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -24,6 +25,8 @@ NodeSettings::overlaid(const NodeSettings &over) const
         r.batteryUj = over.batteryUj;
     if (over.sensor)
         r.sensor = over.sensor;
+    if (over.position)
+        r.position = over.position;
     for (const auto &[k, v] : over.params)
         r.params[k] = v;
     return r;
@@ -88,13 +91,21 @@ parseU64(const Ctx &c, const std::string &t, const char *what)
     return v;
 }
 
+/** A finite double, sign allowed (positions, dBm field keys). */
 double
-parseF64(const Ctx &c, const std::string &t, const char *what)
+parseSignedF64(const Ctx &c, const std::string &t, const char *what)
 {
     char *end = nullptr;
     const double v = std::strtod(t.c_str(), &end);
-    if (end != t.c_str() + t.size() || t.empty())
+    if (end != t.c_str() + t.size() || t.empty() || !std::isfinite(v))
         c.fail("expected a number ", what, ", got '", t, "'");
+    return v;
+}
+
+double
+parseF64(const Ctx &c, const std::string &t, const char *what)
+{
+    const double v = parseSignedF64(c, t, what);
     if (!(v >= 0))
         c.fail(what, " must be non-negative, got '", t, "'");
     return v;
@@ -170,9 +181,53 @@ parseNodeLine(const Ctx &c, Scenario &sc,
         if (!validSymbol(t[3]))
             c.fail("'", t[3], "' is not a valid parameter name");
         ns->params[t[3]] = parseParamValue(c, t[4]);
+    } else if (key == "position") {
+        if (t.size() != 5)
+            c.fail("position takes: position <x_m> <y_m>");
+        ns->position = {parseSignedF64(c, t[3], "for position x"),
+                        parseSignedF64(c, t[4], "for position y")};
     } else {
         c.fail("unknown node key '", key, "'");
     }
+}
+
+/** Handle one `field <key> <value>` directive (path-loss block). */
+void
+parseFieldLine(const Ctx &c, Scenario &sc,
+               const std::vector<std::string> &t,
+               std::map<std::string, std::size_t> &seenField)
+{
+    if (t.size() != 3)
+        c.fail("field directive needs: field <key> <value>");
+    if (const auto [it, fresh] = seenField.emplace(t[1], c.line);
+        !fresh)
+        c.fail("duplicate 'field ", t[1], "' (first on line ",
+               it->second, ")");
+    if (!sc.field)
+        sc.field.emplace();
+    radio::FieldConfig &f = *sc.field;
+    const std::string &key = t[1];
+    if (key == "cell_m")
+        f.cellM = parseF64(c, t[2], "for cell_m");
+    else if (key == "tx_dbm")
+        f.txDbm = parseSignedF64(c, t[2], "for tx_dbm");
+    else if (key == "pl0_db")
+        f.pl0Db = parseSignedF64(c, t[2], "for pl0_db");
+    else if (key == "ref_m")
+        f.refM = parseF64(c, t[2], "for ref_m");
+    else if (key == "exponent")
+        f.exponent = parseF64(c, t[2], "for exponent");
+    else if (key == "noise_dbm")
+        f.noiseDbm = parseSignedF64(c, t[2], "for noise_dbm");
+    else if (key == "sensitivity_dbm")
+        f.sensitivityDbm =
+            parseSignedF64(c, t[2], "for sensitivity_dbm");
+    else if (key == "capture_db")
+        f.captureDb = parseSignedF64(c, t[2], "for capture_db");
+    else
+        c.fail("unknown field key '", key,
+               "' (want cell_m, tx_dbm, pl0_db, ref_m, exponent, "
+               "noise_dbm, sensitivity_dbm or capture_db)");
 }
 
 /** Handle one `fault <kind> ...` directive. */
@@ -250,6 +305,32 @@ validate(const Scenario &sc, const std::string &origin)
         if (!sc.resolved(i).program)
             fail("node ", i, " resolves no program (add a 'node * "
                  "program' default or a per-node override)");
+    if (sc.field) {
+        if (sc.topology != "full")
+            fail("field mode requires topology full (connectivity "
+                 "comes from positions and path loss)");
+        if (sc.field->refM <= 0)
+            fail("field ref_m must be positive");
+        if (sc.field->exponent <= 0)
+            fail("field exponent must be positive");
+        if (sc.field->cellM <= 0)
+            fail("field cell_m must be positive");
+        if (sc.field->sensitivityDbm < sc.field->noiseDbm)
+            fail("field sensitivity_dbm below the noise floor");
+        for (std::size_t i = 0; i < sc.nodes; ++i)
+            if (!sc.resolved(i).position)
+                fail("field mode: node ", i, " has no position");
+    } else {
+        const auto placed = [](const NodeSettings &ns) {
+            return ns.position.has_value();
+        };
+        if (placed(sc.defaults) ||
+            std::any_of(sc.overrides.begin(), sc.overrides.end(),
+                        [&](const auto &kv) {
+                            return placed(kv.second);
+                        }))
+            fail("node positions need a 'field' block");
+    }
     for (const Fault &f : sc.faults) {
         if (f.a >= sc.nodes || f.b >= sc.nodes)
             fail("fault references node ", std::max(f.a, f.b),
@@ -272,6 +353,7 @@ parseScenario(const std::string &text, const std::string &origin)
     // Scalar directives may appear at most once; the canonical form
     // is then unambiguous and parse∘serialize is a fixed point.
     std::map<std::string, std::size_t> seen;
+    std::map<std::string, std::size_t> seenField;
     while (std::getline(in, line)) {
         ++lineNo;
         const Ctx c{origin, lineNo};
@@ -281,6 +363,10 @@ parseScenario(const std::string &text, const std::string &origin)
         const std::string &d = t[0];
         if (d == "node") {
             parseNodeLine(c, sc, t);
+            continue;
+        }
+        if (d == "field") {
+            parseFieldLine(c, sc, t, seenField);
             continue;
         }
         if (d == "fault") {
@@ -354,6 +440,10 @@ writeSettings(std::ostream &os, const std::string &who,
     if (ns.sensor)
         os << "node " << who << " sensor "
            << (*ns.sensor ? "on" : "off") << "\n";
+    if (ns.position)
+        os << "node " << who << " position "
+           << sim::formatDouble(ns.position->first) << " "
+           << sim::formatDouble(ns.position->second) << "\n";
     for (const auto &[k, v] : ns.params) // std::map: sorted by name
         os << "node " << who << " param " << k << " " << v << "\n";
 }
@@ -375,6 +465,21 @@ serializeScenario(const Scenario &sc)
        << "\n";
     if (sc.windowUs > 0)
         os << "window_us " << sim::formatDouble(sc.windowUs) << "\n";
+    if (sc.field) {
+        const radio::FieldConfig &f = *sc.field;
+        os << "field cell_m " << sim::formatDouble(f.cellM) << "\n";
+        os << "field tx_dbm " << sim::formatDouble(f.txDbm) << "\n";
+        os << "field pl0_db " << sim::formatDouble(f.pl0Db) << "\n";
+        os << "field ref_m " << sim::formatDouble(f.refM) << "\n";
+        os << "field exponent " << sim::formatDouble(f.exponent)
+           << "\n";
+        os << "field noise_dbm " << sim::formatDouble(f.noiseDbm)
+           << "\n";
+        os << "field sensitivity_dbm "
+           << sim::formatDouble(f.sensitivityDbm) << "\n";
+        os << "field capture_db " << sim::formatDouble(f.captureDb)
+           << "\n";
+    }
     writeSettings(os, "*", sc.defaults);
     for (const auto &[id, ns] : sc.overrides) // sorted by id
         writeSettings(os, std::to_string(id), ns);

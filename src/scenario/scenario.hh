@@ -25,7 +25,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "radio/field_medium.hh" // radio::FieldConfig (field stanzas)
 
 namespace snaple::scenario {
 
@@ -59,6 +62,13 @@ struct NodeSettings
      * not define them (duplicate `.equ` is a fatal assembler error).
      */
     std::map<std::string, std::int32_t> params;
+
+    /**
+     * Field-mode placement, meters (may be negative). Required for
+     * every node when the scenario has `field` stanzas; rejected
+     * otherwise (a position without a field model is dead weight).
+     */
+    std::optional<std::pair<double, double>> position;
 
     bool operator==(const NodeSettings &) const = default;
 
@@ -96,6 +106,15 @@ struct Scenario
     double metricsMs = 0;     ///< metrics cadence; 0 = no stream
     double propagationUs = 1; ///< air propagation delay
     double windowUs = 0;      ///< sync-window override; 0 = derive
+
+    /**
+     * Spatial field model (the `field <key> <value>` stanzas):
+     * log-distance path loss, per-receiver RSSI and capture-threshold
+     * collision resolution on the sharded network. Requires topology
+     * "full" (connectivity comes from positions and path loss, not a
+     * link filter) and a position for every node.
+     */
+    std::optional<radio::FieldConfig> field;
 
     NodeSettings defaults; ///< the `node *` lines
     std::map<std::uint32_t, NodeSettings> overrides;

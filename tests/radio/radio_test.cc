@@ -126,7 +126,12 @@ TEST(RadioTest, FlightStorageStaysBoundedOverManyWords)
         txWords(r.a, std::vector<std::uint16_t>(kWords, 0xA5A5)));
     r.kernel.run(200 * sim::kSecond);
     ASSERT_EQ(r.medium.stats().wordsSent, kWords);
-    EXPECT_EQ(r.medium.stats().wordsDelivered, kWords);
+    // The receiver never drains its FIFO, so after the first 8 words
+    // every offer is a counted FIFO drop — the acceptance arithmetic
+    // still covers every word.
+    EXPECT_EQ(r.medium.stats().wordsDelivered +
+                  r.medium.stats().dropsFifo,
+              kWords);
     // One word in the air at a time (plus its in-propagation tail):
     // a handful of slots, not one per word.
     EXPECT_LE(r.medium.flightSlotsAllocated(), 4u);
@@ -145,6 +150,49 @@ TEST(RadioTest, FlightStorageStaysBoundedUnderCollisions)
     ASSERT_EQ(r.medium.stats().wordsSent, 2000u);
     EXPECT_EQ(r.medium.stats().collisions, 2000u);
     EXPECT_LE(r.medium.flightSlotsAllocated(), 8u);
+}
+
+TEST(RadioTest, DeliveredCountsAcceptedWordsOnly)
+{
+    // Regression: the medium used to bump "air.words_delivered" for
+    // every offer, even when the transceiver dropped the word (wrong
+    // mode or full RX FIFO) — delivered could exceed what any receiver
+    // ever saw. Delivery now counts acceptance; refusals land in the
+    // explicit drop counters and the per-receiver arithmetic closes.
+    Rig r;
+    r.b.setMode(RadioMode::Idle); // word 1: offered, radio not in Rx
+    r.kernel.spawn(txWords(r.a, {0x0001}));
+    r.kernel.runFor(3 * sim::kMillisecond);
+    EXPECT_EQ(r.medium.stats().wordsDelivered, 0u);
+    EXPECT_EQ(r.medium.stats().dropsMode, 1u);
+
+    r.b.setMode(RadioMode::Rx); // words 2..10: 8 accepted, 1 overflows
+    r.kernel.spawn(txWords(r.a, std::vector<std::uint16_t>(9, 0x2222)));
+    r.kernel.runFor(20 * sim::kMillisecond);
+    const Medium::Stats s = r.medium.stats();
+    EXPECT_EQ(s.wordsDelivered, 8u); // default RX FIFO depth
+    EXPECT_EQ(s.dropsFifo, 1u);
+    EXPECT_EQ(s.wordsSent,
+              s.wordsDelivered + s.dropsMode + s.dropsFifo);
+    EXPECT_EQ(r.b.stats().rxWords, s.wordsDelivered);
+}
+
+TEST(RadioTest, DuplicateAttachIsIgnored)
+{
+    // Regression: attach() used to append unconditionally, so a
+    // transceiver registered twice heard every word twice (and was
+    // charged RX energy twice). The second attach is now a no-op.
+    Rig r;
+    r.medium.attach(&r.b);
+    r.b.setMode(RadioMode::Rx);
+    r.kernel.spawn(txWords(r.a, {0xBEEF}));
+    r.kernel.runFor(3 * sim::kMillisecond);
+    EXPECT_EQ(r.b.rxWords().size(), 1u);
+    EXPECT_EQ(r.b.stats().rxWords, 1u);
+    EXPECT_EQ(r.medium.stats().wordsDelivered, 1u);
+    RadioConfig cfg;
+    EXPECT_DOUBLE_EQ(r.ctxB.ledger.pj(energy::Cat::Radio),
+                     cfg.rxPjPerWord);
 }
 
 TEST(RadioTest, BackToBackWordsSpaceByAirtime)

@@ -108,14 +108,17 @@ struct Rig
         FAIL() << "no mid-flight word within 64 windows";
     }
 
-    /** sent == delivered + collisions + drops, for one receiver. */
+    /** sent == delivered + collisions + drops + still-pending offers,
+     *  for one receiver (call with airPendingFlights() == 0). */
     void
     expectCountersReconcile()
     {
         const radio::Medium::Stats s = net.stats();
         EXPECT_EQ(s.wordsSent, s.wordsDelivered + s.collisions +
+                                   s.dropsMode + s.dropsFifo +
                                    net.airDropsLink() +
-                                   net.airDropsDead());
+                                   net.airDropsDead() +
+                                   net.airPendingDeliveries());
     }
 };
 

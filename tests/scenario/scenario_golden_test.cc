@@ -75,6 +75,7 @@ TEST_P(ScenarioGolden, ScenarioFileIsCanonical)
 
 INSTANTIATE_TEST_SUITE_P(Shipped, ScenarioGolden,
                          ::testing::Values("trickle", "leach",
-                                           "dutycycle"));
+                                           "dutycycle",
+                                           "rssi_cluster"));
 
 } // namespace

@@ -144,6 +144,72 @@ TEST(ScenarioParser, RejectsInvalidWholes)
                   "distinct endpoints");
 }
 
+const char *kField = R"(
+scenario spatial
+nodes 2
+topology full
+duration_ms 5
+
+field cell_m 25
+field tx_dbm -3
+field exponent 3.1
+field sensitivity_dbm -92.5
+
+node * program p.s
+node 0 position 0 0
+node 1 position -12.5 40
+)";
+
+TEST(ScenarioParser, FieldBlockRoundTripsThroughCanonicalForm)
+{
+    const Scenario sc1 = parseScenario(kField, "f.scn");
+    const std::string s1 = serializeScenario(sc1);
+    const Scenario sc2 = parseScenario(s1, "f.scn#2");
+    EXPECT_EQ(s1, serializeScenario(sc2));
+
+    ASSERT_TRUE(sc2.field.has_value());
+    EXPECT_DOUBLE_EQ(sc2.field->cellM, 25.0);
+    EXPECT_DOUBLE_EQ(sc2.field->txDbm, -3.0);
+    EXPECT_DOUBLE_EQ(sc2.field->exponent, 3.1);
+    EXPECT_DOUBLE_EQ(sc2.field->sensitivityDbm, -92.5);
+    // Unset keys keep their defaults through the round trip.
+    EXPECT_DOUBLE_EQ(sc2.field->pl0Db, radio::FieldConfig{}.pl0Db);
+
+    // Signed positions survive, and overrides overlay them.
+    ASSERT_TRUE(sc2.resolved(1).position.has_value());
+    EXPECT_DOUBLE_EQ(sc2.resolved(1).position->first, -12.5);
+    EXPECT_DOUBLE_EQ(sc2.resolved(1).position->second, 40.0);
+}
+
+TEST(ScenarioParser, RejectsInvalidFieldScenarios)
+{
+    const std::string ok = "nodes 2\nduration_ms 5\ntopology full\n"
+                           "node * program p.s\n";
+    // Positions only make sense under a path-loss model.
+    expectRejects(ok + "node 0 position 1 2\nnode 1 position 3 4\n",
+                  "positions need a 'field' block");
+    // Field mode needs every node placed...
+    expectRejects(ok + "field cell_m 30\nnode 0 position 1 2\n",
+                  "node 1 has no position");
+    // ...full connectivity (the field decides who hears whom)...
+    expectRejects("nodes 2\nduration_ms 5\ntopology line\n"
+                  "node * program p.s\nfield cell_m 30\n"
+                  "node * position 0 0\n",
+                  "requires topology full");
+    // ...and well-formed keys.
+    expectRejects(ok + "field gain 3\nnode * position 0 0\n",
+                  "unknown field key");
+    expectRejects(ok + "field cell_m 30\nfield cell_m 40\n"
+                       "node * position 0 0\n",
+                  "duplicate 'field cell_m'");
+    expectRejects(ok + "field cell_m -1\nnode * position 0 0\n",
+                  "cell_m");
+    expectRejects(ok + "field sensitivity_dbm -120\n"
+                       "field noise_dbm -90\nnode * position 0 0\n",
+                  "below the noise floor");
+    expectRejects(ok + "node 0 position 5\n", "position <x_m> <y_m>");
+}
+
 TEST(ScenarioParser, CommentsAndBlanksAreIgnored)
 {
     const Scenario sc = parseScenario(

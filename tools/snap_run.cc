@@ -52,6 +52,7 @@
 #include "core/machine.hh"
 #include "net/parallel_network.hh"
 #include "node/power.hh"
+#include "radio/transceiver.hh"
 #include "scenario/runner.hh"
 #include "sim/trace.hh"
 
@@ -306,9 +307,17 @@ main(int argc, char **argv)
                               .count();
             if (!metrics_path.empty())
                 net.finishMetrics();
-            for (std::size_t i = 0; i < net.size(); ++i)
+            for (std::size_t i = 0; i < net.size(); ++i) {
+                // Bring every ledger up to the final barrier: idle
+                // listening and leakage accrue lazily, so a node
+                // parked in Rx would otherwise report none of its
+                // dominant energy cost.
+                if (radio::Transceiver *t = net.node(i).transceiver())
+                    t->accrueListenEnergy();
+                net.node(i).ctx().accrueLeakage();
                 net_instructions +=
                     net.node(i).core().stats().instructions;
+            }
         } catch (const sim::FatalError &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
@@ -329,12 +338,21 @@ main(int argc, char **argv)
             const auto &air = net.stats();
             std::printf("--\n");
             std::printf("air          : %llu sent, %llu delivered, "
-                        "%llu collided\n",
+                        "%llu collided, drops %llu mode / %llu fifo\n",
                         static_cast<unsigned long long>(air.wordsSent),
                         static_cast<unsigned long long>(
                             air.wordsDelivered),
                         static_cast<unsigned long long>(
-                            air.collisions));
+                            air.collisions),
+                        static_cast<unsigned long long>(air.dropsMode),
+                        static_cast<unsigned long long>(
+                            air.dropsFifo));
+            double total_pj = 0.0;
+            for (std::size_t i = 0; i < net.size(); ++i)
+                total_pj += net.node(i).ctx().ledger.totalPj();
+            std::printf("energy       : %.2f uJ total across %u "
+                        "nodes\n",
+                        total_pj / 1e6, nodes);
             std::printf("events       : %llu across %u shards, "
                         "%u lane%s, window %.1f us\n",
                         static_cast<unsigned long long>(
