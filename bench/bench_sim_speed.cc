@@ -20,6 +20,7 @@
 #include "core/machine.hh"
 #include "net/network.hh"
 #include "net/parallel_network.hh"
+#include "scenario/runner.hh"
 #include "sensor/sensor.hh"
 
 namespace {
@@ -402,6 +403,68 @@ BM_SnapCoreMix(benchmark::State &state)
     state.SetLabel("guest instructions/s");
 }
 BENCHMARK(BM_SnapCoreMix);
+
+void
+BM_SnapCoreMixFast(benchmark::State &state)
+{
+    // The statistical fast tier on the same mix (docs/SIMULATOR.md):
+    // the predecoded interpreter retires instructions from cached
+    // decoded lines and charges time/energy per class at flush
+    // boundaries instead of per CHP rendezvous. The items/s ratio over
+    // BM_SnapCoreMix is the tier's speedup (ROADMAP targets 50-100x).
+    // A larger loop count than the cycle bench keeps per-iteration
+    // setup (kernel + machine construction) out of the measurement —
+    // at fast-tier speed the cycle bench's 2000 rounds retire in
+    // microseconds.
+    auto prog = assembler::assembleSnap(mixProgram(60000));
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Kernel kernel;
+        core::Machine m(kernel, {});
+        m.load(prog);
+        m.start(core::FidelityMode::Fast);
+        kernel.run();
+        instructions += m.core().stats().instructions;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instructions));
+    state.SetLabel("guest instructions/s");
+}
+BENCHMARK(BM_SnapCoreMixFast);
+
+void
+BM_ScenarioScaling(benchmark::State &state)
+{
+    // The scenario engine end to end on the shipped golden scenarios,
+    // at both execution fidelities: range(0) picks the scenario,
+    // range(1) the fidelity (0 = cycle, 1 = fast, forced onto every
+    // node via the RunOptions override). The cycle/fast pair for one
+    // scenario is the whole-system payoff of the fast tier — radio,
+    // sensors and the barrier exchange are unchanged, only the core's
+    // instruction execution switches models.
+    static const char *kNames[] = {"trickle", "dutycycle"};
+    const auto name =
+        std::string(kNames[static_cast<std::size_t>(state.range(0))]);
+    const bool fast = state.range(1) != 0;
+    const scenario::Scenario sc = scenario::loadScenario(
+        std::string(SNAPLE_SOURCE_DIR) + "/examples/scenarios/" + name +
+        ".scn");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        scenario::RunOptions opt;
+        opt.fidelityFast = fast;
+        const scenario::RunResult res = scenario::runScenario(sc, opt);
+        benchmark::DoNotOptimize(res.combinedTraceHash);
+        events += res.air.wordsSent;
+    }
+    benchmark::DoNotOptimize(events);
+    state.SetLabel(name + (fast ? " / fast" : " / cycle"));
+}
+BENCHMARK(BM_ScenarioScaling)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_AvrBaselineBlink(benchmark::State &state)

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "energy/calibration.hh"
+#include "energy/class_cal.hh"
 #include "energy/ledger.hh"
 #include "energy/voltage.hh"
 #include "isa/isa.hh"
@@ -74,6 +75,15 @@ struct CoreConfig
      */
     double sizingDelayScale = 1.0;
     double sizingEnergyScale = 1.0;
+
+    /**
+     * Per-instruction-class coefficients for the fast fidelity tier
+     * (nominal units; see energy/class_cal.hh). Defaults to the
+     * analytic derivation from the cycle tier's charge sequence;
+     * replace with a `snap-report --calibrate` table to track a
+     * measured workload mix.
+     */
+    energy::ClassCal classCal = energy::ClassCal::analytic();
 
     /** A preset matching the paper's future-work direction. */
     static CoreConfig

@@ -15,29 +15,33 @@ using isa::Unit;
 using sim::Co;
 using sim::Tick;
 
-SnapCore::SnapCore(NodeContext &ctx, mem::Sram &imem, mem::Sram &dmem,
-                   EventQueue &event_queue, WordFifo &msg_in,
-                   WordFifo &msg_out, TimerPort &timer_port,
-                   std::string name)
-    : ctx_(ctx), imem_(imem), dmem_(dmem), eventQueue_(event_queue),
-      msgIn_(msg_in), msgOut_(msg_out), timerPort_(timer_port),
-      fetchQ_(ctx.kernel, ctx.cfg.fetchQueueDepth, 0, name + ".fetchq"),
-      redirect_(ctx.kernel, 0, name + ".redirect"),
-      traceFetch_(ctx.kernel, name + ".fetch"),
-      traceExec_(ctx.kernel, name + ".exec"),
-      evqWaitAll_(&ctx.metrics.histogram("core.evq_wait_ticks"))
+// The constructor and destructor live in fast_core.cc, where the
+// opaque FastTier (behind the unique_ptr member) is a complete type.
+
+void
+SnapCore::start(FidelityMode fidelity)
 {
-    for (std::size_t e = 0; e < isa::kNumEvents; ++e)
-        evqWait_[e] = &ctx.metrics.histogram(
-            std::string("core.evq_wait_ticks.") +
-            std::string(isa::eventName(static_cast<isa::EventNum>(e))));
+    fidelity_ = fidelity;
+    pendingFidelity_ = fidelity;
+    resumePc_ = kNoResume;
+    spawnExecutor(fidelity);
 }
 
 void
-SnapCore::start()
+SnapCore::spawnExecutor(FidelityMode m)
 {
-    ctx_.kernel.spawn(fetchProcess(), "fetch");
-    ctx_.kernel.spawn(executeProcess(), "execute");
+    if (m == FidelityMode::Fast) {
+        ctx_.kernel.spawn(fastProcess(), "fast");
+    } else {
+        ctx_.kernel.spawn(fetchProcess(), "fetch");
+        ctx_.kernel.spawn(executeProcess(), "execute");
+    }
+}
+
+void
+SnapCore::requestFidelity(FidelityMode m)
+{
+    pendingFidelity_ = m;
 }
 
 std::uint16_t
@@ -70,10 +74,19 @@ Co<void>
 SnapCore::fetchProcess()
 {
     std::uint16_t pc = 0;
-    stats_.lastWake = ctx_.kernel.now();
-    segStart_ = stats_.lastWake;
-    profLastTick_ = stats_.lastWake;
-    profLastPj_ = ctx_.chargedPj();
+    if (resumePc_ != kNoResume) {
+        // Taking over mid-run after a fidelity switch: the dispatch
+        // bookkeeping was already done by the unwinding executor.
+        pc = static_cast<std::uint16_t>(resumePc_);
+        resumePc_ = kNoResume;
+    } else {
+        stats_.lastWake = ctx_.kernel.now();
+        segStart_ = stats_.lastWake;
+        profLastTick_ = stats_.lastWake;
+        profLastPj_ = ctx_.chargedPj();
+        classLastTick_ = stats_.lastWake;
+        classLastPj_ = profLastPj_;
+    }
     for (;;) {
         // Fetch (and minimally predecode) one instruction.
         co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.fetchCycleGd));
@@ -118,69 +131,94 @@ SnapCore::fetchProcess()
                 ctx_.kernel.stop();
             co_return;
           case Redirect::Kind::Done: {
-            // End of handler: return to the event queue. With no
-            // pending token all switching activity ceases — SNAP/LE's
-            // single, zero-power sleep state.
-            const bool sleeping = eventQueue_.empty();
-            Tick slept_at = ctx_.kernel.now();
-            stats_.handlerTicks[slotOf(currentEvent_)] +=
-                slept_at - segStart_;
-            if (sleeping) {
-                asleep_ = true;
-                ++stats_.sleeps;
-                stats_.lastSleepStart = slept_at;
-                stats_.activeTime += slept_at - stats_.lastWake;
-                // Background charges while asleep (e.g. leakage
-                // samples) are nobody's handler.
-                ctx_.activeHandler = 0xff;
-                traceFetch_.emit(sim::TraceEvent::CoreSleep);
-                if (recordTimeline_) {
-                    timeline_.push_back(ActivitySpan{
-                        stats_.lastWake, slept_at, currentEvent_});
-                }
+            const std::uint32_t hpc = co_await awaitDispatch();
+            if (hpc == kSwitchUnwind) {
+                // Fidelity switch: the fast executor has taken over.
+                // Unwind the execute process with a poison packet and
+                // retire this one.
+                co_await fetchQ_.send(InstPacket{{}, 0, true});
+                co_return;
             }
-            EventToken tok = co_await eventQueue_.recv();
-            if (sleeping) {
-                asleep_ = false;
-                ++stats_.wakeups;
-                stats_.lastWake = ctx_.kernel.now();
-                traceFetch_.emit(sim::TraceEvent::CoreWake, tok.num);
-            }
-            {
-                // Enqueue-to-dispatch wait: how long the token sat in
-                // the hardware queue (plus the wake propagation).
-                const Tick dispatched = ctx_.kernel.now();
-                const Tick waited =
-                    dispatched >= tok.at ? dispatched - tok.at : 0;
-                evqWaitAll_->record(waited);
-                if (tok.num < isa::kNumEvents)
-                    evqWait_[tok.num]->record(waited);
-            }
-            currentEvent_ = tok.num;
-            ctx_.activeHandler = tok.num;
-            segStart_ = ctx_.kernel.now();
-            profLastTick_ = segStart_;
-            profLastPj_ = ctx_.chargedPj();
-            ++stats_.perEvent[tok.num].activations;
-            traceFetch_.emit(sim::TraceEvent::CoreHandler, tok.num);
-            // Handler-table dispatch.
-            ctx_.charge(Cat::Fetch, ctx_.ecal.eventDispatchPj);
-            co_await ctx_.kernel.delay(ctx_.gd(4));
-            ++stats_.handlers;
-            sim::fatalIf(tok.num >= isa::kNumEvents,
-                         "bad event token ", int(tok.num));
-            pc = handlerTable_[tok.num];
-            if (commitSink_) {
-                ref::CommitRecord disp;
-                disp.kind = ref::CommitKind::Dispatch;
-                disp.event = tok.num;
-                disp.pc = pc;
-                commitSink_->commit(disp);
-            }
+            pc = static_cast<std::uint16_t>(hpc);
             break;
           }
         }
     }
+}
+
+Co<std::uint32_t>
+SnapCore::awaitDispatch()
+{
+    // End of handler: return to the event queue. With no pending
+    // token all switching activity ceases — SNAP/LE's single,
+    // zero-power sleep state.
+    const bool sleeping = eventQueue_.empty();
+    Tick slept_at = ctx_.kernel.now();
+    stats_.handlerTicks[slotOf(currentEvent_)] += slept_at - segStart_;
+    if (sleeping) {
+        asleep_ = true;
+        ++stats_.sleeps;
+        stats_.lastSleepStart = slept_at;
+        stats_.activeTime += slept_at - stats_.lastWake;
+        // Background charges while asleep (e.g. leakage samples) are
+        // nobody's handler.
+        ctx_.activeHandler = 0xff;
+        traceFetch_.emit(sim::TraceEvent::CoreSleep);
+        if (recordTimeline_) {
+            timeline_.push_back(
+                ActivitySpan{stats_.lastWake, slept_at, currentEvent_});
+        }
+    }
+    EventToken tok = co_await eventQueue_.recv();
+    if (sleeping) {
+        asleep_ = false;
+        ++stats_.wakeups;
+        stats_.lastWake = ctx_.kernel.now();
+        traceFetch_.emit(sim::TraceEvent::CoreWake, tok.num);
+    }
+    {
+        // Enqueue-to-dispatch wait: how long the token sat in the
+        // hardware queue (plus the wake propagation).
+        const Tick dispatched = ctx_.kernel.now();
+        const Tick waited =
+            dispatched >= tok.at ? dispatched - tok.at : 0;
+        evqWaitAll_->record(waited);
+        if (tok.num < isa::kNumEvents)
+            evqWait_[tok.num]->record(waited);
+    }
+    currentEvent_ = tok.num;
+    ctx_.activeHandler = tok.num;
+    segStart_ = ctx_.kernel.now();
+    profLastTick_ = segStart_;
+    profLastPj_ = ctx_.chargedPj();
+    classLastTick_ = segStart_;
+    classLastPj_ = profLastPj_;
+    ++stats_.perEvent[tok.num].activations;
+    traceFetch_.emit(sim::TraceEvent::CoreHandler, tok.num);
+    // Handler-table dispatch.
+    ctx_.charge(Cat::Fetch, ctx_.ecal.eventDispatchPj);
+    co_await ctx_.kernel.delay(ctx_.gd(4));
+    ++stats_.handlers;
+    sim::fatalIf(tok.num >= isa::kNumEvents, "bad event token ",
+                 int(tok.num));
+    const std::uint16_t pc = handlerTable_[tok.num];
+    if (commitSink_) {
+        ref::CommitRecord disp;
+        disp.kind = ref::CommitKind::Dispatch;
+        disp.event = tok.num;
+        disp.pc = pc;
+        commitSink_->commit(disp);
+    }
+    if (pendingFidelity_ != fidelity_) {
+        // Perform the switch at this handler boundary: hand the
+        // handler pc to the counterpart executor and tell the caller
+        // to unwind.
+        fidelity_ = pendingFidelity_;
+        resumePc_ = pc;
+        spawnExecutor(fidelity_);
+        co_return kSwitchUnwind;
+    }
+    co_return pc;
 }
 
 sim::Kernel::DelayAwaiter
@@ -265,6 +303,8 @@ SnapCore::executeProcess()
 {
     for (;;) {
         InstPacket p = co_await fetchQ_.recv();
+        if (p.poison)
+            co_return; // fidelity switch: unwind quietly
         const DecodedInst &d = p.inst;
 
         co_await ctx_.kernel.delay(ctx_.gd(ctx_.tcal.decodeGd));
@@ -487,6 +527,19 @@ SnapCore::executeProcess()
 
         ++stats_.instructions;
         ++stats_.perClass[static_cast<std::size_t>(d.cls)];
+        {
+            // Attribute wall time and dynamic energy since the last
+            // retirement to this instruction's class — the measured
+            // coefficients behind `snap-report --calibrate`.
+            const Tick tnow = ctx_.kernel.now();
+            const double pjnow = ctx_.chargedPj();
+            stats_.perClassTicks[static_cast<std::size_t>(d.cls)] +=
+                tnow - classLastTick_;
+            stats_.perClassPj[static_cast<std::size_t>(d.cls)] +=
+                pjnow - classLastPj_;
+            classLastTick_ = tnow;
+            classLastPj_ = pjnow;
+        }
         if (currentEvent_ < isa::kNumEvents)
             ++stats_.perEvent[currentEvent_].instructions;
         {
@@ -577,28 +630,6 @@ SnapCore::profileRows() const
     return rows;
 }
 
-namespace {
-
-/** Metric-name slug of an instruction-class name: lowercase, one
- *  underscore per run of non-alphanumerics ("Arith Reg" ->
- *  "arith_reg", "Bit-field" -> "bit_field"). */
-std::string
-classSlug(isa::InstrClass c)
-{
-    std::string s;
-    for (char ch : isa::className(c)) {
-        if (ch >= 'A' && ch <= 'Z')
-            s.push_back(static_cast<char>(ch - 'A' + 'a'));
-        else if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9'))
-            s.push_back(ch);
-        else if (!s.empty() && s.back() != '_')
-            s.push_back('_');
-    }
-    return s;
-}
-
-} // namespace
-
 void
 SnapCore::publishMetrics()
 {
@@ -614,10 +645,13 @@ SnapCore::publishMetrics()
     m.gauge("core.duty_cycle", sim::GaugeMerge::Mean)
         .set(now ? double(activeTimeNow()) / double(now) : 0.0);
 
-    for (std::size_t c = 0; c < isa::kNumClasses; ++c)
-        m.counter("core.class." +
-                  classSlug(static_cast<isa::InstrClass>(c)))
-            .set(stats_.perClass[c]);
+    for (std::size_t c = 0; c < isa::kNumClasses; ++c) {
+        const std::string prefix =
+            "core.class." + isa::classSlug(static_cast<isa::InstrClass>(c));
+        m.counter(prefix).set(stats_.perClass[c]);
+        m.counter(prefix + ".ticks").set(stats_.perClassTicks[c]);
+        m.gauge(prefix + ".pj").set(stats_.perClassPj[c]);
+    }
 
     m.counter("core.evq.accepted").set(eventQueue_.accepted());
     m.counter("core.evq.dropped").set(eventQueue_.dropped());

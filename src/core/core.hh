@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,20 @@
 #include "sim/metrics.hh"
 
 namespace snaple::core {
+
+/**
+ * Execution fidelity of one core. Cycle is the CHP two-process model
+ * with per-operation timing; Fast is the statistical tier: the
+ * predecoded ref engine executing the same architectural semantics,
+ * with time and energy charged from per-instruction-class calibration
+ * coefficients (energy/class_cal.hh). Switchable per node at
+ * construction and at network barrier ticks.
+ */
+enum class FidelityMode : std::uint8_t
+{
+    Cycle,
+    Fast,
+};
 
 /** The SNAP/LE processor core (fetch + execute + register state). */
 class SnapCore
@@ -67,6 +82,11 @@ class SnapCore
     {
         std::uint64_t instructions = 0;
         std::array<std::uint64_t, isa::kNumClasses> perClass{};
+        /** Wall time and dynamic energy attributed per class (cycle
+         *  tier: measured between retirements; fast tier: the charged
+         *  coefficients). Raw material for `snap-report --calibrate`. */
+        std::array<sim::Tick, isa::kNumClasses> perClassTicks{};
+        std::array<double, isa::kNumClasses> perClassPj{};
         std::uint64_t wordsFetched = 0;
         std::uint64_t handlers = 0; ///< event tokens dispatched
         std::uint64_t sleeps = 0;   ///< active -> sleep transitions
@@ -97,9 +117,27 @@ class SnapCore
 
     SnapCore(const SnapCore &) = delete;
     SnapCore &operator=(const SnapCore &) = delete;
+    ~SnapCore();
 
-    /** Spawn the fetch and execute processes onto the kernel. */
-    void start();
+    /**
+     * Spawn the core's processes onto the kernel: the CHP fetch +
+     * execute pair (Cycle) or the statistical fast loop (Fast). Both
+     * modes share all architectural state and counters, so the choice
+     * is invisible to everything but timing/energy exactness.
+     */
+    void start(FidelityMode fidelity = FidelityMode::Cycle);
+
+    FidelityMode fidelity() const { return fidelity_; }
+
+    /**
+     * Request a fidelity switch. Takes effect at the next handler
+     * boundary (the `done` instruction's event wait): the running
+     * executor unwinds and the counterpart takes over with the same
+     * architectural state. Safe to call between kernel slices — the
+     * coordinator uses it at network barrier ticks
+     * (net::ParallelNetwork::setNodeFidelity).
+     */
+    void requestFidelity(FidelityMode m);
 
     /** @name Host-side architectural state access (tests, loaders) */
     ///@{
@@ -174,6 +212,9 @@ class SnapCore
     {
         isa::DecodedInst inst;
         std::uint16_t pcNext = 0; ///< address after this instruction
+        /** Fidelity-switch poison: execute unwinds without running
+         *  the (dummy) instruction. */
+        bool poison = false;
     };
 
     /** Control-flow resolution from execute back to fetch. */
@@ -197,8 +238,30 @@ class SnapCore
         double pj = 0.0;
     };
 
+    /** awaitDispatch: the executor must unwind (fidelity switch). */
+    static constexpr std::uint32_t kSwitchUnwind = 0x10000;
+    /** resumePc_: cold boot, start fetching at pc 0. */
+    static constexpr std::uint32_t kNoResume = 0xffffffff;
+
     sim::Co<void> fetchProcess();
     sim::Co<void> executeProcess();
+    /** The fast tier's single process (core/fast_core.cc). */
+    sim::Co<void> fastProcess();
+
+    /**
+     * Shared handler-boundary bookkeeping, used by both executors at
+     * `done`: close the current handler segment, sleep if the event
+     * queue is empty, wait for a token, and perform the dispatch
+     * (wake accounting, histograms, dispatch charge and delay, commit
+     * record). Returns the handler pc — or kSwitchUnwind when a
+     * fidelity switch was pending, in which case the counterpart
+     * executor has already been spawned at the handler pc and the
+     * caller must unwind without touching further state.
+     */
+    sim::Co<std::uint32_t> awaitDispatch();
+
+    /** Spawn the executor processes for mode @p m. */
+    void spawnExecutor(FidelityMode m);
 
     /** Attribution slot for the current event (boot when 0xff). */
     std::size_t
@@ -262,6 +325,22 @@ class SnapCore
     std::vector<ProfSlot> profile_;
     sim::Tick profLastTick_ = 0;
     double profLastPj_ = 0.0;
+
+    /** Per-class attribution markers (time/energy since the previous
+     *  retirement; reset at dispatch like the profile markers). */
+    sim::Tick classLastTick_ = 0;
+    double classLastPj_ = 0.0;
+
+    FidelityMode fidelity_ = FidelityMode::Cycle;
+    FidelityMode pendingFidelity_ = FidelityMode::Cycle;
+    /** Handler pc a freshly spawned executor resumes at after a
+     *  fidelity switch (kNoResume = cold boot from pc 0). */
+    std::uint32_t resumePc_ = kNoResume;
+
+    /** Fast-tier working state (core/fast_core.cc), created on first
+     *  use; opaque here so the cycle tier does not pay for it. */
+    struct FastTier;
+    std::unique_ptr<FastTier> fast_;
 };
 
 } // namespace snaple::core

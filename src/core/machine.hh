@@ -49,9 +49,9 @@ class Machine
 
     /** Spawn all hardware processes. */
     void
-    start()
+    start(FidelityMode fidelity = FidelityMode::Cycle)
     {
-        core_.start();
+        core_.start(fidelity);
         timer_.start();
     }
 

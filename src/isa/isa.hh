@@ -29,6 +29,7 @@
 #define SNAPLE_ISA_ISA_HH
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace snaple::isa {
@@ -234,6 +235,34 @@ className(InstrClass c)
       case InstrClass::Sys: return "Sys";
       default: return "?";
     }
+}
+
+/** Metric-name slug of an instruction-class name: lowercase, one
+ *  underscore per run of non-alphanumerics ("Arith Reg" ->
+ *  "arith_reg", "Bit-field" -> "bit_field"). */
+inline std::string
+classSlug(InstrClass c)
+{
+    std::string s;
+    for (char ch : className(c)) {
+        if (ch >= 'A' && ch <= 'Z')
+            s.push_back(static_cast<char>(ch - 'A' + 'a'));
+        else if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9'))
+            s.push_back(ch);
+        else if (!s.empty() && s.back() != '_')
+            s.push_back('_');
+    }
+    return s;
+}
+
+/** Inverse of classSlug; NumClasses when the slug matches nothing. */
+inline InstrClass
+classBySlug(std::string_view slug)
+{
+    for (std::size_t c = 0; c < kNumClasses; ++c)
+        if (classSlug(static_cast<InstrClass>(c)) == slug)
+            return static_cast<InstrClass>(c);
+    return InstrClass::NumClasses;
 }
 
 } // namespace snaple::isa

@@ -101,6 +101,10 @@ class Sram
         return WriteOp{*this, addr, value};
     }
 
+    /** Raw backing store, for the fast fidelity tier's interpreter
+     *  (which accounts time and energy statistically, not per access). */
+    std::uint16_t *data() { return data_.data(); }
+
     /** Host-side read without cost (loaders, tests, benches). */
     std::uint16_t
     peek(std::uint16_t addr) const

@@ -23,10 +23,16 @@
 
 namespace snaple::node {
 
+using core::FidelityMode;
+
 /** Configuration for one node. */
 struct NodeConfig
 {
     core::CoreConfig core;
+
+    /** Execution fidelity the core starts in (core/core.hh); switch
+     *  at runtime with core().requestFidelity(). */
+    FidelityMode fidelity = FidelityMode::Cycle;
     radio::RadioConfig radio;
     bool attachRadio = true;
     std::string name = "node";
@@ -115,7 +121,7 @@ class SnapNode
     void
     start()
     {
-        core_.start();
+        core_.start(cfg_.fidelity);
         timer_.start();
         msgCoproc_.start();
     }

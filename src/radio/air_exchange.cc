@@ -55,6 +55,14 @@ AirExchange::finalizeField()
     cellReach_ = std::max<std::int32_t>(
         1, static_cast<std::int32_t>(std::ceil(range / field_->cellM)));
 
+    // Same bound for interference, against the noise floor instead of
+    // the decode sensitivity: a signal below the floor is ignored by
+    // the capture sum, so flights from farther away can never matter.
+    const double interfRange = field::rangeM(*field_, field_->noiseDbm);
+    interfReach_ = std::max<std::int32_t>(
+        1,
+        static_cast<std::int32_t>(std::ceil(interfRange / field_->cellM)));
+
     for (std::uint32_t id = 0; id < shards_.size(); ++id) {
         const auto cell = std::make_pair(
             static_cast<std::int32_t>(
@@ -326,6 +334,15 @@ AirExchange::exchangeField(sim::Tick barrier, std::size_t firstFresh)
     // independent of shard assignment.
     const double capture = field::dbFactor(cfg.captureDb);
     const double noiseMw = field::dbmToMw(cfg.noiseDbm);
+
+    // Index every pending flight by its transmitter's cell, so the
+    // per-receiver interference sum below walks only the flights
+    // within noise-floor reach instead of the whole pending list.
+    // Per-cell lists are ascending pending indices by construction.
+    flightCells_.clear();
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+        flightCells_[cellOf_[pending_[i].srcNode]].push_back(i);
+
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         AirFlight &f = pending_[i];
         if (f.resolved || f.end > barrier)
@@ -361,8 +378,28 @@ AirExchange::exchangeField(sim::Tick barrier, std::size_t firstFresh)
             // every overlapping word's received power by the margin
             // (exactly at the threshold still decodes). A signal
             // below the noise floor does not interfere.
+            // Candidate interferers: flights transmitted within
+            // interfReach_ cells of the receiver. Merging the per-cell
+            // lists and sorting restores global pending order, so the
+            // floating-point sum accumulates in exactly the order the
+            // full-list scan used — bit-identical results.
+            interfScratch_.clear();
+            const auto [rcx, rcy] = cellOf_[r];
+            for (std::int32_t dx = -interfReach_; dx <= interfReach_;
+                 ++dx)
+                for (std::int32_t dy = -interfReach_;
+                     dy <= interfReach_; ++dy) {
+                    const auto it =
+                        flightCells_.find({rcx + dx, rcy + dy});
+                    if (it != flightCells_.end())
+                        interfScratch_.insert(interfScratch_.end(),
+                                              it->second.begin(),
+                                              it->second.end());
+                }
+            std::sort(interfScratch_.begin(), interfScratch_.end());
             double interfMw = noiseMw;
-            for (const AirFlight &g : pending_) {
+            for (const std::size_t gi : interfScratch_) {
+                const AirFlight &g = pending_[gi];
                 if (g.start >= f.end)
                     break; // start-sorted: nothing later overlaps
                 if (&g == &f || g.end <= f.start)

@@ -314,8 +314,21 @@ class AirExchange
              std::vector<std::uint32_t>>
         cells_;
     std::int32_t cellReach_ = 1; ///< neighborhood radius, in cells
+    /** Interference radius, in cells: beyond it a transmitter is out
+     *  of noise-floor range of the receiver, so its flight cannot
+     *  contribute to the capture sum. >= cellReach_ (the noise floor
+     *  lies below the decode sensitivity). */
+    std::int32_t interfReach_ = 1;
     bool fieldFinal_ = false;
     mutable std::vector<std::uint32_t> candScratch_;
+    /** Per-barrier flight index: transmitter's grid cell -> indices
+     *  into pending_, ascending — i.e. (start, src, seq) order, the
+     *  order the capture rule sums interferers in. Rebuilt by every
+     *  exchangeField(); scratch. */
+    std::map<std::pair<std::int32_t, std::int32_t>,
+             std::vector<std::size_t>>
+        flightCells_;
+    mutable std::vector<std::size_t> interfScratch_;
 };
 
 /**

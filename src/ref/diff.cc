@@ -54,6 +54,8 @@ reproCommand(std::uint64_t seed, const DiffConfig &cfg)
         cmd += " --blocks " + std::to_string(cfg.gen.blocks);
     if (cfg.mutation)
         cmd += " --mutation " + std::to_string(cfg.mutation);
+    if (cfg.engine == RefOptions::Engine::Predecoded)
+        cmd += " --engine predecoded";
     return cmd;
 }
 
@@ -146,6 +148,7 @@ diffOne(std::uint64_t seed, const DiffConfig &cfg)
 
     RefOptions ropt;
     ropt.mutation = cfg.mutation;
+    ropt.engine = cfg.engine;
     RefMachine ref(prog, ropt);
     CommitSink refSink;
     const RefMachine::Stop stop = ref.run(inj, refSink);

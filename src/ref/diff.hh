@@ -26,6 +26,7 @@
 #include <string>
 
 #include "ref/progen.hh"
+#include "ref/ref_machine.hh"
 #include "sim/ticks.hh"
 
 namespace snaple::ref {
@@ -40,6 +41,10 @@ struct DiffConfig
 
     /** Seeded bug planted in the *reference* (RefOptions::mutation). */
     unsigned mutation = 0;
+
+    /** Reference engine to check the CHP core against. Predecoded
+     *  turns the sweep into a validator of the fast tier itself. */
+    RefOptions::Engine engine = RefOptions::Engine::Classic;
 
     /** Pick the program class from the seed (default) or fix it. */
     bool anyClass = true;

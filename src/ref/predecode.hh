@@ -1,0 +1,740 @@
+/**
+ * @file
+ * Predecoded fast-execution engine for the SNAP ISA.
+ *
+ * The classic reference interpreter (ref_machine.cc) hand-decodes
+ * every instruction word on every visit. This header provides the
+ * fast tier built on top of the same architectural semantics: a
+ * per-PC predecode cache (PLine) filled lazily the first time a PC
+ * executes, and a dispatch loop over a dense fused-opcode index
+ * (PKind) — computed-goto threaded dispatch on GCC/Clang, a dense
+ * switch elsewhere. Hot state (pc, carry flag, LFSR) lives in locals
+ * for the whole engine entry and is written back on return.
+ *
+ * The engine is semantics-only and time-free; everything environment
+ * specific — where the r15 message-FIFO words come from, what a timer
+ * command does, how retirements are counted or committed — is behind
+ * an Env policy type, so one audited implementation of the ISA backs
+ * both the predecoded RefMachine engine (injection replay for the
+ * differential checker) and the fast-fidelity node core (live
+ * coprocessor FIFOs with statistical timing).
+ *
+ * An Env provides:
+ *
+ *   std::uint16_t *regs();      // r0-r14
+ *   std::uint16_t *handlers();  // event-handler table (kNumEvents)
+ *   std::uint16_t *imem();      // kMemWords words
+ *   std::uint16_t *dmem();      // kMemWords words
+ *   PLine *lines();             // kMemWords predecode cache lines
+ *   std::uint16_t pc();  void setPc(std::uint16_t);
+ *   bool carry();        void setCarry(bool);
+ *   std::uint16_t lfsr(); void setLfsr(std::uint16_t);
+ *   unsigned mutation();        // seeded-bug id, 0 = faithful
+ *
+ *   void beginInstr(std::uint16_t pc, const PLine &ln);
+ *   bool readR15(std::uint16_t &v);        // false = stall/exhausted
+ *   bool writeR15(std::uint16_t v);        // false = stall
+ *   bool timerCmd(std::uint8_t fn, std::uint8_t reg, std::uint16_t v);
+ *   void noteRegWrite(unsigned idx, std::uint16_t v);
+ *   void noteMemWrite(bool isImem, std::uint16_t a, std::uint16_t v);
+ *   void dbgout(std::uint16_t v);
+ *   void retire(const PLine &ln, std::uint16_t pc, bool carry);
+ *   void retireDone(const PLine &ln, std::uint16_t pc, bool carry);
+ *   int  nextEvent();   // >= 0 event, or kEvents{Exhausted,Async,Bad}
+ *   void noteDispatch(std::uint8_t ev, std::uint16_t handlerPc);
+ *
+ * Stall protocol: when readR15 / writeR15 / timerCmd return false the
+ * engine returns PStop::Stall with NO architectural state mutated and
+ * the pc still pointing at the stalled instruction. The environment
+ * resolves the I/O (or treats the stall as terminal) and may re-enter
+ * the engine, which re-executes the instruction from scratch; an Env
+ * that resumes must therefore replay operand reads it has already
+ * satisfied (beginInstr marks the instruction boundary for that).
+ * Persistent state (registers, carry, LFSR, memories, handler table)
+ * is only written once every stallable step of an instruction has
+ * succeeded, so re-execution is always safe.
+ */
+
+#ifndef SNAPLE_REF_PREDECODE_HH
+#define SNAPLE_REF_PREDECODE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snaple::ref::pre {
+
+// Architectural constants, restated from docs/ISA.md like the classic
+// interpreter does (deliberately not shared with core/).
+inline constexpr std::uint16_t kLfsrTaps = 0xB400;
+inline constexpr std::uint16_t kLfsrDefaultSeed = 0xACE1;
+inline constexpr std::uint16_t kMemWords = 2048;
+inline constexpr unsigned kNumEvents = 7;
+
+/** Env::nextEvent() out-of-band results. */
+inline constexpr int kEventsExhausted = -1; ///< injection ran dry
+inline constexpr int kEventsAsync = -2;     ///< env dispatches itself
+inline constexpr int kEventBad = -3;        ///< event number >= 7
+
+/**
+ * Dense fused opcode: one index per (op, fn, addressing-mode)
+ * combination so dispatch is a single indexed jump with no secondary
+ * fn switch. AluBad{R,I} are the fn=15 encodings whose illegality the
+ * classic interpreter only discovers *after* reading operands (so r15
+ * reads still pop injected words); Invalid covers every encoding the
+ * classic interpreter rejects before any operand read.
+ */
+enum class PKind : std::uint8_t
+{
+    // ALU register forms (op 0x0), in AluFn order.
+    AddR, SubR, AddcR, SubcR, AndR, OrR, XorR, NotR,
+    SllR, SrlR, SraR, MovR, NegR, RandR, SeedR, AluBadR,
+    // ALU immediate forms (op 0x1); Not/Neg/Rand/Seed are Invalid.
+    AddI, SubI, AddcI, SubcI, AndI, OrI, XorI,
+    SllI, SrlI, SraI, MovI, AluBadI,
+    // Memory.
+    Ldw, Ldi, Stw, Sti,
+    // Control transfer.
+    Beqz, Bnez, Bltz, Bgez, JmpI, Jal, Jr, Jalr,
+    // The rest.
+    Bfs, Timer, Done, SetAddr, Nop, Halt, Dbgout,
+    Invalid,
+    NumKinds,
+};
+
+inline constexpr std::size_t kNumPKinds =
+    static_cast<std::size_t>(PKind::NumKinds);
+
+/** One predecoded instruction line (len == 0: not yet decoded). */
+struct PLine
+{
+    std::uint16_t imm = 0;  ///< trailing immediate (two-word forms)
+    std::uint16_t word = 0; ///< raw first instruction word
+    PKind kind = PKind::Invalid;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t fn = 0;
+    std::uint8_t len = 0;   ///< words occupied (1 or 2); 0 = undecoded
+    std::int8_t off8 = 0;   ///< branch displacement
+};
+
+/** Why the engine returned. */
+enum class PStop : std::uint8_t
+{
+    Halt,            ///< `halt` retired
+    EventsExhausted, ///< `done` and Env::nextEvent ran dry
+    Done,            ///< `done` and the env dispatches asynchronously
+    Stall,           ///< an Env I/O could not complete (pc unchanged)
+    StepLimit,       ///< step budget spent without another stop
+    DecodeError,     ///< illegal encoding reached
+};
+
+/**
+ * Decode the instruction starting at @p pc into @p ln. Mirrors the
+ * classic interpreter's decode rules exactly: encodings it rejects
+ * before reading operands become PKind::Invalid (including a two-word
+ * form whose immediate would fall off the end of IMEM); fn = 15 ALU
+ * encodings become AluBad{R,I} so operand reads still happen first.
+ */
+inline void
+decodeLine(const std::uint16_t *imem, std::uint32_t imemWords,
+           std::uint16_t pc, PLine &ln)
+{
+    const std::uint16_t w = imem[pc];
+    ln.word = w;
+    ln.imm = 0;
+    ln.rd = (w >> 8) & 0xf;
+    ln.rs = (w >> 4) & 0xf;
+    ln.fn = w & 0xf;
+    ln.off8 = static_cast<std::int8_t>(w & 0xff);
+    ln.len = 1;
+
+    const unsigned op = (w >> 12) & 0xf;
+    const unsigned fn = ln.fn;
+
+    static constexpr PKind kAluR[16] = {
+        PKind::AddR, PKind::SubR, PKind::AddcR, PKind::SubcR,
+        PKind::AndR, PKind::OrR, PKind::XorR, PKind::NotR,
+        PKind::SllR, PKind::SrlR, PKind::SraR, PKind::MovR,
+        PKind::NegR, PKind::RandR, PKind::SeedR, PKind::AluBadR,
+    };
+    static constexpr PKind kAluI[16] = {
+        PKind::AddI, PKind::SubI, PKind::AddcI, PKind::SubcI,
+        PKind::AndI, PKind::OrI, PKind::XorI, PKind::Invalid,
+        PKind::SllI, PKind::SrlI, PKind::SraI, PKind::MovI,
+        PKind::Invalid, PKind::Invalid, PKind::Invalid, PKind::AluBadI,
+    };
+
+    bool twoWord = false;
+    switch (op) {
+      case 0x0:
+        ln.kind = kAluR[fn];
+        break;
+      case 0x1:
+        ln.kind = kAluI[fn];
+        twoWord = true;
+        break;
+      case 0x2: ln.kind = PKind::Ldw; twoWord = true; break;
+      case 0x3: ln.kind = PKind::Stw; twoWord = true; break;
+      case 0x4: ln.kind = PKind::Ldi; twoWord = true; break;
+      case 0x5: ln.kind = PKind::Sti; twoWord = true; break;
+      case 0x6: ln.kind = PKind::Beqz; break;
+      case 0x7: ln.kind = PKind::Bnez; break;
+      case 0x8: ln.kind = PKind::Bltz; break;
+      case 0x9: ln.kind = PKind::Bgez; break;
+      case 0xA:
+        switch (fn) {
+          case 0: ln.kind = PKind::JmpI; twoWord = true; break;
+          case 1: ln.kind = PKind::Jal; twoWord = true; break;
+          case 2: ln.kind = PKind::Jr; break;
+          case 3: ln.kind = PKind::Jalr; break;
+          default: ln.kind = PKind::Invalid; break;
+        }
+        break;
+      case 0xB: ln.kind = PKind::Bfs; twoWord = true; break;
+      case 0xC:
+        ln.kind = fn <= 2 ? PKind::Timer : PKind::Invalid;
+        break;
+      case 0xD:
+        ln.kind = fn == 0   ? PKind::Done
+                  : fn == 1 ? PKind::SetAddr
+                            : PKind::Invalid;
+        break;
+      case 0xE:
+        ln.kind = fn == 0   ? PKind::Nop
+                  : fn == 1 ? PKind::Halt
+                  : fn == 2 ? PKind::Dbgout
+                            : PKind::Invalid;
+        break;
+      default:
+        ln.kind = PKind::Invalid;
+        break;
+    }
+
+    if (twoWord && ln.kind != PKind::Invalid) {
+        if (std::uint32_t(pc) + 1 >= imemWords) {
+            ln.kind = PKind::Invalid; // immediate falls off IMEM
+        } else {
+            ln.imm = imem[pc + 1];
+            ln.len = 2;
+        }
+    }
+}
+
+// Threaded (computed-goto) dispatch where the extension exists; a
+// dense switch — which good compilers also turn into one indexed
+// jump — everywhere else.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SNAPLE_PRE_NO_COMPUTED_GOTO)
+#define SNAPLE_PRE_THREADED 1
+#else
+#define SNAPLE_PRE_THREADED 0
+#endif
+
+/**
+ * Run up to @p maxSteps architectural steps against @p env. One step
+ * is one retired instruction; the event dispatch following a `done`
+ * rides along with the `done` step, exactly like the classic
+ * interpreter's accounting.
+ */
+template <class Env>
+PStop
+runPredecoded(Env &env, std::uint64_t maxSteps)
+{
+    std::uint16_t *const regs = env.regs();
+    std::uint16_t *const handlers = env.handlers();
+    std::uint16_t *const imem = env.imem();
+    std::uint16_t *const dmem = env.dmem();
+    PLine *const lines = env.lines();
+    const unsigned mut = env.mutation();
+
+    // Hot state in locals; written back through PRE_RET on every exit.
+    std::uint16_t pc = env.pc();
+    bool carry = env.carry();
+    std::uint16_t lfsr = env.lfsr();
+    std::uint64_t steps = 0;
+    std::uint16_t pcNext = 0;
+    const PLine *ln = nullptr;
+
+#define PRE_RET(code)                                                  \
+    do {                                                               \
+        env.setPc(pc);                                                 \
+        env.setCarry(carry);                                           \
+        env.setLfsr(lfsr);                                             \
+        return PStop::code;                                            \
+    } while (0)
+
+    // Operand read; r15 is the message-FIFO window and may stall.
+#define PRE_READ(idx, var)                                             \
+    do {                                                               \
+        const unsigned pre_i = (idx);                                  \
+        if (pre_i == 15) {                                             \
+            if (!env.readR15(var))                                     \
+                PRE_RET(Stall);                                        \
+        } else                                                         \
+            var = regs[pre_i];                                         \
+    } while (0)
+
+    // Result write-back into rd; r15 enqueues and may stall.
+#define PRE_WRITE_RD(val)                                              \
+    do {                                                               \
+        const std::uint16_t pre_v = (val);                             \
+        if (ln->rd == 15) {                                            \
+            if (!env.writeR15(pre_v))                                  \
+                PRE_RET(Stall);                                        \
+        } else {                                                       \
+            regs[ln->rd] = pre_v;                                      \
+            env.noteRegWrite(ln->rd, pre_v);                           \
+        }                                                              \
+    } while (0)
+
+#define PRE_RETIRE()                                                   \
+    do {                                                               \
+        env.retire(*ln, pc, carry);                                    \
+        pc = pcNext;                                                   \
+    } while (0)
+
+    // Common ALU shapes. PRE_ARITH commits the carry only after the
+    // write-back succeeded, so a stalled r15 write re-executes from
+    // unmutated state.
+#define PRE_ALU_R_OPERANDS()                                           \
+    std::uint16_t vd = 0, b = 0;                                       \
+    PRE_READ(ln->rd, vd);                                              \
+    PRE_READ(ln->rs, b)
+
+#define PRE_ALU_I_OPERANDS()                                           \
+    std::uint16_t vd = 0;                                              \
+    PRE_READ(ln->rd, vd);                                              \
+    const std::uint16_t b = ln->imm
+
+#define PRE_ARITH(wideExpr)                                            \
+    do {                                                               \
+        const std::uint32_t pre_w = (wideExpr);                        \
+        PRE_WRITE_RD(static_cast<std::uint16_t>(pre_w));               \
+        carry = (pre_w >> 16) & 1;                                     \
+        PRE_RETIRE();                                                  \
+    } while (0);                                                       \
+    PRE_NEXT()
+
+#define PRE_PLAIN(resultExpr)                                          \
+    PRE_WRITE_RD(static_cast<std::uint16_t>(resultExpr));              \
+    PRE_RETIRE();                                                      \
+    PRE_NEXT()
+
+#if SNAPLE_PRE_THREADED
+    static const void *const kDispatch[] = {
+        &&L_AddR, &&L_SubR, &&L_AddcR, &&L_SubcR, &&L_AndR, &&L_OrR,
+        &&L_XorR, &&L_NotR, &&L_SllR, &&L_SrlR, &&L_SraR, &&L_MovR,
+        &&L_NegR, &&L_RandR, &&L_SeedR, &&L_AluBadR, &&L_AddI,
+        &&L_SubI, &&L_AddcI, &&L_SubcI, &&L_AndI, &&L_OrI, &&L_XorI,
+        &&L_SllI, &&L_SrlI, &&L_SraI, &&L_MovI, &&L_AluBadI, &&L_Ldw,
+        &&L_Ldi, &&L_Stw, &&L_Sti, &&L_Beqz, &&L_Bnez, &&L_Bltz,
+        &&L_Bgez, &&L_JmpI, &&L_Jal, &&L_Jr, &&L_Jalr, &&L_Bfs,
+        &&L_Timer, &&L_Done, &&L_SetAddr, &&L_Nop, &&L_Halt,
+        &&L_Dbgout, &&L_Invalid,
+    };
+    static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                      kNumPKinds,
+                  "dispatch table out of sync with PKind");
+#define PRE_CASE(name) L_##name
+#define PRE_NEXT() goto pre_top
+  pre_top:
+#else
+#define PRE_CASE(name) case PKind::name
+#define PRE_NEXT() continue
+    for (;;) {
+#endif
+    // ---- fetch from the predecode cache ----------------------------
+    if (steps == maxSteps)
+        PRE_RET(StepLimit);
+    ++steps;
+    if (pc >= kMemWords)
+        PRE_RET(DecodeError);
+    {
+        PLine &l = lines[pc];
+        if (l.len == 0)
+            decodeLine(imem, kMemWords, pc, l);
+        ln = &l;
+    }
+    env.beginInstr(pc, *ln);
+    pcNext = static_cast<std::uint16_t>(pc + ln->len);
+#if SNAPLE_PRE_THREADED
+    goto *kDispatch[static_cast<unsigned>(ln->kind)];
+#else
+    switch (ln->kind) {
+#endif
+
+    // ---- ALU, register forms ---------------------------------------
+    PRE_CASE(AddR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_ARITH(std::uint32_t(vd) + b);
+    }
+    PRE_CASE(SubR) : {
+        PRE_ALU_R_OPERANDS();
+        // a - b as a + ~b + 1; the carry out is "no borrow".
+        const std::uint32_t wide =
+            std::uint32_t(vd) + (~b & 0xffffu) + 1;
+        PRE_WRITE_RD(static_cast<std::uint16_t>(wide));
+        carry = (wide >> 16) & 1;
+        if (mut == 2)
+            carry = !carry;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(AddcR) : {
+        PRE_ALU_R_OPERANDS();
+        const std::uint32_t cin = (mut == 1) ? 0 : (carry ? 1 : 0);
+        PRE_ARITH(std::uint32_t(vd) + b + cin);
+    }
+    PRE_CASE(SubcR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_ARITH(std::uint32_t(vd) + (~b & 0xffffu) +
+                  (carry ? 1 : 0));
+    }
+    PRE_CASE(AndR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_PLAIN(vd & b);
+    }
+    PRE_CASE(OrR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_PLAIN(vd | b);
+    }
+    PRE_CASE(XorR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_PLAIN(vd ^ b);
+    }
+    PRE_CASE(NotR) : {
+        std::uint16_t b = 0;
+        PRE_READ(ln->rs, b);
+        PRE_PLAIN(~b);
+    }
+    PRE_CASE(SllR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_PLAIN(vd << (b & 15));
+    }
+    PRE_CASE(SrlR) : {
+        PRE_ALU_R_OPERANDS();
+        PRE_PLAIN(vd >> (b & 15));
+    }
+    PRE_CASE(SraR) : {
+        PRE_ALU_R_OPERANDS();
+        const std::uint16_t r =
+            (mut == 3)
+                ? static_cast<std::uint16_t>(vd >> (b & 15))
+                : static_cast<std::uint16_t>(
+                      static_cast<std::int16_t>(vd) >> (b & 15));
+        PRE_PLAIN(r);
+    }
+    PRE_CASE(MovR) : {
+        std::uint16_t b = 0;
+        PRE_READ(ln->rs, b);
+        PRE_PLAIN(b);
+    }
+    PRE_CASE(NegR) : {
+        std::uint16_t b = 0;
+        PRE_READ(ln->rs, b);
+        PRE_PLAIN(-b);
+    }
+    PRE_CASE(RandR) : {
+        const std::uint16_t taps = (mut == 5) ? 0xA001 : kLfsrTaps;
+        std::uint16_t nl = lfsr;
+        const std::uint16_t lsb = nl & 1u;
+        nl = static_cast<std::uint16_t>(nl >> 1);
+        if (lsb)
+            nl ^= taps;
+        PRE_WRITE_RD(nl);
+        lfsr = nl;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(SeedR) : {
+        std::uint16_t b = 0;
+        PRE_READ(ln->rs, b);
+        lfsr = b ? b : kLfsrDefaultSeed;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(AluBadR) : {
+        // fn = 15: illegal, but the classic interpreter reads both
+        // operands (popping r15 words) before noticing.
+        std::uint16_t vd = 0, b = 0;
+        PRE_READ(ln->rd, vd);
+        PRE_READ(ln->rs, b);
+        (void)vd;
+        (void)b;
+        PRE_RET(DecodeError);
+    }
+
+    // ---- ALU, immediate forms --------------------------------------
+    PRE_CASE(AddI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_ARITH(std::uint32_t(vd) + b);
+    }
+    PRE_CASE(SubI) : {
+        PRE_ALU_I_OPERANDS();
+        const std::uint32_t wide =
+            std::uint32_t(vd) + (~b & 0xffffu) + 1;
+        PRE_WRITE_RD(static_cast<std::uint16_t>(wide));
+        carry = (wide >> 16) & 1;
+        if (mut == 2)
+            carry = !carry;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(AddcI) : {
+        PRE_ALU_I_OPERANDS();
+        const std::uint32_t cin = (mut == 1) ? 0 : (carry ? 1 : 0);
+        PRE_ARITH(std::uint32_t(vd) + b + cin);
+    }
+    PRE_CASE(SubcI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_ARITH(std::uint32_t(vd) + (~b & 0xffffu) +
+                  (carry ? 1 : 0));
+    }
+    PRE_CASE(AndI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_PLAIN(vd & b);
+    }
+    PRE_CASE(OrI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_PLAIN(vd | b);
+    }
+    PRE_CASE(XorI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_PLAIN(vd ^ b);
+    }
+    PRE_CASE(SllI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_PLAIN(vd << (b & 15));
+    }
+    PRE_CASE(SrlI) : {
+        PRE_ALU_I_OPERANDS();
+        PRE_PLAIN(vd >> (b & 15));
+    }
+    PRE_CASE(SraI) : {
+        PRE_ALU_I_OPERANDS();
+        const std::uint16_t r =
+            (mut == 3)
+                ? static_cast<std::uint16_t>(vd >> (b & 15))
+                : static_cast<std::uint16_t>(
+                      static_cast<std::int16_t>(vd) >> (b & 15));
+        PRE_PLAIN(r);
+    }
+    PRE_CASE(MovI) : {
+        PRE_PLAIN(ln->imm);
+    }
+    PRE_CASE(AluBadI) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        (void)vd;
+        PRE_RET(DecodeError);
+    }
+
+    // ---- memory ----------------------------------------------------
+    PRE_CASE(Ldw) : {
+        std::uint16_t vs = 0;
+        PRE_READ(ln->rs, vs);
+        const std::uint16_t addr =
+            static_cast<std::uint16_t>(vs + ln->imm);
+        if (addr >= kMemWords)
+            PRE_RET(DecodeError);
+        PRE_PLAIN(dmem[addr]);
+    }
+    PRE_CASE(Ldi) : {
+        std::uint16_t vs = 0;
+        PRE_READ(ln->rs, vs);
+        const std::uint16_t addr =
+            static_cast<std::uint16_t>(vs + ln->imm);
+        if (addr >= kMemWords)
+            PRE_RET(DecodeError);
+        PRE_PLAIN(imem[addr]);
+    }
+    PRE_CASE(Stw) : {
+        std::uint16_t vd = 0, vs = 0;
+        PRE_READ(ln->rd, vd);
+        PRE_READ(ln->rs, vs);
+        const std::uint16_t addr =
+            static_cast<std::uint16_t>(vs + ln->imm);
+        if (addr >= kMemWords)
+            PRE_RET(DecodeError);
+        dmem[addr] = vd;
+        env.noteMemWrite(false, addr, vd);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Sti) : {
+        std::uint16_t vd = 0, vs = 0;
+        PRE_READ(ln->rd, vd);
+        PRE_READ(ln->rs, vs);
+        const std::uint16_t addr =
+            static_cast<std::uint16_t>(vs + ln->imm);
+        if (addr >= kMemWords)
+            PRE_RET(DecodeError);
+        imem[addr] = vd;
+        // Self-modifying code: drop the predecoded line at the
+        // written address, and the one before it (a two-word line
+        // starting at addr - 1 spans the written word as its
+        // immediate).
+        lines[addr].len = 0;
+        if (addr > 0)
+            lines[addr - 1].len = 0;
+        env.noteMemWrite(true, addr, vd);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+
+    // ---- control transfer ------------------------------------------
+    PRE_CASE(Beqz) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        if (vd == 0)
+            pcNext = static_cast<std::uint16_t>(
+                ((mut == 6) ? pc : pcNext) + ln->off8);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Bnez) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        if (vd != 0)
+            pcNext = static_cast<std::uint16_t>(
+                ((mut == 6) ? pc : pcNext) + ln->off8);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Bltz) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        if (static_cast<std::int16_t>(vd) < 0)
+            pcNext = static_cast<std::uint16_t>(
+                ((mut == 6) ? pc : pcNext) + ln->off8);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Bgez) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        if (static_cast<std::int16_t>(vd) >= 0)
+            pcNext = static_cast<std::uint16_t>(
+                ((mut == 6) ? pc : pcNext) + ln->off8);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(JmpI) : {
+        pcNext = ln->imm;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Jal) : {
+        PRE_WRITE_RD(pcNext);
+        pcNext = ln->imm;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Jr) : {
+        std::uint16_t vs = 0;
+        PRE_READ(ln->rs, vs);
+        pcNext = vs;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Jalr) : {
+        std::uint16_t vs = 0;
+        PRE_READ(ln->rs, vs);
+        PRE_WRITE_RD(pcNext);
+        pcNext = vs;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+
+    // ---- the rest --------------------------------------------------
+    PRE_CASE(Bfs) : {
+        std::uint16_t vd = 0, vs = 0;
+        PRE_READ(ln->rd, vd);
+        PRE_READ(ln->rs, vs);
+        const std::uint16_t mask =
+            (mut == 4) ? static_cast<std::uint16_t>(~ln->imm)
+                       : ln->imm;
+        PRE_PLAIN((vd & ~mask) | (vs & mask));
+    }
+    PRE_CASE(Timer) : {
+        std::uint16_t vd = 0, vs = 0;
+        PRE_READ(ln->rd, vd);
+        if (ln->fn != 2)
+            PRE_READ(ln->rs, vs);
+        if (vd > 2)
+            PRE_RET(DecodeError);
+        if (!env.timerCmd(ln->fn, static_cast<std::uint8_t>(vd), vs))
+            PRE_RET(Stall);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Done) : {
+        // Commit the `done`, then turn to the event queue.
+        env.retireDone(*ln, pc, carry);
+        const int ev = env.nextEvent();
+        if (ev == kEventsExhausted) {
+            pc = pcNext;
+            PRE_RET(EventsExhausted);
+        }
+        if (ev == kEventsAsync) {
+            pc = pcNext;
+            PRE_RET(Done);
+        }
+        if (ev < 0)
+            PRE_RET(DecodeError); // bad event number, pc unchanged
+        pc = handlers[ev];
+        env.noteDispatch(static_cast<std::uint8_t>(ev), pc);
+        PRE_NEXT();
+    }
+    PRE_CASE(SetAddr) : {
+        std::uint16_t vd = 0, vs = 0;
+        PRE_READ(ln->rd, vd);
+        PRE_READ(ln->rs, vs);
+        if (vd >= kNumEvents)
+            PRE_RET(DecodeError);
+        const unsigned idx = (mut == 7) ? (vd + 1) % kNumEvents : vd;
+        handlers[idx] = vs;
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Nop) : {
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Halt) : {
+        PRE_RETIRE();
+        PRE_RET(Halt);
+    }
+    PRE_CASE(Dbgout) : {
+        std::uint16_t vd = 0;
+        PRE_READ(ln->rd, vd);
+        env.dbgout(vd);
+        PRE_RETIRE();
+        PRE_NEXT();
+    }
+    PRE_CASE(Invalid) : {
+        PRE_RET(DecodeError);
+    }
+
+#if !SNAPLE_PRE_THREADED
+      default:
+        PRE_RET(DecodeError);
+    }
+    }
+#endif
+
+#undef PRE_RET
+#undef PRE_READ
+#undef PRE_WRITE_RD
+#undef PRE_RETIRE
+#undef PRE_ALU_R_OPERANDS
+#undef PRE_ALU_I_OPERANDS
+#undef PRE_ARITH
+#undef PRE_PLAIN
+#undef PRE_CASE
+#undef PRE_NEXT
+}
+
+} // namespace snaple::ref::pre
+
+#endif // SNAPLE_REF_PREDECODE_HH

@@ -178,6 +178,13 @@ runScenario(const Scenario &sc, const RunOptions &opt)
         cfg.baseSeed = sc.seed;
         if (ns.volts)
             cfg.core.volts = *ns.volts;
+        const bool fast = opt.fidelityFast
+                              ? *opt.fidelityFast
+                              : ns.fidelityFast.value_or(false);
+        cfg.fidelity = fast ? node::FidelityMode::Fast
+                            : node::FidelityMode::Cycle;
+        if (opt.classCal)
+            cfg.core.classCal = *opt.classCal;
         node::SnapNode &node = net.addNode(cfg, programs.get(ns));
         if (ns.sensor && *ns.sensor) {
             sensor::TemperatureSensor::Config scfg;

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "energy/class_cal.hh"
 #include "radio/medium.hh"
 #include "scenario/scenario.hh"
 #include "sim/ticks.hh"
@@ -39,6 +41,20 @@ struct RunOptions
      *  no stream when null or the cadence is 0). */
     std::ostream *metricsOut = nullptr;
     bool metricsCsv = false; ///< CSV instead of JSONL
+
+    /**
+     * Host-side fidelity override (`snap-run --fidelity`): when set,
+     * every node runs at this fidelity regardless of the scenario's
+     * per-node `fidelity` stanzas (true = fast tier).
+     */
+    std::optional<bool> fidelityFast;
+
+    /**
+     * Fast-tier cost table (`snap-run --cal=FILE`): replaces the
+     * analytic per-class coefficients on every node. Unset keeps
+     * energy::ClassCal::analytic().
+     */
+    std::optional<energy::ClassCal> classCal;
 
     /**
      * Program-source loader, given the path as written in the

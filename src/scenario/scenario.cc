@@ -25,6 +25,8 @@ NodeSettings::overlaid(const NodeSettings &over) const
         r.batteryUj = over.batteryUj;
     if (over.sensor)
         r.sensor = over.sensor;
+    if (over.fidelityFast)
+        r.fidelityFast = over.fidelityFast;
     if (over.position)
         r.position = over.position;
     for (const auto &[k, v] : over.params)
@@ -175,6 +177,10 @@ parseNodeLine(const Ctx &c, Scenario &sc,
         if (t.size() != 4 || (t[3] != "on" && t[3] != "off"))
             c.fail("sensor takes on|off");
         ns->sensor = t[3] == "on";
+    } else if (key == "fidelity") {
+        if (t.size() != 4 || (t[3] != "fast" && t[3] != "cycle"))
+            c.fail("fidelity takes fast|cycle");
+        ns->fidelityFast = t[3] == "fast";
     } else if (key == "param") {
         if (t.size() != 5)
             c.fail("param takes: param <NAME> <value>");
@@ -440,6 +446,9 @@ writeSettings(std::ostream &os, const std::string &who,
     if (ns.sensor)
         os << "node " << who << " sensor "
            << (*ns.sensor ? "on" : "off") << "\n";
+    if (ns.fidelityFast)
+        os << "node " << who << " fidelity "
+           << (*ns.fidelityFast ? "fast" : "cycle") << "\n";
     if (ns.position)
         os << "node " << who << " position "
            << sim::formatDouble(ns.position->first) << " "

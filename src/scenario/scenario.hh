@@ -57,6 +57,13 @@ struct NodeSettings
     std::optional<bool> sensor;
 
     /**
+     * Execution fidelity (`fidelity fast|cycle`): true selects the
+     * statistical fast tier (core::FidelityMode::Fast), false the CHP
+     * cycle tier. Unset = cycle.
+     */
+    std::optional<bool> fidelityFast;
+
+    /**
      * Assembly-time parameters, injected as `.equ NAME, value` ahead
      * of the program source. Programs reference these symbols and must
      * not define them (duplicate `.equ` is a fatal assembler error).

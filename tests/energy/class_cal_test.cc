@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the per-instruction-class cost table the fast fidelity
+ * tier charges from (energy/class_cal.hh): the analytic derivation
+ * must reproduce the cycle model's worked examples, and the text
+ * serialization must round-trip exactly (the property that makes the
+ * `snap-report --calibrate` -> `snap-run --cal=` loop stable).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/class_cal.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace snaple;
+using namespace snaple::energy;
+
+TEST(ClassCalTest, AnalyticReproducesWorkedExamples)
+{
+    const ClassCal cal = ClassCal::analytic();
+    // The calibration header's worked example: a one-word register add
+    // is 55 imem + 13 fetch + 6 mem-if + 18 decode + 24 misc +
+    // 13 regfile + 10 bus + 16 adder = 155 pJ at 1.8 V.
+    EXPECT_DOUBLE_EQ(cal.of(isa::InstrClass::ArithReg).pjTotal(),
+                     155.0);
+    // Two-word tier: an immediate form pays one more word of fetch
+    // (55 + 13 + 6 = 74 pJ) but one fewer register read (4 pJ).
+    EXPECT_DOUBLE_EQ(cal.of(isa::InstrClass::ArithImm).pjTotal(),
+                     155.0 + 74.0 - 4.0);
+    // Memory tier: a load adds the Dmem access on top of the two-word
+    // overhead, landing in the sub-300 pJ band of Figure 4.
+    const double loadPj = cal.of(isa::InstrClass::Load).pjTotal();
+    EXPECT_GT(loadPj, 225.0);
+    EXPECT_LT(loadPj, 300.0);
+    EXPECT_DOUBLE_EQ(
+        cal.of(isa::InstrClass::Load).pj[std::size_t(Cat::Dmem)], 75.0);
+    // Every class costs something, in both time and energy.
+    for (std::size_t c = 0; c < isa::kNumClasses; ++c) {
+        EXPECT_GT(cal.cost[c].gd, 0.0) << isa::classSlug(
+            static_cast<isa::InstrClass>(c));
+        EXPECT_GT(cal.cost[c].pjTotal(), 0.0) << isa::classSlug(
+            static_cast<isa::InstrClass>(c));
+    }
+}
+
+TEST(ClassCalTest, SerializeParseIsAFixedPoint)
+{
+    const std::string s1 = serializeClassCal(ClassCal::analytic());
+    const ClassCal parsed = parseClassCal(s1);
+    EXPECT_EQ(s1, serializeClassCal(parsed));
+}
+
+TEST(ClassCalTest, ListedClassReplacesAnalyticEntirely)
+{
+    // A listed class is replaced, not merged: categories absent from
+    // the line go to zero rather than keeping their analytic value.
+    const ClassCal cal =
+        parseClassCal("class arith_reg gd 3.5 dmem:12.25\n");
+    const ClassCost &cc = cal.of(isa::InstrClass::ArithReg);
+    EXPECT_DOUBLE_EQ(cc.gd, 3.5);
+    EXPECT_DOUBLE_EQ(cc.pj[std::size_t(Cat::Dmem)], 12.25);
+    EXPECT_DOUBLE_EQ(cc.pjTotal(), 12.25);
+    // Unlisted classes keep their analytic coefficients.
+    EXPECT_DOUBLE_EQ(cal.of(isa::InstrClass::LogicalReg).pjTotal(),
+                     ClassCal::analytic()
+                         .of(isa::InstrClass::LogicalReg)
+                         .pjTotal());
+}
+
+TEST(ClassCalTest, ParseRejectsMalformedTables)
+{
+    EXPECT_THROW(parseClassCal("class bogus gd 1\n"), sim::FatalError);
+    EXPECT_THROW(parseClassCal("class arith_reg gd 1 nocat:5\n"),
+                 sim::FatalError);
+    EXPECT_THROW(parseClassCal("class arith_reg 1\n"), sim::FatalError);
+}
+
+} // namespace

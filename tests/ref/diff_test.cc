@@ -59,6 +59,58 @@ TEST(DiffTest, MixedSweepAgrees)
     }
 }
 
+/** The predecoded engine (the fast tier's interpreter) must survive
+ *  the same per-class sweep the classic reference does — including
+ *  the self-modifying-code class, which exercises line invalidation
+ *  on `sti`. */
+class PredecodedClassSweep
+    : public ::testing::TestWithParam<ref::ProgClass>
+{};
+
+TEST_P(PredecodedClassSweep, TwentySeedsAgree)
+{
+    ref::DiffConfig cfg;
+    cfg.engine = ref::RefOptions::Engine::Predecoded;
+    cfg.anyClass = false;
+    cfg.cls = GetParam();
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        const std::uint64_t seed = sim::deriveSeed(0xFA57, i);
+        ref::DiffOutcome out = ref::diffOne(seed, cfg);
+        ASSERT_TRUE(out.ok) << out.report;
+        EXPECT_GT(out.coreRecords, 0u);
+        EXPECT_EQ(out.coreRecords, out.refRecords);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, PredecodedClassSweep,
+    ::testing::Values(ref::ProgClass::Alu, ref::ProgClass::Memory,
+                      ref::ProgClass::Control, ref::ProgClass::MsgIo,
+                      ref::ProgClass::TimerEvent, ref::ProgClass::Smc),
+    [](const auto &info) {
+        return std::string(ref::className(info.param));
+    });
+
+/** Mutations live in shared semantic helpers, so the predecoded
+ *  dispatch loop must catch every one of them too — this pins that
+ *  the fused-opcode paths go through the mutated helpers rather than
+ *  reimplementing (and silently fixing) them. */
+TEST(DiffTest, EverySeededMutationIsCaughtByPredecoded)
+{
+    for (unsigned m = 1; m <= 7; ++m) {
+        ref::DiffConfig cfg;
+        cfg.engine = ref::RefOptions::Engine::Predecoded;
+        cfg.mutation = m;
+        bool caught = false;
+        for (std::uint64_t i = 0; i < 60 && !caught; ++i) {
+            const std::uint64_t seed = sim::deriveSeed(0xB06, i);
+            caught = !ref::diffOne(seed, cfg).ok;
+        }
+        EXPECT_TRUE(caught)
+            << "mutation " << m << " survived 60 random programs";
+    }
+}
+
 /** Find the first seed a mutated reference diverges on, if any. */
 std::uint64_t
 firstDivergingSeed(unsigned mutation, ref::DiffOutcome *out)

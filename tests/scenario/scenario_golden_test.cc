@@ -75,7 +75,7 @@ TEST_P(ScenarioGolden, ScenarioFileIsCanonical)
 
 INSTANTIATE_TEST_SUITE_P(Shipped, ScenarioGolden,
                          ::testing::Values("trickle", "leach",
-                                           "dutycycle",
-                                           "rssi_cluster"));
+                                           "dutycycle", "rssi_cluster",
+                                           "trickle_fast"));
 
 } // namespace

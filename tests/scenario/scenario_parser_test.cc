@@ -82,6 +82,27 @@ TEST(ScenarioParser, ResolvedMergesDefaultsAndOverrides)
     EXPECT_DOUBLE_EQ(*n2.batteryUj, 1500.25);
 }
 
+TEST(ScenarioParser, FidelityStanzaRoundTripsAndResolves)
+{
+    const Scenario sc = parseScenario("scenario f\n"
+                                      "nodes 3\n"
+                                      "duration_ms 10\n"
+                                      "node * program a.s\n"
+                                      "node * fidelity fast\n"
+                                      "node 1 fidelity cycle\n",
+                                      "f.scn");
+    ASSERT_TRUE(sc.defaults.fidelityFast.has_value());
+    EXPECT_TRUE(*sc.defaults.fidelityFast);
+    EXPECT_TRUE(*sc.resolved(0).fidelityFast);  // default applies
+    EXPECT_FALSE(*sc.resolved(1).fidelityFast); // override wins
+    EXPECT_TRUE(*sc.resolved(2).fidelityFast);
+
+    const std::string s1 = serializeScenario(sc);
+    EXPECT_NE(s1.find("node * fidelity fast"), std::string::npos);
+    EXPECT_NE(s1.find("node 1 fidelity cycle"), std::string::npos);
+    EXPECT_EQ(s1, serializeScenario(parseScenario(s1, "f.scn#2")));
+}
+
 TEST(ScenarioParser, CanonicalFormSortsFaults)
 {
     const Scenario sc = parseScenario(kFull, "full.scn");
@@ -118,6 +139,7 @@ TEST(ScenarioParser, RejectsWithLineNumbers)
     expectRejects(ok + "node 0 param 9NAME 1\n", "bad.scn:4");
     expectRejects(ok + "node 0 param P 99999\n", "bad.scn:4");
     expectRejects(ok + "node 0 sensor maybe\n", "bad.scn:4");
+    expectRejects(ok + "node 0 fidelity turbo\n", "bad.scn:4");
     expectRejects(ok + "fault melt 0 at_ms 1\n", "bad.scn:4");
     expectRejects(ok + "fault kill 0 at 1\n", "bad.scn:4");
     expectRejects(ok + "duration_ms -5\n", "bad.scn:4");

@@ -3,8 +3,9 @@
  * snap-diff: differential co-simulation fuzzer for the SNAP ISA.
  *
  * Usage: snap-diff [--seed S] [--count N] [--class C] [--no-smc]
- *                  [--blocks B] [--mutation M] [--max-seconds T]
- *                  [--replay SEED] [--dump-asm] [--quiet]
+ *                  [--blocks B] [--mutation M] [--engine E]
+ *                  [--max-seconds T] [--replay SEED] [--dump-asm]
+ *                  [--quiet]
  *
  * Generates N seeded random programs (per-program seed i is
  * sim::deriveSeed(S, i)), runs each on the timed CHP machine model and
@@ -18,7 +19,11 @@
  * timer, smc); by default the class is picked from each program's
  * seed, with smc included. --mutation M plants seeded bug M in the
  * *reference* (see ref/ref_machine.hh), so a passing sweep under
- * --mutation is itself a failure of the harness. --max-seconds
+ * --mutation is itself a failure of the harness. --engine picks the
+ * reference execution engine (classic, the original hand-decoded
+ * interpreter, or predecoded, the fast tier's predecode-cache loop) —
+ * sweeping with --engine predecoded validates the fast tier against
+ * the CHP core with the same rigor. --max-seconds
  * time-boxes long fuzz runs (nightly CI): the sweep stops cleanly
  * after the current program once the budget is spent.
  *
@@ -73,7 +78,17 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--mutation") && i + 1 < argc)
             cfg.mutation =
                 static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
+        else if (!std::strcmp(argv[i], "--engine") && i + 1 < argc) {
+            const char *e = argv[++i];
+            if (!std::strcmp(e, "classic"))
+                cfg.engine = ref::RefOptions::Engine::Classic;
+            else if (!std::strcmp(e, "predecoded"))
+                cfg.engine = ref::RefOptions::Engine::Predecoded;
+            else {
+                std::fprintf(stderr, "unknown engine '%s'\n", e);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--max-seconds") && i + 1 < argc)
             maxSeconds = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--dump-asm"))
             dumpAsm = true;
@@ -84,8 +99,8 @@ main(int argc, char **argv)
                 stderr,
                 "usage: snap-diff [--seed S] [--count N] [--class C] "
                 "[--no-smc] [--blocks B] [--mutation M] "
-                "[--max-seconds T] [--replay SEED] [--dump-asm] "
-                "[--quiet]\n");
+                "[--engine classic|predecoded] [--max-seconds T] "
+                "[--replay SEED] [--dump-asm] [--quiet]\n");
             return 2;
         }
     }

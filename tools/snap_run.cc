@@ -4,10 +4,12 @@
  *
  * Usage: snap-run FILE.s [--volts V[,V...]] [--ms N] [--stats]
  *                        [--nodes N] [--jobs K] [--seed S]
+ *                        [--fidelity fast|cycle] [--cal=FILE]
  *                        [--trace=FILE] [--trace-format=json|vcd]
  *                        [--metrics=FILE] [--metrics-interval=TICKS]
  *                        [--metrics-format=jsonl|csv] [--profile]
  *        snap-run --scenario=FILE.scn [--jobs K] [--row=FILE]
+ *                        [--fidelity fast|cycle] [--cal=FILE]
  *                        [--metrics=FILE] [--metrics-format=jsonl|csv]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
@@ -37,6 +39,14 @@
  * counters + energy) print to stdout, byte-identical for any --jobs;
  * --row also writes them to FILE. The metrics cadence comes from the
  * scenario's metrics_ms, not --metrics-interval.
+ *
+ * --fidelity selects the execution tier (docs/SIMULATOR.md): `cycle`
+ * is the CHP per-access model, `fast` the statistical predecoded
+ * interpreter. In scenario mode the flag overrides every node's
+ * `fidelity` stanza; without it the scenario decides per node.
+ * --cal loads a per-instruction-class cost table (the format
+ * `snap-report --calibrate` emits) in place of the analytic fast-tier
+ * coefficients.
  */
 
 #include <chrono>
@@ -50,6 +60,7 @@
 
 #include "asm/snap_backend.hh"
 #include "core/machine.hh"
+#include "energy/class_cal.hh"
 #include "net/parallel_network.hh"
 #include "node/power.hh"
 #include "radio/transceiver.hh"
@@ -159,10 +170,16 @@ main(int argc, char **argv)
     std::string metrics_format = "jsonl";
     std::string scenario_path;
     std::string row_path;
+    std::string fidelity_arg;
+    std::string cal_path;
     sim::Tick metrics_interval = 10 * sim::kMillisecond;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--volts") && i + 1 < argc)
             volts = parseVolts(argv[++i]);
+        else if (!std::strcmp(argv[i], "--fidelity") && i + 1 < argc)
+            fidelity_arg = argv[++i];
+        else if (!std::strncmp(argv[i], "--cal=", 6))
+            cal_path = argv[i] + 6;
         else if (!std::strcmp(argv[i], "--ms") && i + 1 < argc)
             ms = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
@@ -203,6 +220,7 @@ main(int argc, char **argv)
                              "[--volts V[,V...]] "
                              "[--ms N] [--stats] [--timeline] "
                              "[--nodes N] [--jobs K] [--seed S] "
+                             "[--fidelity fast|cycle] [--cal=FILE] "
                              "[--trace=FILE] "
                              "[--trace-format=json|vcd] "
                              "[--metrics=FILE] "
@@ -228,6 +246,31 @@ main(int argc, char **argv)
                              "--metrics-interval must be positive\n");
         return 2;
     }
+    if (!fidelity_arg.empty() && fidelity_arg != "fast" &&
+        fidelity_arg != "cycle") {
+        std::fprintf(stderr, "unknown fidelity '%s' "
+                             "(expected fast or cycle)\n",
+                     fidelity_arg.c_str());
+        return 2;
+    }
+    const bool fast_tier = fidelity_arg == "fast";
+    energy::ClassCal cal = energy::ClassCal::analytic();
+    if (!cal_path.empty()) {
+        std::ifstream cal_in(cal_path);
+        if (!cal_in) {
+            std::fprintf(stderr, "cannot open %s\n", cal_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << cal_in.rdbuf();
+        try {
+            cal = energy::parseClassCal(text.str());
+        } catch (const sim::FatalError &e) {
+            std::fprintf(stderr, "%s: %s\n", cal_path.c_str(),
+                         e.what());
+            return 1;
+        }
+    }
     const bool metrics_csv = metrics_format == "csv";
     std::ofstream metrics_out;
     if (!metrics_path.empty()) {
@@ -246,6 +289,10 @@ main(int argc, char **argv)
             scenario::RunOptions opt;
             opt.jobs = jobs;
             opt.metricsCsv = metrics_csv;
+            if (!fidelity_arg.empty())
+                opt.fidelityFast = fast_tier;
+            if (!cal_path.empty())
+                opt.classCal = cal;
             if (!metrics_path.empty())
                 opt.metricsOut = &metrics_out;
             const scenario::RunResult res =
@@ -286,6 +333,9 @@ main(int argc, char **argv)
             node::NodeConfig ncfg;
             ncfg.core.stopOnHalt = false;
             ncfg.baseSeed = seed;
+            ncfg.fidelity = fast_tier ? node::FidelityMode::Fast
+                                      : node::FidelityMode::Cycle;
+            ncfg.core.classCal = cal;
             for (unsigned i = 0; i < nodes; ++i) {
                 // Round-robin over the voltage list: one file can hold
                 // every operating point of a heterogeneous deployment.
@@ -370,6 +420,7 @@ main(int argc, char **argv)
 
     core::CoreConfig cfg;
     cfg.volts = volts.front();
+    cfg.classCal = cal;
     sim::Kernel kernel;
     sim::TraceSink tracer;
     if (!trace_path.empty())
@@ -385,7 +436,8 @@ main(int argc, char **argv)
         machine.load(assembler::assembleSnap(src.str(), path));
         if (!metrics_path.empty())
             pump.start(cfg.volts);
-        machine.start();
+        machine.start(fast_tier ? core::FidelityMode::Fast
+                                : core::FidelityMode::Cycle);
         auto t0 = std::chrono::steady_clock::now();
         kernel.run(kernel.now() + sim::fromMs(ms));
         elapsed = std::chrono::duration<double>(
