@@ -34,11 +34,15 @@ class RadioPort
     virtual void setMode(RadioMode mode) = 0;
 
     /**
-     * Serialize one 16-bit word onto the air. Completes when the word
-     * has left the transmitter (at 19.2 kbps this is ~833 us, which is
-     * why the interface is word-level and event-driven, section 3.3).
+     * Begin serializing one 16-bit word onto the air and return the
+     * absolute tick at which the word will have left the transmitter
+     * (at 19.2 kbps ~833 us later, which is why the interface is
+     * word-level and event-driven, section 3.3). Non-blocking: the
+     * message coprocessor owns the wait until the returned tick, so
+     * the parked transmit state has no hidden coroutine frame and
+     * stays checkpointable (src/snapshot/).
      */
-    virtual sim::Co<void> transmit(std::uint16_t word) = 0;
+    virtual sim::Tick transmitStart(std::uint16_t word) = 0;
 
     /** Words assembled from the receive bitstream. */
     virtual sim::Fifo<std::uint16_t> &rxWords() = 0;

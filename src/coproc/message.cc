@@ -41,9 +41,9 @@ MessageCoproc::attachSensor(unsigned id, SensorPort &sensor)
 void
 MessageCoproc::start()
 {
-    ctx_.kernel.spawn(commandProcess(), "msg-coproc-cmd");
+    ctx_.kernel.spawn(commandProcess(CmdPhase::Idle), "msg-coproc-cmd");
     if (radio_)
-        ctx_.kernel.spawn(rxProcess(), "msg-coproc-rx");
+        ctx_.kernel.spawn(rxProcess(RxPhase::Idle), "msg-coproc-rx");
 }
 
 void
@@ -72,11 +72,103 @@ MessageCoproc::pushEvent(isa::EventNum e)
     }
 }
 
-sim::Co<void>
-MessageCoproc::commandProcess()
+void
+MessageCoproc::armWait(CmdPhase ph, sim::Tick end, std::uint8_t arg)
 {
+    waitEnd_ = end;
+    waitArg_ = arg;
+    ctx_.kernel.schedule(end, [this] { gate_.open(); });
+    waitSeq_ = ctx_.kernel.lastScheduledSeq();
+    phase_ = ph;
+}
+
+// Every multi-await command continuation below is a dedicated tail
+// coroutine. Co<> awaits use symmetric transfer — no kernel events,
+// no traces — so factoring them out is behaviorally invisible to a
+// straight run, while a restored node can respawn the command process
+// directly into the tail matching its saved phase and continue
+// bit-exactly (src/snapshot/).
+
+/** Carrier/RSSI reply: pendingWord_ out through the FIFO. */
+sim::Co<void>
+MessageCoproc::replyTail()
+{
+    cmdStamp_ = ++blockSeq_;
+    phase_ = CmdPhase::ReplySend;
+    co_await msgOut_.send(pendingWord_);
+}
+
+/** TX command armed: take the data word and put it on the air. */
+sim::Co<void>
+MessageCoproc::txData()
+{
+    phase_ = CmdPhase::TxData;
+    std::uint16_t data = co_await msgIn_.recv();
+    ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+    txWords_->inc();
+    trace_.emit(sim::TraceEvent::MsgTx, data);
+    radio_->setMode(RadioMode::Tx);
+    armWait(CmdPhase::TxWait, radio_->transmitStart(data));
+    co_await txFinish();
+}
+
+/** Word on the air: wait out the airtime, then signal the core. */
+sim::Co<void>
+MessageCoproc::txFinish()
+{
+    co_await gate_.wait();
+    // The transmitter can take the next word.
+    pushEvent(isa::EventNum::RadioTxRdy);
+}
+
+/** Conversion timer running: sample, then reply with the value. */
+sim::Co<void>
+MessageCoproc::queryFinish()
+{
+    co_await gate_.wait();
+    std::uint16_t v = sensors_[waitArg_]->query(ctx_.kernel.now());
+    ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+    pendingWord_ = v;
+    co_await querySendTail();
+}
+
+/** Sensor value in hand: out through the FIFO, then the event. */
+sim::Co<void>
+MessageCoproc::querySendTail()
+{
+    cmdStamp_ = ++blockSeq_;
+    phase_ = CmdPhase::QuerySend;
+    co_await msgOut_.send(pendingWord_);
+    pushEvent(isa::EventNum::SensorData);
+}
+
+sim::Co<void>
+MessageCoproc::commandProcess(CmdPhase entry)
+{
+    switch (entry) {
+      case CmdPhase::Idle:
+      case CmdPhase::Busy:
+        break;
+      case CmdPhase::ReplySend:
+        co_await replyTail();
+        break;
+      case CmdPhase::TxData:
+        co_await txData();
+        break;
+      case CmdPhase::TxWait:
+        co_await txFinish();
+        break;
+      case CmdPhase::QueryWait:
+        co_await queryFinish();
+        break;
+      case CmdPhase::QuerySend:
+        co_await querySendTail();
+        break;
+    }
     for (;;) {
+        phase_ = CmdPhase::Idle;
         std::uint16_t w = co_await msgIn_.recv();
+        phase_ = CmdPhase::Busy;
         commands_->inc();
         trace_.emit(sim::TraceEvent::MsgCommand, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
@@ -90,38 +182,35 @@ MessageCoproc::commandProcess()
             radio_->setMode(RadioMode::Idle);
         } else if (w == core::msgcmd::kCarrier) {
             // Carrier sense for the MAC's CSMA: reply synchronously
-            // through the outgoing FIFO (no event token).
+            // through the outgoing FIFO (no event token). The reply
+            // word is computed *before* the send can block — it must
+            // reflect the channel at command time, not at whatever
+            // later tick the FIFO drains.
             sim::fatalIf(!radio_, "carrier sense with no radio");
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-            co_await msgOut_.send(radio_->channelBusy() ? 1 : 0);
+            pendingWord_ = radio_->channelBusy() ? 1 : 0;
+            co_await replyTail();
         } else if (w == core::msgcmd::kRssi) {
             // Signal strength of the last accepted word, replied
             // synchronously like carrier sense. 0 on media without a
             // signal-strength model (io_ports.hh has the encoding).
             sim::fatalIf(!radio_, "RSSI read with no radio");
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-            co_await msgOut_.send(radio_->lastRssi());
+            pendingWord_ = radio_->lastRssi();
+            co_await replyTail();
         } else if (w == kTx) {
             sim::fatalIf(!radio_, "TX command with no radio attached");
-            std::uint16_t data = co_await msgIn_.recv();
-            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-            txWords_->inc();
-            trace_.emit(sim::TraceEvent::MsgTx, data);
-            radio_->setMode(RadioMode::Tx);
-            co_await radio_->transmit(data);
-            // The transmitter can take the next word.
-            pushEvent(isa::EventNum::RadioTxRdy);
+            co_await txData();
         } else if (isQuery(w)) {
             unsigned id = querySensor(w);
             sim::fatalIf(!sensors_[id], "query of unattached sensor ",
                          id);
             queries_->inc();
             // ADC-style conversion time before the value is ready.
-            co_await ctx_.kernel.delay(ctx_.cfg.sensorConvTime);
-            std::uint16_t v = sensors_[id]->query(ctx_.kernel.now());
-            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-            co_await msgOut_.send(v);
-            pushEvent(isa::EventNum::SensorData);
+            armWait(CmdPhase::QueryWait,
+                    ctx_.kernel.now() + ctx_.cfg.sensorConvTime,
+                    static_cast<std::uint8_t>(id));
+            co_await queryFinish();
         } else {
             sim::fatal("unknown message-coprocessor command word 0x",
                        std::hex, w);
@@ -129,17 +218,103 @@ MessageCoproc::commandProcess()
     }
 }
 
+/** Received word in hand: out through the FIFO, then the event. */
 sim::Co<void>
-MessageCoproc::rxProcess()
+MessageCoproc::rxSendTail()
 {
+    rxStamp_ = ++blockSeq_;
+    rxPhase_ = RxPhase::Send;
+    co_await msgOut_.send(rxWord_);
+    pushEvent(isa::EventNum::RadioRx);
+}
+
+sim::Co<void>
+MessageCoproc::rxProcess(RxPhase entry)
+{
+    if (entry == RxPhase::Send)
+        co_await rxSendTail();
     for (;;) {
+        rxPhase_ = RxPhase::Idle;
         std::uint16_t w = co_await radio_->rxWords().recv();
         rxWords_->inc();
         trace_.emit(sim::TraceEvent::MsgRx, w);
         ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
-        co_await msgOut_.send(w);
-        pushEvent(isa::EventNum::RadioRx);
+        rxWord_ = w;
+        co_await rxSendTail();
     }
+}
+
+MessageCoproc::SavedState
+MessageCoproc::saveState(bool frozen) const
+{
+    sim::fatalIf(!frozen && phase_ == CmdPhase::Busy,
+                 "snapshot of a mid-command message coprocessor "
+                 "(eligibility should have deferred this barrier)");
+    SavedState s;
+    s.cmdPhase = static_cast<std::uint8_t>(phase_);
+    s.rxPhase = static_cast<std::uint8_t>(rxPhase_);
+    s.pendingWord = pendingWord_;
+    s.rxWord = rxWord_;
+    s.waitEnd = waitEnd_;
+    s.waitSeq = waitSeq_;
+    s.waitArg = waitArg_;
+    s.cmdStamp = cmdStamp_;
+    s.rxStamp = rxStamp_;
+    s.blockSeq = blockSeq_;
+    return s;
+}
+
+void
+MessageCoproc::restoreState(const SavedState &s)
+{
+    sim::fatalIf(s.cmdPhase >
+                     static_cast<std::uint8_t>(CmdPhase::QuerySend) ||
+                     s.cmdPhase ==
+                         static_cast<std::uint8_t>(CmdPhase::Busy),
+                 "snapshot: bad message-coprocessor command phase");
+    sim::fatalIf(s.rxPhase > static_cast<std::uint8_t>(RxPhase::Send),
+                 "snapshot: bad message-coprocessor rx phase");
+    phase_ = static_cast<CmdPhase>(s.cmdPhase);
+    rxPhase_ = static_cast<RxPhase>(s.rxPhase);
+    pendingWord_ = s.pendingWord;
+    rxWord_ = s.rxWord;
+    waitEnd_ = s.waitEnd;
+    waitSeq_ = s.waitSeq;
+    waitArg_ = s.waitArg;
+    cmdStamp_ = s.cmdStamp;
+    rxStamp_ = s.rxStamp;
+    blockSeq_ = s.blockSeq;
+}
+
+void
+MessageCoproc::startRestored()
+{
+    const CmdPhase cmdEntry = phase_;
+    const RxPhase rxEntry = rxPhase_;
+    // When both processes re-park in a blocked send to the outgoing
+    // FIFO, spawn order sets waiter registration order; the saved
+    // stamps say who blocked first in the original run. (The tails
+    // re-stamp on entry, in spawn order, so relative order is
+    // preserved for the next block too.)
+    const bool cmdBlocked = cmdEntry == CmdPhase::ReplySend ||
+                            cmdEntry == CmdPhase::QuerySend;
+    const bool rxFirst = radio_ && rxEntry == RxPhase::Send &&
+                         cmdBlocked && rxStamp_ < cmdStamp_;
+    if (rxFirst)
+        ctx_.kernel.spawn(rxProcess(rxEntry), "msg-coproc-rx");
+    ctx_.kernel.spawn(commandProcess(cmdEntry), "msg-coproc-cmd");
+    if (radio_ && !rxFirst)
+        ctx_.kernel.spawn(rxProcess(rxEntry), "msg-coproc-rx");
+}
+
+void
+MessageCoproc::rearmWait()
+{
+    sim::panicIf(phase_ != CmdPhase::TxWait &&
+                     phase_ != CmdPhase::QueryWait,
+                 "rearmWait outside a gated wait");
+    ctx_.kernel.schedule(waitEnd_, [this] { gate_.open(); });
+    waitSeq_ = ctx_.kernel.lastScheduledSeq();
 }
 
 } // namespace snaple::coproc

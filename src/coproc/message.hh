@@ -22,6 +22,7 @@
 #include "core/context.hh"
 #include "core/ports.hh"
 #include "coproc/io_ports.hh"
+#include "sim/gate.hh"
 #include "sim/trace.hh"
 
 namespace snaple::coproc {
@@ -31,6 +32,49 @@ class MessageCoproc
 {
   public:
     static constexpr std::size_t kMaxSensors = 16;
+
+    /**
+     * Where the command process is parked (snapshot support). Every
+     * phase except Busy is a stable wait a checkpoint can capture:
+     * the process is suspended at exactly one await whose
+     * continuation is a dedicated tail coroutine, so a restored node
+     * respawns the process directly into that tail. Busy covers the
+     * command micro-delay and never survives to a checkpoint — an
+     * in-flight delay resume fails the shard's pending-event
+     * accounting and defers the checkpoint to the next barrier.
+     */
+    enum class CmdPhase : std::uint8_t
+    {
+        Idle,      ///< parked at the command FIFO recv
+        Busy,      ///< mid-command (micro-delay in flight)
+        ReplySend, ///< carrier/RSSI reply blocked on the out FIFO
+        TxData,    ///< TX armed, parked for the data word
+        TxWait,    ///< word on the air, parked on the TX gate
+        QueryWait, ///< sensor converting, parked on the query gate
+        QuerySend, ///< sensor value blocked on the out FIFO
+    };
+
+    /** Where the receive process is parked (snapshot support). */
+    enum class RxPhase : std::uint8_t
+    {
+        Idle, ///< parked at the radio RX FIFO recv
+        Send, ///< received word blocked on the out FIFO
+    };
+
+    /** Serialized process state (src/snapshot/). */
+    struct SavedState
+    {
+        std::uint8_t cmdPhase = 0;
+        std::uint8_t rxPhase = 0;
+        std::uint16_t pendingWord = 0;
+        std::uint16_t rxWord = 0;
+        sim::Tick waitEnd = 0;
+        std::uint64_t waitSeq = 0;
+        std::uint8_t waitArg = 0;
+        std::uint64_t cmdStamp = 0;
+        std::uint64_t rxStamp = 0;
+        std::uint64_t blockSeq = 0;
+    };
 
     /** Snapshot view of the registry-native counters ("msg.*"). */
     struct Stats
@@ -73,9 +117,46 @@ class MessageCoproc
                      interrupts_->value(), eventsDropped_->value()};
     }
 
+    /** @name Snapshot support (src/snapshot/) */
+    ///@{
+    CmdPhase cmdPhase() const { return phase_; }
+    /** Pending kernel events this coprocessor owns (the gate-open
+     *  timers of TxWait/QueryWait) — part of the shard's
+     *  checkpoint-eligibility accounting. */
+    std::size_t
+    pendingKernelEvents() const
+    {
+        return (phase_ == CmdPhase::TxWait ||
+                phase_ == CmdPhase::QueryWait)
+                   ? 1
+                   : 0;
+    }
+    /** Serialize the parked process state; fatal while Busy. */
+    SavedState saveState(bool frozen = false) const;
+    /** Poke saved state back (before startRestored()). */
+    void restoreState(const SavedState &s);
+    /**
+     * Respawn the processes directly into their saved parked phases.
+     * When both processes are blocked sending to the outgoing FIFO,
+     * the smaller block stamp respawns first so the FIFO's waiter
+     * order — and hence wake-up order — is reproduced.
+     */
+    void startRestored();
+    /** Re-schedule the saved gate-open event (restore re-arm phase,
+     *  called in recorded-seq order across the whole node). */
+    void rearmWait();
+    ///@}
+
   private:
-    sim::Co<void> commandProcess();
-    sim::Co<void> rxProcess();
+    sim::Co<void> commandProcess(CmdPhase entry);
+    sim::Co<void> rxProcess(RxPhase entry);
+    sim::Co<void> replyTail();
+    sim::Co<void> txData();
+    sim::Co<void> txFinish();
+    sim::Co<void> queryFinish();
+    sim::Co<void> querySendTail();
+    sim::Co<void> rxSendTail();
+    void armWait(CmdPhase ph, sim::Tick end, std::uint8_t arg = 0);
     void pushEvent(isa::EventNum e);
 
     core::NodeContext &ctx_;
@@ -86,6 +167,18 @@ class MessageCoproc
     sim::WarnRateLimiter dropWarn_;
     RadioPort *radio_ = nullptr;
     std::array<SensorPort *, kMaxSensors> sensors_{};
+    sim::TickGate gate_;      ///< TxWait/QueryWait wake-up point
+    CmdPhase phase_ = CmdPhase::Idle;
+    RxPhase rxPhase_ = RxPhase::Idle;
+    std::uint16_t pendingWord_ = 0; ///< reply / sensor value in hand
+    std::uint16_t rxWord_ = 0;      ///< received word in hand
+    sim::Tick waitEnd_ = 0;         ///< gate-open tick (abs)
+    std::uint64_t waitSeq_ = 0;     ///< gate-open event's kernel seq
+    std::uint8_t waitArg_ = 0;      ///< QueryWait sensor id
+    /** Monotone stamps ordering this node's blocked out-FIFO sends. */
+    std::uint64_t blockSeq_ = 0;
+    std::uint64_t cmdStamp_ = 0;
+    std::uint64_t rxStamp_ = 0;
     /** Registry-native counters — visible to metrics sampling (and
      *  without SNAPLE_TRACE builds, unlike the TokenDrop trace). */
     sim::MetricCounter *commands_;

@@ -69,14 +69,38 @@ TimerCoproc::arm(unsigned n, std::uint32_t ticks24)
     // register decrements through zero.
     const std::uint64_t dur = (ticks24 == 0) ? 1 : ticks24;
     trace_.emit(sim::TraceEvent::TimerSched, n, dur);
-    ctx_.kernel.scheduleAfter(
-        dur * ctx_.cfg.timerTick,
-        [this, n, this_generation] { expire(n, this_generation); });
+    const sim::Tick deadline =
+        ctx_.kernel.now() + dur * ctx_.cfg.timerTick;
+    ctx_.kernel.schedule(deadline, [this, n, this_generation] {
+        expire(n, this_generation);
+    });
+    pending_.push_back(ExpireRec{static_cast<std::uint8_t>(n),
+                                 this_generation, deadline,
+                                 ctx_.kernel.lastScheduledSeq()});
+}
+
+void
+TimerCoproc::rearmExpire(std::uint8_t n, std::uint64_t generation,
+                         sim::Tick deadline)
+{
+    ctx_.kernel.schedule(deadline, [this, n, generation] {
+        expire(n, generation);
+    });
+    pending_.push_back(ExpireRec{n, generation, deadline,
+                                 ctx_.kernel.lastScheduledSeq()});
 }
 
 void
 TimerCoproc::expire(unsigned n, std::uint64_t generation)
 {
+    // The kernel event firing now leaves the mirror whether or not it
+    // is stale; stale events no-op below exactly as they always have.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->n == n && it->generation == generation) {
+            pending_.erase(it);
+            break;
+        }
+    }
     Timer &t = timers_[n];
     if (!t.armed || t.generation != generation)
         return; // canceled or re-armed meanwhile

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/context.hh"
 #include "core/ports.hh"
@@ -34,6 +35,32 @@ namespace snaple::coproc {
 class TimerCoproc
 {
   public:
+    /** One timer register's architectural state (snapshot support). */
+    struct Timer
+    {
+        bool armed = false;
+        std::uint8_t stagedHi = 0;   ///< from schedhi, used by schedlo
+        std::uint64_t generation = 0;///< invalidates stale expirations
+    };
+
+    /**
+     * Mirror of one pending expire() kernel event. Stale entries
+     * (canceled or re-armed timers) stay mirrored until their event
+     * fires: the event is a behavioral no-op but still occupies the
+     * kernel heap, and Kernel::nextEventAt() steers the parallel
+     * harness's quiet fast-forward — dropping it at restore would
+     * change which barriers a restored run visits. @p seq is the
+     * kernel sequence number at schedule time; restore re-arms all
+     * mirrored events across the node sorted by it, reproducing
+     * same-tick dispatch order.
+     */
+    struct ExpireRec
+    {
+        std::uint8_t n = 0;
+        std::uint64_t generation = 0;
+        sim::Tick deadline = 0;
+        std::uint64_t seq = 0;
+    };
     /** Snapshot view of the registry-native counters ("timer.*"). */
     struct Stats
     {
@@ -63,14 +90,23 @@ class TimerCoproc
                      canceled_->value(), tokensDropped_->value()};
     }
 
-  private:
-    struct Timer
+    /** @name Snapshot support (src/snapshot/) */
+    ///@{
+    const std::array<Timer, 3> &timerState() const { return timers_; }
+    const std::vector<ExpireRec> &pendingExpires() const
     {
-        bool armed = false;
-        std::uint8_t stagedHi = 0;   ///< from schedhi, used by schedlo
-        std::uint64_t generation = 0;///< invalidates stale expirations
-    };
+        return pending_;
+    }
+    void restoreTimerState(const std::array<Timer, 3> &t)
+    {
+        timers_ = t;
+    }
+    /** Re-schedule one saved expire event (restore re-arm phase). */
+    void rearmExpire(std::uint8_t n, std::uint64_t generation,
+                     sim::Tick deadline);
+    ///@}
 
+  private:
     sim::Co<void> commandProcess();
     void arm(unsigned n, std::uint32_t ticks24);
     void expire(unsigned n, std::uint64_t generation);
@@ -82,6 +118,8 @@ class TimerCoproc
     sim::TraceScope trace_;
     sim::WarnRateLimiter dropWarn_;
     std::array<Timer, 3> timers_;
+    /** One entry per pending expire() kernel event (incl. stale). */
+    std::vector<ExpireRec> pending_;
     /** Registry-native counters — visible to metrics sampling (and
      *  without SNAPLE_TRACE builds, unlike the TokenDrop trace). */
     sim::MetricCounter *scheduled_;

@@ -218,6 +218,28 @@ struct NodeContext
         }
     }
 
+    /** @name Snapshot support (src/snapshot/)
+     * The accounting scalars behind charge()/accrueLeakage(), saved
+     * and poked back verbatim at restore. Restored last, after the
+     * respawned processes have re-run their (tracer-detached) entry
+     * bookkeeping, so any re-charged energy is overwritten. */
+    ///@{
+    sim::Tick leakAccruedTo() const { return leakAccruedTo_; }
+    const std::array<double, kHandlerSlots> &
+    handlerPjAll() const
+    {
+        return handlerPj_;
+    }
+    void
+    restoreAccounting(sim::Tick leakAccruedTo, double chargedPj,
+                      const std::array<double, kHandlerSlots> &perHandler)
+    {
+        leakAccruedTo_ = leakAccruedTo;
+        chargedPj_ = chargedPj;
+        handlerPj_ = perHandler;
+    }
+    ///@}
+
   private:
     template <std::size_t... I>
     static std::array<sim::TraceScope, sizeof...(I)>

@@ -74,7 +74,16 @@ Co<void>
 SnapCore::fetchProcess()
 {
     std::uint16_t pc = 0;
-    if (resumePc_ != kNoResume) {
+    if (restoredAsleep_) {
+        // Respawned from a snapshot of a sleeping core: park at the
+        // event wait as if we had just executed `done`.
+        const std::uint32_t hpc = co_await awaitDispatch();
+        if (hpc == kSwitchUnwind) {
+            co_await fetchQ_.send(InstPacket{{}, 0, true});
+            co_return;
+        }
+        pc = static_cast<std::uint16_t>(hpc);
+    } else if (resumePc_ != kNoResume) {
         // Taking over mid-run after a fidelity switch: the dispatch
         // bookkeeping was already done by the unwinding executor.
         pc = static_cast<std::uint16_t>(resumePc_);
@@ -152,10 +161,19 @@ SnapCore::awaitDispatch()
     // End of handler: return to the event queue. With no pending
     // token all switching activity ceases — SNAP/LE's single,
     // zero-power sleep state.
-    const bool sleeping = eventQueue_.empty();
+    //
+    // The restored-asleep entry skips the whole sleep-entry block:
+    // the original run did that bookkeeping before the snapshot and
+    // it is all captured in the serialized Stats. Only the wake half
+    // still has to run here.
+    const bool restored = restoredAsleep_;
+    restoredAsleep_ = false;
+    const bool sleeping = restored || eventQueue_.empty();
     Tick slept_at = ctx_.kernel.now();
-    stats_.handlerTicks[slotOf(currentEvent_)] += slept_at - segStart_;
-    if (sleeping) {
+    if (!restored)
+        stats_.handlerTicks[slotOf(currentEvent_)] +=
+            slept_at - segStart_;
+    if (sleeping && !restored) {
         asleep_ = true;
         ++stats_.sleeps;
         stats_.lastSleepStart = slept_at;

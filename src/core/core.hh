@@ -206,6 +206,48 @@ class SnapCore
      */
     void publishMetrics();
 
+    /** @name Snapshot support (src/snapshot/)
+     * A core is only checkpointable while halted or asleep — the one
+     * state where the whole two-process (or fast-loop) machine is
+     * parked at a single architecturally defined point, the event
+     * wait at `done`. Everything mid-instruction lives in coroutine
+     * frames and is unserializable by design; checkpoint eligibility
+     * (docs/CHECKPOINT.md) defers the barrier instead. */
+    ///@{
+    /** Serialized core state. Profile rows are host instrumentation
+     *  and are rejected at save time rather than silently dropped. */
+    struct SavedState
+    {
+        std::array<std::uint16_t, isa::kNumPhysRegs> regs{};
+        bool carry = false;
+        std::uint16_t lfsr = 0;
+        std::array<std::uint16_t, isa::kNumEvents> handlerTable{};
+        bool halted = false;
+        bool asleep = false;
+        std::uint8_t currentEvent = 0xff;
+        std::uint8_t fidelity = 0;
+        std::uint8_t pendingFidelity = 0;
+        std::uint16_t fastPc = 0;
+        bool recordTimeline = false;
+        std::vector<std::uint16_t> debugOut;
+        std::vector<ActivitySpan> timeline;
+        Stats stats;
+    };
+    /** Serialize; fatal unless halted or asleep, or if profiling.
+     *  @p frozen waives the parked requirement for shards that will
+     *  never run again (killed nodes): their architectural state is
+     *  captured for reporting only and is never respawned. */
+    SavedState saveState(bool frozen = false) const;
+    /** Poke saved state back (before startRestored()). */
+    void restoreState(const SavedState &s);
+    /**
+     * Respawn the executor directly into the parked event wait
+     * (asleep cores); halted cores stay down — their processes
+     * retired before the snapshot and nothing re-arms them.
+     */
+    void startRestored();
+    ///@}
+
   private:
     /** Instruction packet flowing from fetch to execute. */
     struct InstPacket
@@ -333,6 +375,10 @@ class SnapCore
 
     FidelityMode fidelity_ = FidelityMode::Cycle;
     FidelityMode pendingFidelity_ = FidelityMode::Cycle;
+    /** Restore-time entry: the freshly spawned executor parks at the
+     *  event wait without redoing the sleep-entry bookkeeping (it all
+     *  happened before the snapshot). Cleared by awaitDispatch. */
+    bool restoredAsleep_ = false;
     /** Handler pc a freshly spawned executor resumes at after a
      *  fidelity switch (kNoResume = cold boot from pc 0). */
     std::uint32_t resumePc_ = kNoResume;

@@ -110,6 +110,13 @@ class EnergyLedger
         pj_.fill(0.0);
     }
 
+    /** Overwrite one category (snapshot restore pokes totals back). */
+    void
+    setPj(Cat c, double pj)
+    {
+        pj_[static_cast<std::size_t>(c)] = pj;
+    }
+
     /** Difference against an earlier snapshot (per category). */
     EnergyLedger
     since(const EnergyLedger &earlier) const

@@ -25,26 +25,30 @@ ParallelNetwork::addNode(const node::NodeConfig &cfg,
     return s.node;
 }
 
+sim::Tick
+ParallelNetwork::deriveWindow() const
+{
+    // Lookahead: the earliest a word transmitted in one shard can
+    // matter in another is one (shortest) word airtime plus the
+    // propagation delay. No radios means no cross-shard traffic at
+    // all; any positive window works, so pick a coarse one.
+    sim::Tick minAirtime = sim::kMaxTick;
+    for (const auto &s : shards_)
+        if (const radio::Transceiver *t = s->node.transceiver())
+            minAirtime = std::min(minAirtime, t->wordAirtime());
+    if (minAirtime != sim::kMaxTick)
+        return minAirtime + exchange_.propagation();
+    if (exchange_.propagation() != 0)
+        return exchange_.propagation();
+    return sim::kMillisecond;
+}
+
 void
 ParallelNetwork::start()
 {
     sim::fatalIf(started_, "start() called twice");
-    if (windowOverride_ == 0) {
-        // Lookahead: the earliest a word transmitted in one shard can
-        // matter in another is one (shortest) word airtime plus the
-        // propagation delay. No radios means no cross-shard traffic at
-        // all; any positive window works, so pick a coarse one.
-        sim::Tick minAirtime = sim::kMaxTick;
-        for (const auto &s : shards_)
-            if (const radio::Transceiver *t = s->node.transceiver())
-                minAirtime = std::min(minAirtime, t->wordAirtime());
-        if (minAirtime != sim::kMaxTick)
-            window_ = minAirtime + exchange_.propagation();
-        else if (exchange_.propagation() != 0)
-            window_ = exchange_.propagation();
-        else
-            window_ = sim::kMillisecond;
-    }
+    if (windowOverride_ == 0)
+        window_ = deriveWindow();
     sim::fatalIf(window_ == 0, "sync window must be positive");
     exchange_.finalizeField(); // no-op outside field mode
     for (auto &s : shards_)
@@ -167,6 +171,7 @@ ParallelNetwork::killNode(std::size_t i)
     // truncates in-flight words and suppresses future deliveries.
     s.dead = true;
     s.halted = true;
+    s.deathAt = now_;
     exchange_.setNodeDown(i, true);
 }
 
@@ -207,16 +212,27 @@ ParallelNetwork::runFor(sim::Tick t)
     const sim::Tick target = now_ + t;
     while (now_ < target) {
         sim::Tick horizon = std::min(target, gridNext(now_));
-        if (exchange_.quiet()) {
+        if (exchange_.quiet() && !barrierHook_) {
             // Nothing is (or is about to be) on the air, so windows
             // with no shard events need no barriers: fast-forward to
             // the grid point covering the earliest pending event. The
             // skip depends only on shard state, never lane count, so
-            // it cannot perturb jobs-independence.
+            // it cannot perturb jobs-independence. A barrier hook
+            // disables the skip entirely: hooks observe (and act at)
+            // barriers, so their instants must be the full grid — not
+            // whatever subset this particular runFor() span produced —
+            // or a run split at a checkpoint would accrue battery
+            // depletion at different instants than a straight run.
+            // Metrics deadlines clamp the skip for the same reason:
+            // a sample must land at the grid point covering its
+            // deadline, not wherever the fast-forward happened to
+            // stop (docs/CHECKPOINT.md).
             sim::Tick next = sim::kMaxTick;
             for (const auto &s : shards_)
                 if (!s->halted)
                     next = std::min(next, s->kernel.nextEventAt());
+            if (metricsOut_)
+                next = std::min(next, metricsNext_);
             horizon = next >= target ? target
                                      : std::min(target, gridCeil(next));
         }

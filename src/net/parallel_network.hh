@@ -38,6 +38,11 @@
 #include "sim/trace.hh"
 #include "sim/worker_pool.hh"
 
+namespace snaple::snapshot {
+struct NetworkSnapshot;
+struct NodeState;
+} // namespace snaple::snapshot
+
 namespace snaple::net {
 
 /** A simulated network of SNAP/LE nodes, one kernel per node. */
@@ -68,6 +73,35 @@ class ParallelNetwork
 
     /** Run for a stretch of simulated time (all shards advance). */
     void runFor(sim::Tick t);
+
+    /**
+     * @name Checkpoint/restore (src/snapshot/, docs/CHECKPOINT.md)
+     *
+     * checkpoint() captures the whole network at the current barrier
+     * into a snapshot an identically built network can restore() and
+     * continue from bit-exactly — same per-node trace hashes, energy
+     * ledgers and metrics stream as the uninterrupted run, for any
+     * jobs() count on either side. Snapshots are only defined at
+     * *eligible* barriers: every live shard parked in its event wait
+     * with no events pending beyond the mirrored coprocessor/radio
+     * deadlines. Callers poll checkpointEligible() and defer to the
+     * next barrier instead of forcing it (the scenario runner does
+     * this automatically).
+     */
+    ///@{
+    /** True when every live shard is parked in a serializable state. */
+    bool checkpointEligible() const;
+
+    /** Capture the network; fatal at an ineligible barrier. */
+    snapshot::NetworkSnapshot checkpoint();
+
+    /**
+     * Restore onto a freshly built, identically configured network
+     * (same nodes/programs/topology/window) *instead of* start().
+     * Continues from the snapshot tick.
+     */
+    void restore(const snapshot::NetworkSnapshot &snap);
+    ///@}
 
     /** Restrict connectivity to adjacent registration indices. */
     void
@@ -140,6 +174,12 @@ class ParallelNetwork
 
     /** True once killNode(i) has been applied. */
     bool nodeDead(std::size_t i) const { return shards_.at(i)->dead; }
+
+    /** Barrier tick at which killNode(i) landed; 0 if alive. */
+    sim::Tick nodeDeathAt(std::size_t i) const
+    {
+        return shards_.at(i)->deathAt;
+    }
 
     /** Take the undirected link a-b down (or back up). Deliveries
      *  suppressed by a downed link count in "air.drops_link". */
@@ -339,11 +379,19 @@ class ParallelNetwork
         std::unique_ptr<sim::TraceSink> sink;
         bool halted = false; ///< kernel stopped early; frozen since
         bool dead = false;   ///< killNode() applied (fault injection)
+        sim::Tick deathAt = 0; ///< barrier tick of killNode(); 0 alive
     };
 
     void runWindow(sim::Tick horizon);
     static void stepShard(Shard &s, sim::Tick horizon);
     void sampleMetricsNow();
+    sim::Tick deriveWindow() const;
+
+    // Defined in src/snapshot/net_snapshot.cc with the full snapshot
+    // schema in scope.
+    snapshot::NodeState captureShard(Shard &s) const;
+    void restoreShard(Shard &s, const snapshot::NodeState &ns,
+                      sim::Tick snapTick);
 
     /** First barrier strictly after @p t on the absolute grid. */
     sim::Tick gridNext(sim::Tick t) const { return (t / window_ + 1) * window_; }

@@ -127,6 +127,20 @@ class SnapNode
     }
 
     /**
+     * Respawn the node's processes directly into the parked states a
+     * snapshot captured (docs/CHECKPOINT.md). The caller has already
+     * poked the architectural state back; the spawned coroutines park
+     * without consuming simulated time.
+     */
+    void
+    startRestored()
+    {
+        core_.startRestored();
+        timer_.start();
+        msgCoproc_.startRestored();
+    }
+
+    /**
      * Refresh every sampled metric in ctx().metrics to "now": core
      * counters and histograms, energy gauges (leakage and radio
      * idle-listening accrued first), coprocessor occupancies and radio
@@ -164,6 +178,16 @@ class SnapNode
     mem::Sram &imem() { return imem_; }
     mem::Sram &dmem() { return dmem_; }
     const std::string &name() const { return cfg_.name; }
+
+    /** @name Snapshot support (src/snapshot/)
+     * The hardware FIFOs between the core and its coprocessors carry
+     * live words across a checkpoint; the snapshot layer serializes
+     * their buffers directly. */
+    ///@{
+    core::EventQueue &eventQueue() { return eventQueue_; }
+    core::WordFifo &msgInFifo() { return msgIn_; }
+    core::WordFifo &msgOutFifo() { return msgOut_; }
+    ///@}
 
     /**
      * Hash of the node kernel's trace so far; 0 when no sink is

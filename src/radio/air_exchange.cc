@@ -142,25 +142,139 @@ AirExchange::quiet() const
 }
 
 void
+ShardMedium::runOffer(std::uint16_t word, std::uint16_t rssi)
+{
+    // Shard context: count the receiver's verdict locally; the
+    // coordinator folds it into the air registry at the next
+    // barrier (registry counters are not thread-safe).
+    switch (local_->deliver(word, rssi)) {
+      case DeliverStatus::Accepted:
+        ++outcomes_.accepted;
+        break;
+      case DeliverStatus::DroppedMode:
+        ++outcomes_.dropsMode;
+        break;
+      case DeliverStatus::DroppedFifo:
+        ++outcomes_.dropsFifo;
+        break;
+    }
+}
+
+void
 ShardMedium::injectDelivery(sim::Tick at, std::uint16_t word,
                             std::uint16_t rssi)
 {
-    kernel_.schedule(at, [this, word, rssi] {
-        // Shard context: count the receiver's verdict locally; the
-        // coordinator folds it into the air registry at the next
-        // barrier (registry counters are not thread-safe).
-        switch (local_->deliver(word, rssi)) {
-          case DeliverStatus::Accepted:
-            ++outcomes_.accepted;
-            break;
-          case DeliverStatus::DroppedMode:
-            ++outcomes_.dropsMode;
-            break;
-          case DeliverStatus::DroppedFifo:
-            ++outcomes_.dropsFifo;
-            break;
-        }
+    kernel_.schedule(at, [this, at, word, rssi] {
+        // Same-tick offers fire in schedule order, so the first
+        // mirror entry with this instant is the firing one.
+        for (auto it = offers_.begin(); it != offers_.end(); ++it)
+            if (it->at == at) {
+                offers_.erase(it);
+                runOffer(word, rssi);
+                return;
+            }
+        sim::panic("delivery offer with no mirror entry");
     });
+    offers_.push_back(
+        PendingOffer{at, word, rssi, kernel_.lastScheduledSeq()});
+}
+
+ShardMedium::SavedState
+ShardMedium::saveState() const
+{
+    sim::fatalIf(!outbox_.empty(),
+                 "shard medium snapshot with an undrained outbox "
+                 "(the barrier exchange must run first)");
+    sim::fatalIf(outcomes_.accepted || outcomes_.dropsMode ||
+                     outcomes_.dropsFifo,
+                 "shard medium snapshot with undrained outcomes");
+    SavedState s;
+    s.txSeq = txSeq_;
+    s.ownEnds = ownEnds_;
+    s.remoteEnds = remoteEnds_;
+    s.offers = offers_;
+    return s;
+}
+
+void
+ShardMedium::restoreState(const SavedState &s)
+{
+    txSeq_ = s.txSeq;
+    ownEnds_ = s.ownEnds;
+    remoteEnds_ = s.remoteEnds;
+    offers_ = s.offers;
+    // The carrier counts are, by construction, the number of pending
+    // end events of each flavor.
+    ownActive_ = static_cast<unsigned>(ownEnds_.size());
+    remoteCarrier_ = static_cast<unsigned>(remoteEnds_.size());
+    outbox_.clear();
+    outcomes_ = {};
+}
+
+void
+ShardMedium::rearmOwnEnd(std::size_t i)
+{
+    const sim::Tick end = ownEnds_.at(i).end;
+    kernel_.schedule(end, [this, end] {
+        dropEnd(ownEnds_, end);
+        --ownActive_;
+    });
+    ownEnds_[i].seq = kernel_.lastScheduledSeq();
+}
+
+void
+ShardMedium::rearmRemoteEnd(std::size_t i)
+{
+    const sim::Tick end = remoteEnds_.at(i).end;
+    kernel_.schedule(end, [this, end] {
+        dropEnd(remoteEnds_, end);
+        --remoteCarrier_;
+    });
+    remoteEnds_[i].seq = kernel_.lastScheduledSeq();
+}
+
+void
+ShardMedium::rearmOffer(std::size_t i)
+{
+    const PendingOffer o = offers_.at(i);
+    kernel_.schedule(o.at, [this, at = o.at, word = o.word,
+                            rssi = o.rssi] {
+        for (auto it = offers_.begin(); it != offers_.end(); ++it)
+            if (it->at == at) {
+                offers_.erase(it);
+                runOffer(word, rssi);
+                return;
+            }
+        sim::panic("re-armed delivery offer with no mirror entry");
+    });
+    offers_[i].seq = kernel_.lastScheduledSeq();
+}
+
+AirExchange::SavedState
+AirExchange::saveState() const
+{
+    SavedState s;
+    s.pending = pending_;
+    s.down.assign(down_.begin(), down_.end());
+    s.downLinks.assign(downLinks_.begin(), downLinks_.end());
+    s.offersOutstanding = offersOutstanding_;
+    s.metrics = registry_.saveState();
+    return s;
+}
+
+void
+AirExchange::restoreState(const SavedState &s)
+{
+    sim::fatalIf(s.down.size() != shards_.size(),
+                 "snapshot: air down-flag count (", s.down.size(),
+                 ") does not match the network (", shards_.size(), ")");
+    pending_ = s.pending;
+    down_.assign(s.down.begin(), s.down.end());
+    downLinks_ =
+        std::set<std::pair<std::uint32_t, std::uint32_t>>(
+            s.downLinks.begin(), s.downLinks.end());
+    offersOutstanding_ = s.offersOutstanding;
+    registry_.restoreState(s.metrics);
 }
 
 void

@@ -263,6 +263,24 @@ class AirExchange
      */
     void exchangeAt(sim::Tick barrier);
 
+    /** @name Snapshot support (src/snapshot/)
+     * Coordinator-side air state, saved at a barrier right after
+     * exchangeAt() (outboxes drained, outcomes folded). Field
+     * geometry, the link filter and the sniffer are reconstructed
+     * from the scenario, not serialized. */
+    ///@{
+    struct SavedState
+    {
+        std::vector<AirFlight> pending;
+        std::vector<std::uint8_t> down;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> downLinks;
+        std::uint64_t offersOutstanding = 0;
+        std::vector<sim::MetricsRegistry::SavedInstrument> metrics;
+    };
+    SavedState saveState() const;
+    void restoreState(const SavedState &s);
+    ///@}
+
   private:
     /** Canonical (lo, hi) key for the undirected link state set. */
     static std::pair<std::uint32_t, std::uint32_t>
@@ -376,8 +394,70 @@ class ShardMedium : public Medium
         const sim::Tick now = kernel_.now();
         outbox_.push_back(PendingTx{now, airtime, word, txSeq_++});
         ++ownActive_;
-        kernel_.schedule(now + airtime, [this] { --ownActive_; });
+        const sim::Tick end = now + airtime;
+        kernel_.schedule(end, [this, end] {
+            dropEnd(ownEnds_, end);
+            --ownActive_;
+        });
+        ownEnds_.push_back(CarrierEnd{end, kernel_.lastScheduledSeq()});
     }
+
+    /** @name Snapshot support (src/snapshot/)
+     * Every kernel event this medium schedules — own-carrier ends,
+     * remote-carrier ends, delivery offers — is mirrored with the
+     * kernel sequence number it got at schedule time. A checkpoint
+     * serializes the mirrors; restore re-arms them in ascending saved
+     * seq across the whole node, reproducing same-tick dispatch order
+     * (docs/CHECKPOINT.md). Mirror entries are erased when their
+     * event fires, so the mirrors always equal the pending events. */
+    ///@{
+    struct CarrierEnd
+    {
+        sim::Tick end = 0;
+        std::uint64_t seq = 0;
+    };
+    struct PendingOffer
+    {
+        sim::Tick at = 0;
+        std::uint16_t word = 0;
+        std::uint16_t rssi = 0;
+        std::uint64_t seq = 0;
+    };
+    struct SavedState
+    {
+        std::uint32_t txSeq = 0;
+        std::vector<CarrierEnd> ownEnds;
+        std::vector<CarrierEnd> remoteEnds;
+        std::vector<PendingOffer> offers;
+    };
+
+    /** Kernel events this medium owns right now (checkpoint
+     *  eligibility accounting). */
+    std::size_t
+    pendingKernelEvents() const
+    {
+        return ownEnds_.size() + remoteEnds_.size() + offers_.size();
+    }
+
+    /** Serialize; fatal if the outbox or outcome counters are not
+     *  empty (the barrier's exchange must have run). */
+    SavedState saveState() const;
+    /** Poke mirrors back; carrier counts are the mirror sizes. */
+    void restoreState(const SavedState &s);
+
+    /** Re-schedule one mirrored event, refreshing its stored seq
+     *  (restore re-arm phase, ascending saved-seq order). */
+    void rearmOwnEnd(std::size_t i);
+    void rearmRemoteEnd(std::size_t i);
+    void rearmOffer(std::size_t i);
+
+    const std::vector<CarrierEnd> &ownEnds() const { return ownEnds_; }
+    const std::vector<CarrierEnd> &remoteEnds() const
+    {
+        return remoteEnds_;
+    }
+    const std::vector<PendingOffer> &offers() const { return offers_; }
+    ///@}
 
     /** Global air statistics, shared through the exchange. */
     Stats stats() const override { return exchange_.stats(); }
@@ -414,13 +494,36 @@ class ShardMedium : public Medium
     remoteCarrierUntil(sim::Tick end)
     {
         ++remoteCarrier_;
-        kernel_.schedule(end, [this] { --remoteCarrier_; });
+        kernel_.schedule(end, [this, end] {
+            dropEnd(remoteEnds_, end);
+            --remoteCarrier_;
+        });
+        remoteEnds_.push_back(
+            CarrierEnd{end, kernel_.lastScheduledSeq()});
     }
 
     /** Barrier-time injection: a word arriving at @p at with
      *  receiver-side signal strength @p rssi (0 = unknown). */
     void injectDelivery(sim::Tick at, std::uint16_t word,
                         std::uint16_t rssi);
+
+    /** Erase the mirror of a carrier-end event as it fires. Same-tick
+     *  events fire in schedule order, so the first matching entry is
+     *  the firing one. */
+    static void
+    dropEnd(std::vector<CarrierEnd> &v, sim::Tick end)
+    {
+        for (auto it = v.begin(); it != v.end(); ++it)
+            if (it->end == end) {
+                v.erase(it);
+                return;
+            }
+        sim::panic("carrier-end event with no mirror entry");
+    }
+
+    /** The delivery callback body, shared by the live and re-armed
+     *  paths. */
+    void runOffer(std::uint16_t word, std::uint16_t rssi);
 
     sim::Kernel &kernel_;
     AirExchange &exchange_;
@@ -431,6 +534,9 @@ class ShardMedium : public Medium
     unsigned remoteCarrier_ = 0;
     std::vector<PendingTx> outbox_;
     Outcomes outcomes_;
+    std::vector<CarrierEnd> ownEnds_;
+    std::vector<CarrierEnd> remoteEnds_;
+    std::vector<PendingOffer> offers_;
 };
 
 } // namespace snaple::radio

@@ -113,15 +113,15 @@ class Transceiver : public coproc::RadioPort
         listenAccruedTo_ = now;
     }
 
-    sim::Co<void>
-    transmit(std::uint16_t word) override
+    sim::Tick
+    transmitStart(std::uint16_t word) override
     {
         txWords_->inc();
         if (!cfg_.selfPowered)
             ctx_.ledger.add(energy::Cat::Radio, cfg_.txPjPerWord);
         medium_.beginTransmit(this, word, wordAirtime());
         // The serial interface is busy for the full word airtime.
-        co_await ctx_.kernel.delay(wordAirtime());
+        return ctx_.kernel.now() + wordAirtime();
     }
 
     sim::Fifo<std::uint16_t> &rxWords() override { return rxFifo_; }
@@ -172,6 +172,22 @@ class Transceiver : public coproc::RadioPort
     }
 
     const RadioConfig &config() const { return cfg_; }
+
+    sim::Kernel &kernel() const { return ctx_.kernel; }
+
+    /** @name Snapshot support (src/snapshot/) */
+    ///@{
+    sim::Tick listenAccruedTo() const { return listenAccruedTo_; }
+    /** Poke mode/RSSI/listen-accrual back without side effects. */
+    void
+    restoreState(coproc::RadioMode mode, std::uint16_t lastRssi,
+                 sim::Tick listenAccruedTo)
+    {
+        mode_ = mode;
+        lastRssi_ = lastRssi;
+        listenAccruedTo_ = listenAccruedTo;
+    }
+    ///@}
 
   private:
     core::NodeContext &ctx_;

@@ -15,6 +15,7 @@
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/rng.hh"
+#include "snapshot/snapshot.hh"
 
 namespace snaple::scenario {
 
@@ -156,6 +157,12 @@ RunResult::rows() const
                                 double(sim::kMillisecond))
            << " dbg=" << o.dbgWords << " energy_uj="
            << sim::formatDouble(o.energyPj / 1e6) << "\n";
+    for (const CheckpointRow &c : checkpoints)
+        os << "checkpoint=" << sim::formatDouble(c.requestedMs)
+           << " at_ms="
+           << sim::formatDouble(double(c.at) /
+                                double(sim::kMillisecond))
+           << " trace=" << hex16(c.trace) << "\n";
     return os.str();
 }
 
@@ -225,7 +232,46 @@ runScenario(const Scenario &sc, const RunOptions &opt)
     if (metrics)
         net.enableMetrics(*opt.metricsOut, metricsTick,
                           opt.metricsCsv);
-    net.start();
+
+    // Battery depletion: at every barrier, bring each metered node's
+    // ledger up to date (idle listening + leakage accrue lazily) and
+    // kill it the first time the capacity is spent. Barrier instants
+    // are jobs-invariant, so depletion kills are too. Only installed
+    // when some node is actually metered: a barrier hook pins the
+    // full window grid (no radio-quiet fast-forward), which unmetered
+    // runs shouldn't pay for.
+    const bool metered = std::any_of(
+        capacityPj.begin(), capacityPj.end(),
+        [](double c) { return c > 0; });
+    if (metered)
+        net.setBarrierHook([&](sim::Tick) {
+            for (std::size_t i = 0; i < sc.nodes; ++i) {
+                if (capacityPj[i] <= 0 || net.nodeDead(i))
+                    continue;
+                node::SnapNode &node = net.node(i);
+                if (radio::Transceiver *t = node.transceiver())
+                    t->accrueListenEnergy();
+                node.ctx().accrueLeakage();
+                if (node.ctx().ledger.totalPj() >= capacityPj[i])
+                    net.killNode(i);
+            }
+        });
+
+    // Resume from a snapshot (sensors first — their RNG streams are
+    // host-side state the network snapshot carries for the runner) or
+    // start fresh at t=0.
+    sim::Tick startTick = 0;
+    if (opt.restoreFrom) {
+        const snapshot::NetworkSnapshot &snap = *opt.restoreFrom;
+        for (std::size_t i = 0; i < sc.nodes; ++i)
+            if (sensors[i] && i < snap.userRng.size() &&
+                snap.userRng[i] != 0)
+                sensors[i]->setRngState(snap.userRng[i]);
+        net.restore(snap);
+        startTick = snap.snapTick;
+    } else {
+        net.start();
+    }
 
     RunResult res;
     res.scenario = sc.name;
@@ -235,65 +281,99 @@ runScenario(const Scenario &sc, const RunOptions &opt)
     res.durationMs = sc.durationMs;
     res.outcomes.resize(sc.nodes);
 
-    // Battery depletion: at every barrier, bring each metered node's
-    // ledger up to date (idle listening + leakage accrue lazily) and
-    // kill it the first time the capacity is spent. Barrier instants
-    // are jobs-invariant, so depletion kills are too.
-    net.setBarrierHook([&](sim::Tick at) {
-        for (std::size_t i = 0; i < sc.nodes; ++i) {
-            if (capacityPj[i] <= 0 || net.nodeDead(i))
-                continue;
-            node::SnapNode &node = net.node(i);
-            if (radio::Transceiver *t = node.transceiver())
-                t->accrueListenEnergy();
-            node.ctx().accrueLeakage();
-            if (node.ctx().ledger.totalPj() >= capacityPj[i]) {
-                net.killNode(i);
-                res.outcomes[i].dead = true;
-                res.outcomes[i].deathAt = at;
-            }
-        }
-    });
-
-    // Quantize the fault schedule to the barrier grid and group
-    // faults by barrier tick; the schedule is applied between
-    // runFor() segments, with every shard paused at the fault tick.
+    // Quantize faults and checkpoints to the barrier grid; both are
+    // applied between runFor() segments with every shard paused at
+    // that tick, faults first at a shared barrier (a checkpoint sees
+    // its barrier's faults, and a restored run replays only the
+    // schedule tail past the snapshot). Checkpoints that land on an
+    // ineligible barrier slide to the next one (docs/CHECKPOINT.md).
     const sim::Tick w = net.window();
     const sim::Tick duration = msToTicks(sc.durationMs);
-    std::map<sim::Tick, std::vector<Fault>> schedule;
+    std::map<sim::Tick, std::vector<Fault>> faultsAt;
     for (const Fault &f : sc.faults) {
         const sim::Tick raw = msToTicks(f.atMs);
         const sim::Tick at = (raw + w - 1) / w * w;
-        if (at <= duration)
-            schedule[at].push_back(f);
+        if (at > duration)
+            continue;
+        if (opt.restoreFrom && at <= startTick)
+            continue;
+        faultsAt[at].push_back(f);
     }
+    std::map<sim::Tick, std::vector<Checkpoint>> cksAt;
+    const auto scheduleCheckpoint = [&](const Checkpoint &ck) {
+        sim::fatalIf(ck.atMs > sc.durationMs, "checkpoint at_ms ",
+                     sim::formatDouble(ck.atMs),
+                     " is past the run end (",
+                     sim::formatDouble(sc.durationMs), " ms)");
+        const sim::Tick raw = msToTicks(ck.atMs);
+        const sim::Tick at =
+            std::min(duration, raw == 0 ? w : (raw + w - 1) / w * w);
+        if (!opt.restoreFrom || at > startTick)
+            cksAt[at].push_back(ck);
+    };
+    for (const Checkpoint &ck : sc.checkpoints)
+        scheduleCheckpoint(ck);
+    for (const Checkpoint &ck : opt.checkpoints)
+        scheduleCheckpoint(ck);
 
-    sim::Tick now = 0;
-    for (const auto &[at, faults] : schedule) {
-        if (at > now) {
-            net.runFor(at - now);
-            now = at;
+    sim::Tick now = startTick;
+    while (now < duration || !faultsAt.empty() || !cksAt.empty()) {
+        sim::Tick next = duration;
+        if (!faultsAt.empty())
+            next = std::min(next, faultsAt.begin()->first);
+        if (!cksAt.empty())
+            next = std::min(next, cksAt.begin()->first);
+        if (next > now) {
+            net.runFor(next - now);
+            now = next;
         }
-        for (const Fault &f : faults) {
-            switch (f.kind) {
-              case Fault::Kind::Kill:
-                if (!net.nodeDead(f.a)) {
+        if (!faultsAt.empty() && faultsAt.begin()->first <= now) {
+            for (const Fault &f : faultsAt.begin()->second) {
+                switch (f.kind) {
+                  case Fault::Kind::Kill:
                     net.killNode(f.a);
-                    res.outcomes[f.a].dead = true;
-                    res.outcomes[f.a].deathAt = at;
+                    break;
+                  case Fault::Kind::LinkDown:
+                    net.setLinkUp(f.a, f.b, false);
+                    break;
+                  case Fault::Kind::LinkUp:
+                    net.setLinkUp(f.a, f.b, true);
+                    break;
                 }
-                break;
-              case Fault::Kind::LinkDown:
-                net.setLinkUp(f.a, f.b, false);
-                break;
-              case Fault::Kind::LinkUp:
-                net.setLinkUp(f.a, f.b, true);
-                break;
+            }
+            faultsAt.erase(faultsAt.begin());
+        }
+        if (!cksAt.empty() && cksAt.begin()->first <= now) {
+            std::vector<Checkpoint> due =
+                std::move(cksAt.begin()->second);
+            cksAt.erase(cksAt.begin());
+            if (!net.checkpointEligible()) {
+                sim::fatalIf(
+                    now >= duration,
+                    "checkpoint still ineligible at the end of the "
+                    "run; extend the duration past the next barrier");
+                std::vector<Checkpoint> &dst =
+                    cksAt[std::min(now + w, duration)];
+                dst.insert(dst.begin(), due.begin(), due.end());
+            } else {
+                snapshot::NetworkSnapshot snap = net.checkpoint();
+                for (std::size_t i = 0; i < sc.nodes; ++i)
+                    if (sensors[i])
+                        snap.userRng[i] = sensors[i]->rngState();
+                std::uint64_t trace = 14695981039346656037ull;
+                for (const snapshot::NodeState &n : snap.nodes)
+                    trace = fnv1a(trace, n.traceHash);
+                for (const Checkpoint &ck : due) {
+                    res.checkpoints.push_back(
+                        CheckpointRow{ck.atMs, now, trace, ck.path});
+                    if (!ck.path.empty())
+                        snapshot::writeSnapshotFile(snap, ck.path);
+                    if (opt.onCheckpoint)
+                        opt.onCheckpoint(snap, ck);
+                }
             }
         }
     }
-    if (now < duration)
-        net.runFor(duration - now);
     if (metrics)
         net.finishMetrics();
 
@@ -302,6 +382,8 @@ runScenario(const Scenario &sc, const RunOptions &opt)
         node::SnapNode &node = net.node(i);
         NodeOutcome &o = res.outcomes[i];
         o.name = node.name();
+        o.dead = net.nodeDead(i);
+        o.deathAt = net.nodeDeathAt(i);
         // Bring the ledger up to the node's final instant (its death
         // barrier when dead — the frozen kernel pins now() there).
         if (radio::Transceiver *t = node.transceiver())

@@ -12,6 +12,14 @@
  * stream — is byte-identical for any RunOptions::jobs, because every
  * cross-shard effect (faults included) is defined purely by barrier
  * ticks and node ids (docs/SIMULATOR.md).
+ *
+ * Checkpoints ride the same barrier grid: scenario `checkpoint`
+ * stanzas plus any RunOptions::checkpoints are quantized like faults
+ * (faults apply first at a shared barrier), deferred window by window
+ * while the network is checkpoint-ineligible, and recorded as
+ * RunResult::checkpoints rows. RunOptions::restoreFrom resumes a run
+ * from a snapshot instead of t=0; the continuation is byte-identical
+ * to the uninterrupted run (docs/CHECKPOINT.md).
  */
 
 #ifndef SNAPLE_SCENARIO_RUNNER_HH
@@ -28,6 +36,10 @@
 #include "radio/medium.hh"
 #include "scenario/scenario.hh"
 #include "sim/ticks.hh"
+
+namespace snaple::snapshot {
+struct NetworkSnapshot;
+}
 
 namespace snaple::scenario {
 
@@ -62,6 +74,30 @@ struct RunOptions
      * Scenario::baseDir; tests inject sources directly.
      */
     std::function<std::string(const std::string &path)> loadSource;
+
+    /**
+     * Extra checkpoints (`snap-run --save-at/--save`), merged with the
+     * scenario's own `checkpoint` stanzas before scheduling.
+     */
+    std::vector<Checkpoint> checkpoints;
+
+    /**
+     * Resume from this snapshot instead of starting at t=0. The
+     * network must be rebuilt exactly as at save time (same scenario,
+     * fidelity and calibration); the runner restores every node —
+     * sensor RNG streams included — and only replays the schedule
+     * tail past the snapshot barrier. Borrowed for the call.
+     */
+    const snapshot::NetworkSnapshot *restoreFrom = nullptr;
+
+    /**
+     * Called with every snapshot the run takes, after the trace row is
+     * recorded and the file (if Checkpoint::path is non-empty) is
+     * written. Tests capture snapshots in memory through this.
+     */
+    std::function<void(const snapshot::NetworkSnapshot &snap,
+                       const Checkpoint &ck)>
+        onCheckpoint;
 };
 
 /** What one node ended the run with. */
@@ -73,6 +109,15 @@ struct NodeOutcome
     sim::Tick deathAt = 0;       ///< kill barrier; 0 when alive
     double energyPj = 0;         ///< whole-ledger total
     std::size_t dbgWords = 0;    ///< `dbgout` values emitted
+};
+
+/** One checkpoint the run actually took. */
+struct CheckpointRow
+{
+    double requestedMs = 0;  ///< the schedule time as written
+    sim::Tick at = 0;        ///< barrier tick it resolved to
+    std::uint64_t trace = 0; ///< combined trace hash at that barrier
+    std::string path;        ///< snapshot file written; may be empty
 };
 
 /** Everything a scenario run reports. */
@@ -97,11 +142,16 @@ struct RunResult
      *  64-bit witness for the whole run. */
     std::uint64_t combinedTraceHash = 0;
 
+    /** Checkpoints taken, in barrier order (only those past the
+     *  restore point when resuming). */
+    std::vector<CheckpointRow> checkpoints;
+
     /** The one-line experiment row (golden-file format). */
     std::string row() const;
 
-    /** row() plus one `node=` line per node — the full canonical
-     *  report the golden .row files pin. */
+    /** row() plus one `node=` line per node and one `checkpoint=`
+     *  line per snapshot taken — the full canonical report the
+     *  golden .row files pin. */
     std::string rows() const;
 };
 

@@ -274,6 +274,31 @@ parseFaultLine(const Ctx &c, Scenario &sc,
     sc.faults.push_back(f);
 }
 
+/** Handle one `checkpoint at_ms <t> [<path>]` directive. */
+void
+parseCheckpointLine(const Ctx &c, Scenario &sc,
+                    const std::vector<std::string> &t)
+{
+    if (t.size() != 3 && t.size() != 4)
+        c.fail("checkpoint needs: checkpoint at_ms <t> [<path>]");
+    if (t[1] != "at_ms")
+        c.fail("expected 'at_ms', got '", t[1], "'");
+    Checkpoint ck;
+    ck.atMs = parseF64(c, t[2], "for at_ms");
+    if (t.size() == 4)
+        ck.path = t[3];
+    sc.checkpoints.push_back(ck);
+}
+
+/** Canonical checkpoint order: (time, path). */
+bool
+checkpointLess(const Checkpoint &x, const Checkpoint &y)
+{
+    if (x.atMs != y.atMs)
+        return x.atMs < y.atMs;
+    return x.path < y.path;
+}
+
 /** Canonical fault order: (time, kind, endpoints). */
 bool
 faultLess(const Fault &x, const Fault &y)
@@ -344,6 +369,10 @@ validate(const Scenario &sc, const std::string &origin)
         if (f.kind != Fault::Kind::Kill && f.a == f.b)
             fail("link fault needs two distinct endpoints");
     }
+    for (const Checkpoint &ck : sc.checkpoints)
+        if (ck.atMs > sc.durationMs)
+            fail("checkpoint at_ms ", ck.atMs,
+                 " is past duration_ms ", sc.durationMs);
 }
 
 } // namespace
@@ -379,6 +408,10 @@ parseScenario(const std::string &text, const std::string &origin)
             parseFaultLine(c, sc, t);
             continue;
         }
+        if (d == "checkpoint") {
+            parseCheckpointLine(c, sc, t);
+            continue;
+        }
         if (const auto [it, fresh] = seen.emplace(d, lineNo); !fresh)
             c.fail("duplicate '", d, "' (first on line ", it->second,
                    ")");
@@ -411,6 +444,8 @@ parseScenario(const std::string &text, const std::string &origin)
     if (!sawDuration)
         sim::fatal(origin, ": missing 'duration_ms' directive");
     std::stable_sort(sc.faults.begin(), sc.faults.end(), faultLess);
+    std::stable_sort(sc.checkpoints.begin(), sc.checkpoints.end(),
+                     checkpointLess);
     validate(sc, origin);
     return sc;
 }
@@ -508,6 +543,14 @@ serializeScenario(const Scenario &sc)
             break;
         }
         os << " at_ms " << sim::formatDouble(f.atMs) << "\n";
+    }
+    std::vector<Checkpoint> cks = sc.checkpoints;
+    std::stable_sort(cks.begin(), cks.end(), checkpointLess);
+    for (const Checkpoint &ck : cks) {
+        os << "checkpoint at_ms " << sim::formatDouble(ck.atMs);
+        if (!ck.path.empty())
+            os << " " << ck.path;
+        os << "\n";
     }
     return os.str();
 }

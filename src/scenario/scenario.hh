@@ -14,8 +14,9 @@
  *
  * serializeScenario() emits the canonical form: fixed directive
  * order, node overrides in id order, parameters sorted by name,
- * faults sorted by (time, kind, endpoints). parse∘serialize is a
- * fixed point — the property the parser round-trip test pins.
+ * faults sorted by (time, kind, endpoints), checkpoints by (time,
+ * path). parse∘serialize is a fixed point — the property the parser
+ * round-trip test pins.
  */
 
 #ifndef SNAPLE_SCENARIO_SCENARIO_HH
@@ -102,6 +103,23 @@ struct Fault
     bool operator==(const Fault &) const = default;
 };
 
+/**
+ * One scheduled checkpoint (`checkpoint at_ms <t> [<path>]`). The
+ * runner quantizes the time to the window-barrier grid like a fault,
+ * defers to the next barrier while the network is checkpoint-
+ * ineligible (docs/CHECKPOINT.md), then records the combined trace
+ * hash at the barrier — the row golden files pin — and, when @p path
+ * is non-empty, writes the snapshot file (relative paths resolve
+ * against the invoker's working directory).
+ */
+struct Checkpoint
+{
+    double atMs = 0;
+    std::string path; ///< empty = record the trace row only
+
+    bool operator==(const Checkpoint &) const = default;
+};
+
 /** One parsed scenario. */
 struct Scenario
 {
@@ -126,6 +144,7 @@ struct Scenario
     NodeSettings defaults; ///< the `node *` lines
     std::map<std::uint32_t, NodeSettings> overrides;
     std::vector<Fault> faults;
+    std::vector<Checkpoint> checkpoints;
 
     /**
      * Directory of the file this came from (loadScenario only); the

@@ -75,6 +75,14 @@ class TemperatureSensor : public coproc::SensorPort
         return static_cast<std::uint16_t>(v);
     }
 
+    /** @name Snapshot support (src/snapshot/)
+     * The reading is a pure function of (now, rng state), so the RNG
+     * word is the only state a checkpoint has to carry. */
+    ///@{
+    std::uint64_t rngState() const { return rng_.state(); }
+    void setRngState(std::uint64_t s) { rng_.setState(s); }
+    ///@}
+
   private:
     Config cfg_;
     sim::Rng rng_;

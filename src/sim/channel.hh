@@ -273,6 +273,27 @@ class Fifo
     /** Receive; suspends while the buffer is empty. */
     RecvAwaiter recv() { return RecvAwaiter{*this, std::nullopt}; }
 
+    /** @name Snapshot support (src/snapshot/)
+     * Buffer contents and accept/drop counters, saved and poked back
+     * verbatim. Waiter queues are never serialized: restored
+     * processes re-register by re-awaiting, and checkpoint
+     * eligibility (docs/CHECKPOINT.md) guarantees no deposit/refill
+     * wake-up event is in flight — a parked receiver therefore
+     * implies an empty buffer and a parked sender a full one. */
+    ///@{
+    const std::deque<T> &bufferState() const { return buffer_; }
+    void
+    restoreState(std::deque<T> buffer, std::uint64_t accepted,
+                 std::uint64_t dropped)
+    {
+        panicIf(buffer.size() > capacity_,
+                "fifo restore overflows ", name_);
+        buffer_ = std::move(buffer);
+        accepted_ = accepted;
+        dropped_ = dropped;
+    }
+    ///@}
+
   private:
     struct SendWaiter
     {

@@ -193,6 +193,30 @@ class Kernel
     /** Number of events currently pending. */
     std::size_t pendingEvents() const { return events_.size(); }
 
+    /**
+     * Sequence number assigned to the most recent schedule()/
+     * scheduleResume(). Snapshot code records it right after arming a
+     * mirrored event so same-tick dispatch order can be reproduced at
+     * restore (src/snapshot/): events re-armed in ascending recorded
+     * seq get fresh monotonic seqs with the same relative order.
+     */
+    std::uint64_t lastScheduledSeq() const { return seq_ - 1; }
+
+    /**
+     * Jump simulated time forward to @p when with no pending events
+     * (restore only: a freshly built kernel is warped to the snapshot
+     * tick before state is poked back and processes respawned).
+     * @p dispatched restores the host-side dispatch counter.
+     */
+    void
+    warpTo(Tick when, std::uint64_t dispatched = 0)
+    {
+        panicIf(!events_.empty(), "warpTo with pending events");
+        panicIf(when < now_, "warpTo into the past");
+        now_ = when;
+        dispatched_ = dispatched;
+    }
+
     /** @name Steady-state allocation introspection (tests, benches)
      * Both values grow to the peak number of simultaneously pending
      * events and then stay flat: once warm, scheduling allocates

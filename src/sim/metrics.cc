@@ -123,6 +123,71 @@ MetricsRegistry::mergeFrom(const MetricsRegistry &src)
     }
 }
 
+std::vector<MetricsRegistry::SavedInstrument>
+MetricsRegistry::saveState() const
+{
+    std::vector<SavedInstrument> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, ins] : metrics_) {
+        SavedInstrument s;
+        s.name = name;
+        s.kind = static_cast<std::uint8_t>(ins.kind);
+        switch (ins.kind) {
+          case Kind::Counter:
+            s.counter = ins.counter.value();
+            break;
+          case Kind::Gauge:
+            s.gaugeV = ins.gauge.v_;
+            s.gaugeMerge =
+                static_cast<std::uint8_t>(ins.gauge.merge_);
+            s.gaugeMergedN = ins.gauge.mergedN_;
+            break;
+          case Kind::Histogram:
+            s.histCount = ins.hist.count();
+            s.histSum = ins.hist.sum();
+            s.histMin = ins.hist.min();
+            s.histMax = ins.hist.max();
+            for (std::size_t b = 0;
+                 b < MetricHistogram::kNumBuckets; ++b)
+                s.buckets[b] = ins.hist.bucket(b);
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::restoreState(const std::vector<SavedInstrument> &saved)
+{
+    for (const SavedInstrument &s : saved) {
+        fatalIf(s.kind > 2, "snapshot: bad instrument kind for ",
+                s.name);
+        Instrument &ins = get(s.name, static_cast<Kind>(s.kind));
+        switch (ins.kind) {
+          case Kind::Counter:
+            ins.counter.set(s.counter);
+            break;
+          case Kind::Gauge:
+            ins.gauge.v_ = s.gaugeV;
+            ins.gauge.merge_ =
+                static_cast<GaugeMerge>(s.gaugeMerge);
+            ins.gauge.mergedN_ = s.gaugeMergedN;
+            break;
+          case Kind::Histogram: {
+            std::vector<std::pair<std::size_t, std::uint64_t>> b;
+            for (std::size_t i = 0;
+                 i < MetricHistogram::kNumBuckets; ++i)
+                if (s.buckets[i])
+                    b.emplace_back(i, s.buckets[i]);
+            ins.hist.restore(s.histCount, s.histSum, s.histMin,
+                             s.histMax, b);
+            break;
+          }
+        }
+    }
+}
+
 void
 MetricsRegistry::resetValues()
 {

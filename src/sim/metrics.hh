@@ -286,6 +286,38 @@ class MetricsRegistry
                                   std::string_view node,
                                   const ProfileRow &row);
 
+    /**
+     * Full value dump of one instrument (snapshot support). Fields
+     * irrelevant to the instrument's kind stay at their defaults, so
+     * the serialized form is canonical.
+     */
+    struct SavedInstrument
+    {
+        std::string name;
+        std::uint8_t kind = 0;  ///< 0 counter, 1 gauge, 2 histogram
+        std::uint64_t counter = 0;
+        double gaugeV = 0.0;
+        std::uint8_t gaugeMerge = 0;
+        std::uint32_t gaugeMergedN = 0;
+        std::uint64_t histCount = 0;
+        std::uint64_t histSum = 0;
+        std::uint64_t histMin = 0;
+        std::uint64_t histMax = 0;
+        std::array<std::uint64_t, MetricHistogram::kNumBuckets>
+            buckets{};
+    };
+
+    /** Every instrument's current value, in canonical name order. */
+    std::vector<SavedInstrument> saveState() const;
+
+    /**
+     * Recreate instruments from @p saved (checkpoint restore). Existing
+     * instruments keep their addresses — components cache references —
+     * and take the saved values; instruments only present in @p saved
+     * are created.
+     */
+    void restoreState(const std::vector<SavedInstrument> &saved);
+
   private:
     enum class Kind : std::uint8_t
     {

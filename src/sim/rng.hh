@@ -97,6 +97,18 @@ class Rng
     /** Bernoulli trial with probability @p p of true. */
     bool chance(double p) { return uniform01() < p; }
 
+    /** @name Snapshot support (src/snapshot/)
+     * The whole generator is its 64-bit state word; checkpointing a
+     * host-side stream is capturing this value and poking it back. */
+    ///@{
+    std::uint64_t state() const { return state_; }
+    void
+    setState(std::uint64_t s)
+    {
+        state_ = s ? s : 1; // zero state would lock xorshift
+    }
+    ///@}
+
     /** Exponentially distributed value with the given mean. */
     double
     exponential(double mean)

@@ -124,6 +124,19 @@ class TraceSink
     /** Number of events emitted so far. */
     std::uint64_t eventCount() const { return count_; }
 
+    /**
+     * Seed the running hash and count (checkpoint restore: a restored
+     * run's sink continues the saved stream's hash ladder so the final
+     * hash equals the straight run's). Records are not restored —
+     * restored sinks are hash-only continuations.
+     */
+    void
+    restoreHash(std::uint64_t hash, std::uint64_t count)
+    {
+        hash_ = hash;
+        count_ = count;
+    }
+
     /** True if the sink stores events (needed by the exporters). */
     bool recording() const { return record_; }
 

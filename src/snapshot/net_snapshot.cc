@@ -1,0 +1,331 @@
+/**
+ * @file
+ * ParallelNetwork checkpoint/restore (the out-of-line members declared
+ * in net/parallel_network.hh; the snapshot schema lives in
+ * snapshot/snapshot.hh and the contract in docs/CHECKPOINT.md).
+ *
+ * Capture is plain-state reads: at an eligible barrier every live
+ * shard is parked in its event wait and every pending kernel event is
+ * a mirrored coprocessor/radio deadline, so the whole network is a
+ * value. Restore rebuilds the dynamic half in three steps per shard:
+ * poke the architectural state back, respawn the hardware processes
+ * and run the kernel zero simulated time so they park themselves
+ * against the restored FIFOs (tracer detached — the original park was
+ * already hashed), then re-schedule the mirrored deadlines in saved
+ * kernel-sequence order so same-tick events dispatch exactly as they
+ * would have in the uninterrupted run.
+ */
+
+#include <algorithm>
+#include <deque>
+
+#include "net/parallel_network.hh"
+#include "radio/transceiver.hh"
+#include "snapshot/snapshot.hh"
+
+namespace snaple::net {
+
+namespace {
+
+snapshot::FifoState
+captureFifo(const sim::Fifo<std::uint16_t> &f)
+{
+    snapshot::FifoState st;
+    const std::deque<std::uint16_t> &buf = f.bufferState();
+    st.words.assign(buf.begin(), buf.end());
+    st.accepted = f.accepted();
+    st.dropped = f.dropped();
+    return st;
+}
+
+void
+restoreFifo(sim::Fifo<std::uint16_t> &f, const snapshot::FifoState &st)
+{
+    f.restoreState(
+        std::deque<std::uint16_t>(st.words.begin(), st.words.end()),
+        st.accepted, st.dropped);
+}
+
+std::vector<std::uint16_t>
+captureSram(mem::Sram &m)
+{
+    std::vector<std::uint16_t> words(m.words());
+    for (std::size_t a = 0; a < words.size(); ++a)
+        words[a] = m.peek(static_cast<std::uint16_t>(a));
+    return words;
+}
+
+/**
+ * Rewrite the saved kernel sequence numbers to their rank (0, 1, ...)
+ * across the node's mirrored deadlines. Restore only ever uses these
+ * for relative ordering, and absolute kernel seqs are an artifact of
+ * run history — a restored run allocates different ones — so ranks
+ * are what make a re-checkpoint byte-identical to the uninterrupted
+ * run's snapshot at the same barrier.
+ */
+void
+canonicalizeSeqs(snapshot::NodeState &ns, bool msgGated)
+{
+    std::vector<std::uint64_t *> slots;
+    for (auto &e : ns.timerExpires)
+        slots.push_back(&e.seq);
+    if (msgGated)
+        slots.push_back(&ns.msg.waitSeq);
+    else
+        ns.msg.waitSeq = 0; // stale once the gate closed
+    for (auto &e : ns.medium.ownEnds)
+        slots.push_back(&e.seq);
+    for (auto &e : ns.medium.remoteEnds)
+        slots.push_back(&e.seq);
+    for (auto &e : ns.medium.offers)
+        slots.push_back(&e.seq);
+    std::sort(slots.begin(), slots.end(),
+              [](const std::uint64_t *a, const std::uint64_t *b) {
+                  return *a < *b;
+              });
+    for (std::size_t rank = 0; rank < slots.size(); ++rank)
+        *slots[rank] = rank;
+}
+
+} // namespace
+
+bool
+ParallelNetwork::checkpointEligible() const
+{
+    if (!started_)
+        return false;
+    for (const auto &sp : shards_) {
+        Shard &s = *sp;
+        if (s.halted)
+            continue; // frozen shards never run again; always safe
+        const core::SnapCore &c = s.node.core();
+        if (!c.halted() && !c.asleep())
+            return false;
+        if (s.node.msgCoproc().cmdPhase() ==
+            coproc::MessageCoproc::CmdPhase::Busy)
+            return false;
+        // Every pending kernel event must be one of the mirrored,
+        // re-armable deadlines. Anything else (a FIFO wake-up, a
+        // coprocessor micro-delay) means machinery is mid-step in a
+        // coroutine frame — defer to the next barrier.
+        const std::size_t mirrored =
+            s.node.timer().pendingExpires().size() +
+            s.node.msgCoproc().pendingKernelEvents() +
+            s.medium.pendingKernelEvents();
+        if (s.kernel.pendingEvents() != mirrored)
+            return false;
+    }
+    return true;
+}
+
+snapshot::NodeState
+ParallelNetwork::captureShard(Shard &s) const
+{
+    sim::panicIf(!s.halted && s.kernel.now() != now_,
+                 "checkpoint: live shard not at the barrier");
+    snapshot::NodeState ns;
+    ns.halted = s.halted;
+    ns.dead = s.dead;
+    ns.deathAt = s.deathAt;
+    ns.kernelNow = s.kernel.now();
+    ns.kernelDispatched = s.kernel.eventsDispatched();
+    if (s.sink) {
+        ns.traceHash = s.sink->hash();
+        ns.traceCount = s.sink->eventCount();
+    }
+    node::SnapNode &n = s.node;
+    ns.core = n.core().saveState(s.halted);
+    ns.imem = captureSram(n.imem());
+    ns.dmem = captureSram(n.dmem());
+    for (const core::EventToken &t : n.eventQueue().bufferState())
+        ns.evq.tokens.push_back(snapshot::EventTokenRec{t.num, t.at});
+    ns.evq.accepted = n.eventQueue().accepted();
+    ns.evq.dropped = n.eventQueue().dropped();
+    ns.msgIn = captureFifo(n.msgInFifo());
+    ns.msgOut = captureFifo(n.msgOutFifo());
+    ns.timers = n.timer().timerState();
+    ns.timerExpires = n.timer().pendingExpires();
+    ns.msg = n.msgCoproc().saveState(s.halted);
+    if (radio::Transceiver *t = n.transceiver()) {
+        ns.hasRadio = true;
+        ns.radioMode = static_cast<std::uint8_t>(t->mode());
+        ns.radioLastRssi = t->lastRssi();
+        ns.radioListenAccruedTo = t->listenAccruedTo();
+        ns.radioRx = captureFifo(t->rxWords());
+    }
+    ns.medium = s.medium.saveState();
+    for (std::size_t c = 0; c < energy::kNumCats; ++c)
+        ns.ledgerPj[c] =
+            n.ctx().ledger.pj(static_cast<energy::Cat>(c));
+    ns.leakAccruedTo = n.ctx().leakAccruedTo();
+    ns.chargedPj = n.ctx().chargedPj();
+    ns.handlerPj = n.ctx().handlerPjAll();
+    ns.metrics = n.ctx().metrics.saveState();
+    canonicalizeSeqs(ns, n.msgCoproc().pendingKernelEvents() != 0);
+    return ns;
+}
+
+snapshot::NetworkSnapshot
+ParallelNetwork::checkpoint()
+{
+    sim::fatalIf(!started_, "checkpoint() before start()");
+    exchange_.drainOutcomes(); // idempotent after exchangeAt()
+    sim::fatalIf(!checkpointEligible(),
+                 "checkpoint() at an ineligible barrier: poll "
+                 "checkpointEligible() and defer (docs/CHECKPOINT.md)");
+    snapshot::NetworkSnapshot snap;
+    snap.snapTick = now_;
+    snap.window = window_;
+    snap.air = exchange_.saveState();
+    snap.metricsNext = metricsNext_;
+    snap.metricsLastAt = metricsLastAt_;
+    snap.metricsMetaWritten = metricsMetaWritten_;
+    snap.nodes.reserve(shards_.size());
+    for (auto &sp : shards_)
+        snap.nodes.push_back(captureShard(*sp));
+    snap.userRng.assign(shards_.size(), 0);
+    return snap;
+}
+
+void
+ParallelNetwork::restoreShard(Shard &s, const snapshot::NodeState &ns,
+                              sim::Tick snapTick)
+{
+    s.halted = ns.halted;
+    s.dead = ns.dead;
+    s.deathAt = ns.deathAt;
+    const bool live = !ns.halted;
+    sim::fatalIf(live && ns.kernelNow != snapTick,
+                 "snapshot: live shard clock disagrees with the "
+                 "barrier tick (corrupt or hand-edited snapshot)");
+    s.kernel.warpTo(ns.kernelNow, ns.kernelDispatched);
+
+    node::SnapNode &n = s.node;
+    n.imem().load(ns.imem);
+    n.dmem().load(ns.dmem);
+    std::deque<core::EventToken> toks;
+    for (const snapshot::EventTokenRec &t : ns.evq.tokens)
+        toks.push_back(core::EventToken{t.num, t.at});
+    n.eventQueue().restoreState(std::move(toks), ns.evq.accepted,
+                                ns.evq.dropped);
+    restoreFifo(n.msgInFifo(), ns.msgIn);
+    restoreFifo(n.msgOutFifo(), ns.msgOut);
+    n.core().restoreState(ns.core);
+    n.timer().restoreTimerState(ns.timers);
+    if (live)
+        n.msgCoproc().restoreState(ns.msg);
+    radio::Transceiver *t = n.transceiver();
+    sim::fatalIf((t != nullptr) != ns.hasRadio,
+                 "snapshot: radio configuration mismatch (rebuild the "
+                 "network exactly as at save time)");
+    if (t) {
+        t->restoreState(static_cast<coproc::RadioMode>(ns.radioMode),
+                        ns.radioLastRssi, ns.radioListenAccruedTo);
+        restoreFifo(t->rxWords(), ns.radioRx);
+    }
+    s.medium.restoreState(ns.medium);
+    for (std::size_t c = 0; c < energy::kNumCats; ++c)
+        n.ctx().ledger.setPj(static_cast<energy::Cat>(c),
+                             ns.ledgerPj[c]);
+
+    // Respawn and park with the tracer detached: the original parks
+    // were hashed when they first happened; the continuation hash is
+    // poked back afterwards.
+    sim::TraceSink *sink = s.kernel.tracer();
+    s.kernel.setTracer(nullptr);
+    if (live) {
+        n.startRestored();
+        s.kernel.run(ns.kernelNow);
+        sim::panicIf(s.kernel.pendingEvents() != 0,
+                     "restore: park run left events pending");
+        // The park run dispatched the respawn bookkeeping events,
+        // which the uninterrupted run never sees — pin the dispatch
+        // counter back so profiling (and the next snapshot's bytes)
+        // match the straight run exactly.
+        s.kernel.warpTo(ns.kernelNow, ns.kernelDispatched);
+
+        // Re-schedule the mirrored deadlines in the order the
+        // original kernel scheduled them (ascending saved seq), so
+        // fresh monotonic seqs reproduce same-tick dispatch order.
+        struct Rearm
+        {
+            std::uint64_t seq;
+            std::uint8_t kind; // 0 timer, 1 msg gate, 2/3/4 medium
+            std::size_t idx;
+        };
+        std::vector<Rearm> order;
+        for (std::size_t i = 0; i < ns.timerExpires.size(); ++i)
+            order.push_back({ns.timerExpires[i].seq, 0, i});
+        if (n.msgCoproc().pendingKernelEvents() != 0)
+            order.push_back({ns.msg.waitSeq, 1, 0});
+        for (std::size_t i = 0; i < ns.medium.ownEnds.size(); ++i)
+            order.push_back({ns.medium.ownEnds[i].seq, 2, i});
+        for (std::size_t i = 0; i < ns.medium.remoteEnds.size(); ++i)
+            order.push_back({ns.medium.remoteEnds[i].seq, 3, i});
+        for (std::size_t i = 0; i < ns.medium.offers.size(); ++i)
+            order.push_back({ns.medium.offers[i].seq, 4, i});
+        std::sort(order.begin(), order.end(),
+                  [](const Rearm &a, const Rearm &b) {
+                      return a.seq < b.seq;
+                  });
+        for (const Rearm &r : order) {
+            switch (r.kind) {
+            case 0: {
+                const auto &e = ns.timerExpires[r.idx];
+                n.timer().rearmExpire(e.n, e.generation, e.deadline);
+                break;
+            }
+            case 1:
+                n.msgCoproc().rearmWait();
+                break;
+            case 2:
+                s.medium.rearmOwnEnd(r.idx);
+                break;
+            case 3:
+                s.medium.rearmRemoteEnd(r.idx);
+                break;
+            default:
+                s.medium.rearmOffer(r.idx);
+                break;
+            }
+        }
+    }
+    if (sink) {
+        sink->restoreHash(ns.traceHash, ns.traceCount);
+        s.kernel.setTracer(sink);
+    }
+
+    // Accounting last: the respawn/re-arm machinery above charges
+    // nothing, but restoring the registries after everything else
+    // makes that an invariant rather than an accident.
+    n.ctx().restoreAccounting(ns.leakAccruedTo, ns.chargedPj,
+                              ns.handlerPj);
+    n.ctx().metrics.restoreState(ns.metrics);
+}
+
+void
+ParallelNetwork::restore(const snapshot::NetworkSnapshot &snap)
+{
+    sim::fatalIf(started_, "restore() after start()");
+    sim::fatalIf(now_ != 0, "restore() after the run started");
+    sim::fatalIf(snap.nodes.size() != shards_.size(),
+                 "snapshot has ", snap.nodes.size(),
+                 " nodes, this network has ", shards_.size());
+    if (windowOverride_ == 0)
+        window_ = deriveWindow();
+    sim::fatalIf(window_ != snap.window,
+                 "snapshot sync window ", snap.window,
+                 " != this network's ", window_,
+                 " (rebuild the network exactly as at save time)");
+    exchange_.finalizeField(); // no-op outside field mode
+    exchange_.restoreState(snap.air);
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        restoreShard(*shards_[i], snap.nodes[i], snap.snapTick);
+    now_ = snap.snapTick;
+    metricsNext_ = snap.metricsNext;
+    metricsLastAt_ = snap.metricsLastAt;
+    metricsMetaWritten_ = snap.metricsMetaWritten;
+    started_ = true;
+}
+
+} // namespace snaple::net

@@ -162,11 +162,11 @@ class FakeRadio : public coproc::RadioPort
 
     void setMode(coproc::RadioMode m) override { mode = m; }
 
-    sim::Co<void>
-    transmit(std::uint16_t w) override
+    sim::Tick
+    transmitStart(std::uint16_t w) override
     {
         sent.push_back(w);
-        co_await k_.delay(100 * sim::kMicrosecond);
+        return k_.now() + 100 * sim::kMicrosecond;
     }
 
     sim::Fifo<std::uint16_t> &rxWords() override { return rx_; }

@@ -68,7 +68,8 @@ popWord(sim::Fifo<std::uint16_t> &f)
 sim::Co<void>
 txOne(Transceiver &t, std::uint16_t w)
 {
-    co_await t.transmit(w);
+    sim::Tick end = t.transmitStart(w);
+    co_await t.kernel().delay(end - t.kernel().now());
 }
 
 TEST(FieldMediumTest, RssiFollowsLogDistancePathLoss)

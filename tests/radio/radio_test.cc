@@ -35,8 +35,10 @@ struct Rig
 sim::Co<void>
 txWords(Transceiver &t, std::vector<std::uint16_t> words)
 {
-    for (auto w : words)
-        co_await t.transmit(w);
+    for (auto w : words) {
+        sim::Tick end = t.transmitStart(w);
+        co_await t.kernel().delay(end - t.kernel().now());
+    }
 }
 
 TEST(RadioTest, WordAirtimeMatches19200Bps)

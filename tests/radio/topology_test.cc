@@ -20,7 +20,8 @@ using radio::Transceiver;
 sim::Co<void>
 txOne(Transceiver &t, std::uint16_t w)
 {
-    co_await t.transmit(w);
+    sim::Tick end = t.transmitStart(w);
+    co_await t.kernel().delay(end - t.kernel().now());
 }
 
 TEST(TopologyTest, LinkFilterRestrictsDelivery)

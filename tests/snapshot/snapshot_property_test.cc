@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Snapshot format properties on fuzzed NetworkSnapshot values:
+ * serialize∘parse is a byte fixed point, every truncated prefix and
+ * every corrupted byte is rejected with sim::FatalError (never UB —
+ * this suite runs under ASan/UBSan in CI), and a version bump with a
+ * recomputed checksum is refused as unsupported.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "snapshot/codec.hh"
+#include "snapshot/snapshot.hh"
+
+namespace {
+
+using namespace snaple;
+using snapshot::NetworkSnapshot;
+using snapshot::NodeState;
+
+sim::MetricsRegistry::SavedInstrument
+fuzzInstrument(sim::Rng &rng, int i)
+{
+    sim::MetricsRegistry::SavedInstrument m;
+    m.name = "m" + std::to_string(i) + ".fuzz";
+    m.kind = std::uint8_t(rng.next() % 3);
+    m.counter = rng.next();
+    m.gaugeV = rng.uniform01() * 1e9;
+    m.gaugeMerge = std::uint8_t(rng.next() % 4);
+    m.gaugeMergedN = std::uint32_t(rng.next());
+    m.histCount = rng.next();
+    m.histSum = rng.next();
+    m.histMin = rng.next();
+    m.histMax = rng.next();
+    for (std::uint64_t &b : m.buckets)
+        b = rng.next();
+    return m;
+}
+
+NodeState
+fuzzNode(sim::Rng &rng)
+{
+    NodeState ns;
+    ns.halted = rng.chance(0.3);
+    ns.dead = ns.halted && rng.chance(0.5);
+    ns.deathAt = rng.next() % (1u << 30);
+    ns.kernelNow = rng.next() % (1u << 30);
+    ns.kernelDispatched = rng.next();
+    ns.traceHash = rng.next();
+    ns.traceCount = rng.next();
+
+    for (std::uint16_t &r : ns.core.regs)
+        r = rng.uniform16();
+    ns.core.carry = rng.chance(0.5);
+    ns.core.lfsr = rng.uniform16();
+    for (std::uint16_t &h : ns.core.handlerTable)
+        h = rng.uniform16();
+    ns.core.halted = ns.halted;
+    ns.core.asleep = !ns.halted;
+    ns.core.currentEvent = std::uint8_t(rng.next());
+    ns.core.fastPc = rng.uniform16();
+    for (int i = 0, n = int(rng.next() % 9); i < n; ++i)
+        ns.core.debugOut.push_back(rng.uniform16());
+    ns.core.stats.instructions = rng.next();
+    ns.core.stats.sleeps = rng.next();
+    ns.core.stats.activeTime = rng.next() % (1u << 30);
+
+    for (int i = 0, n = 16 + int(rng.next() % 64); i < n; ++i) {
+        ns.imem.push_back(rng.uniform16());
+        ns.dmem.push_back(rng.uniform16());
+    }
+    for (int i = 0, n = int(rng.next() % 5); i < n; ++i)
+        ns.evq.tokens.push_back(snapshot::EventTokenRec{
+            std::uint8_t(rng.next() % 7), rng.next() % (1u << 30)});
+    ns.evq.accepted = rng.next();
+    ns.evq.dropped = rng.next();
+    for (int i = 0, n = int(rng.next() % 5); i < n; ++i) {
+        ns.msgIn.words.push_back(rng.uniform16());
+        ns.msgOut.words.push_back(rng.uniform16());
+        ns.radioRx.words.push_back(rng.uniform16());
+    }
+    ns.msgIn.accepted = rng.next();
+    ns.msgOut.dropped = rng.next();
+
+    for (auto &t : ns.timers) {
+        t.armed = rng.chance(0.5);
+        t.stagedHi = std::uint8_t(rng.next());
+        t.generation = rng.next();
+    }
+    for (int i = 0, n = int(rng.next() % 4); i < n; ++i)
+        ns.timerExpires.push_back(coproc::TimerCoproc::ExpireRec{
+            std::uint8_t(rng.next() % 3), rng.next(),
+            rng.next() % (1u << 30), rng.next()});
+    ns.msg.cmdPhase = std::uint8_t(rng.next() % 3);
+    ns.msg.rxPhase = std::uint8_t(rng.next() % 2);
+    ns.msg.pendingWord = rng.uniform16();
+    ns.msg.waitEnd = rng.next() % (1u << 30);
+    ns.msg.waitSeq = rng.next();
+
+    ns.hasRadio = rng.chance(0.8);
+    if (ns.hasRadio) {
+        ns.radioMode = std::uint8_t(rng.next() % 3);
+        ns.radioLastRssi = rng.uniform16();
+        ns.radioListenAccruedTo = rng.next() % (1u << 30);
+        ns.medium.txSeq = std::uint32_t(rng.next());
+        for (int i = 0, n = int(rng.next() % 3); i < n; ++i) {
+            ns.medium.ownEnds.push_back(
+                {rng.next() % (1u << 30), rng.next()});
+            ns.medium.remoteEnds.push_back(
+                {rng.next() % (1u << 30), rng.next()});
+            ns.medium.offers.push_back({rng.next() % (1u << 30),
+                                        rng.uniform16(),
+                                        rng.uniform16(), rng.next()});
+        }
+    }
+
+    for (double &pj : ns.ledgerPj)
+        pj = rng.uniform01() * 1e12;
+    ns.leakAccruedTo = rng.next() % (1u << 30);
+    ns.chargedPj = rng.uniform01() * 1e12;
+    for (double &pj : ns.handlerPj)
+        pj = rng.uniform01() * 1e9;
+    for (int i = 0, n = int(rng.next() % 6); i < n; ++i)
+        ns.metrics.push_back(fuzzInstrument(rng, i));
+    return ns;
+}
+
+NetworkSnapshot
+fuzzSnapshot(sim::Rng &rng)
+{
+    NetworkSnapshot snap;
+    snap.snapTick = rng.next() % (1u << 30);
+    snap.window = 1 + rng.next() % (1u << 20);
+    for (int i = 0, n = int(rng.next() % 4); i < n; ++i) {
+        radio::AirFlight f{};
+        f.start = rng.next() % (1u << 30);
+        f.end = f.start + 1 + rng.next() % 1000;
+        f.srcNode = std::uint32_t(rng.next() % 8);
+        f.seq = std::uint32_t(rng.next());
+        f.word = rng.uniform16();
+        f.collided = rng.chance(0.3);
+        f.resolved = rng.chance(0.3);
+        snap.air.pending.push_back(f);
+    }
+    for (int i = 0, n = int(rng.next() % 3); i < n; ++i) {
+        snap.air.down.push_back(std::uint8_t(rng.next() % 2));
+        snap.air.downLinks.emplace_back(std::uint32_t(rng.next() % 8),
+                                        std::uint32_t(rng.next() % 8));
+    }
+    snap.air.offersOutstanding = rng.next();
+    for (int i = 0, n = int(rng.next() % 4); i < n; ++i)
+        snap.air.metrics.push_back(fuzzInstrument(rng, 100 + i));
+    snap.metricsNext = rng.next() % (1u << 30);
+    snap.metricsLastAt = rng.next() % (1u << 30);
+    snap.metricsMetaWritten = rng.chance(0.5);
+    const int nodes = 1 + int(rng.next() % 4);
+    for (int i = 0; i < nodes; ++i) {
+        snap.nodes.push_back(fuzzNode(rng));
+        snap.userRng.push_back(rng.chance(0.5) ? rng.next() : 0);
+    }
+    return snap;
+}
+
+TEST(SnapshotProperty, SerializeParseIsAByteFixedPoint)
+{
+    sim::Rng rng(0x5eed);
+    for (int iter = 0; iter < 50; ++iter) {
+        const NetworkSnapshot snap = fuzzSnapshot(rng);
+        const std::string enc = snapshot::encodeSnapshot(snap);
+        const NetworkSnapshot dec = snapshot::decodeSnapshot(enc);
+        const std::string enc2 = snapshot::encodeSnapshot(dec);
+        ASSERT_EQ(enc, enc2) << "iteration " << iter;
+    }
+}
+
+TEST(SnapshotProperty, DecodedFieldsSurviveExactly)
+{
+    sim::Rng rng(0xfee1);
+    const NetworkSnapshot snap = fuzzSnapshot(rng);
+    const NetworkSnapshot dec =
+        snapshot::decodeSnapshot(snapshot::encodeSnapshot(snap));
+    ASSERT_EQ(dec.nodes.size(), snap.nodes.size());
+    EXPECT_EQ(dec.snapTick, snap.snapTick);
+    EXPECT_EQ(dec.window, snap.window);
+    EXPECT_EQ(dec.userRng, snap.userRng);
+    EXPECT_EQ(dec.metricsMetaWritten, snap.metricsMetaWritten);
+    for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        const NodeState &a = snap.nodes[i];
+        const NodeState &b = dec.nodes[i];
+        EXPECT_EQ(b.kernelNow, a.kernelNow);
+        EXPECT_EQ(b.traceHash, a.traceHash);
+        EXPECT_EQ(b.core.regs, a.core.regs);
+        EXPECT_EQ(b.core.lfsr, a.core.lfsr);
+        EXPECT_EQ(b.imem, a.imem);
+        EXPECT_EQ(b.dmem, a.dmem);
+        EXPECT_EQ(b.ledgerPj, a.ledgerPj); // bit-exact doubles
+        EXPECT_EQ(b.msg.waitSeq, a.msg.waitSeq);
+        ASSERT_EQ(b.metrics.size(), a.metrics.size());
+        for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+            EXPECT_EQ(b.metrics[m].name, a.metrics[m].name);
+            EXPECT_EQ(b.metrics[m].counter, a.metrics[m].counter);
+            EXPECT_EQ(b.metrics[m].buckets, a.metrics[m].buckets);
+        }
+    }
+}
+
+TEST(SnapshotProperty, EveryTruncatedPrefixIsRejected)
+{
+    sim::Rng rng(0x7213);
+    NetworkSnapshot snap = fuzzSnapshot(rng);
+    snap.nodes.resize(1); // keep the prefix sweep fast
+    snap.userRng.resize(1);
+    const std::string enc = snapshot::encodeSnapshot(snap);
+    for (std::size_t len = 0; len < enc.size(); ++len)
+        EXPECT_THROW(
+            snapshot::decodeSnapshot(
+                std::string_view(enc.data(), len)),
+            sim::FatalError)
+            << "prefix length " << len << " of " << enc.size();
+}
+
+TEST(SnapshotProperty, EveryCorruptedByteIsRejected)
+{
+    // The trailing FNV-1a checksum covers every payload byte, so any
+    // single-byte flip anywhere — header, payload or the checksum
+    // itself — must throw cleanly.
+    sim::Rng rng(0xbadb);
+    NetworkSnapshot snap = fuzzSnapshot(rng);
+    snap.nodes.resize(1);
+    snap.userRng.resize(1);
+    const std::string enc = snapshot::encodeSnapshot(snap);
+    for (std::size_t i = 0; i < enc.size(); ++i) {
+        std::string bad = enc;
+        bad[i] = char(bad[i] ^ 0x41);
+        EXPECT_THROW(snapshot::decodeSnapshot(bad), sim::FatalError)
+            << "flipped byte " << i;
+    }
+}
+
+TEST(SnapshotProperty, TrailingGarbageIsRejected)
+{
+    sim::Rng rng(0x9999);
+    const std::string enc =
+        snapshot::encodeSnapshot(fuzzSnapshot(rng));
+    EXPECT_THROW(snapshot::decodeSnapshot(enc + std::string(1, '\0')),
+                 sim::FatalError);
+}
+
+TEST(SnapshotProperty, VersionBumpWithValidChecksumIsRejected)
+{
+    // A future-versioned file with a perfectly valid checksum must be
+    // refused as unsupported, not misparsed.
+    sim::Rng rng(0x0505);
+    std::string enc = snapshot::encodeSnapshot(fuzzSnapshot(rng));
+    ASSERT_GT(enc.size(), 16u);
+    enc[4] = char(snapshot::kFormatVersion + 1); // little-endian u32
+    const std::uint64_t sum =
+        snapshot::fnv1a64(enc.data(), enc.size() - 8);
+    for (int i = 0; i < 8; ++i)
+        enc[enc.size() - 8 + std::size_t(i)] =
+            char((sum >> (8 * i)) & 0xff);
+    try {
+        snapshot::decodeSnapshot(enc);
+        FAIL() << "future version accepted";
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotProperty, BadMagicIsRejected)
+{
+    sim::Rng rng(0x1111);
+    std::string enc = snapshot::encodeSnapshot(fuzzSnapshot(rng));
+    enc[0] = 'X';
+    const std::uint64_t sum =
+        snapshot::fnv1a64(enc.data(), enc.size() - 8);
+    for (int i = 0; i < 8; ++i)
+        enc[enc.size() - 8 + std::size_t(i)] =
+            char((sum >> (8 * i)) & 0xff);
+    EXPECT_THROW(snapshot::decodeSnapshot(enc), sim::FatalError);
+}
+
+} // namespace

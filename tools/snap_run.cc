@@ -11,6 +11,8 @@
  *        snap-run --scenario=FILE.scn [--jobs K] [--row=FILE]
  *                        [--fidelity fast|cycle] [--cal=FILE]
  *                        [--metrics=FILE] [--metrics-format=jsonl|csv]
+ *                        [--save-at=MS]... [--save=FILE.snap]
+ *                        [--restore=FILE.snap]
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
  * prints the `dbgout` stream, and optionally a stats/energy report.
@@ -47,6 +49,14 @@
  * --cal loads a per-instruction-class cost table (the format
  * `snap-report --calibrate` emits) in place of the analytic fast-tier
  * coefficients.
+ *
+ * Checkpointing (scenario mode only, docs/CHECKPOINT.md): each
+ * --save-at=MS schedules a checkpoint; its `checkpoint=` row prints
+ * with the others, and with a single --save-at, --save=FILE writes
+ * the byte-stable snapshot there. --restore=FILE resumes a previous
+ * snapshot instead of starting at t=0 — the scenario and host knobs
+ * (fidelity, cal) must match the saving run — and the continuation's
+ * rows are byte-identical to the uninterrupted run's.
  */
 
 #include <chrono>
@@ -66,6 +76,7 @@
 #include "radio/transceiver.hh"
 #include "scenario/runner.hh"
 #include "sim/trace.hh"
+#include "snapshot/snapshot.hh"
 
 namespace {
 
@@ -170,6 +181,9 @@ main(int argc, char **argv)
     std::string metrics_format = "jsonl";
     std::string scenario_path;
     std::string row_path;
+    std::vector<double> save_at;
+    std::string save_path;
+    std::string restore_path;
     std::string fidelity_arg;
     std::string cal_path;
     sim::Tick metrics_interval = 10 * sim::kMillisecond;
@@ -208,6 +222,12 @@ main(int argc, char **argv)
             scenario_path = argv[i] + 11;
         else if (!std::strncmp(argv[i], "--row=", 6))
             row_path = argv[i] + 6;
+        else if (!std::strncmp(argv[i], "--save-at=", 10))
+            save_at.push_back(std::atof(argv[i] + 10));
+        else if (!std::strncmp(argv[i], "--save=", 7))
+            save_path = argv[i] + 7;
+        else if (!std::strncmp(argv[i], "--restore=", 10))
+            restore_path = argv[i] + 10;
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -226,7 +246,9 @@ main(int argc, char **argv)
                              "[--metrics=FILE] "
                              "[--metrics-interval=TICKS] "
                              "[--metrics-format=jsonl|csv] "
-                             "[--profile]\n");
+                             "[--profile] [--save-at=MS]... "
+                             "[--save=FILE.snap] "
+                             "[--restore=FILE.snap]\n");
         return 2;
     }
     if (trace_format != "json" && trace_format != "vcd") {
@@ -251,6 +273,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown fidelity '%s' "
                              "(expected fast or cycle)\n",
                      fidelity_arg.c_str());
+        return 2;
+    }
+    if ((!save_at.empty() || !save_path.empty() ||
+         !restore_path.empty()) &&
+        scenario_path.empty()) {
+        std::fprintf(stderr, "--save-at/--save/--restore need "
+                             "--scenario\n");
+        return 2;
+    }
+    if (!save_path.empty() && save_at.size() != 1) {
+        std::fprintf(stderr, "--save=FILE needs exactly one "
+                             "--save-at=MS\n");
         return 2;
     }
     const bool fast_tier = fidelity_arg == "fast";
@@ -295,6 +329,18 @@ main(int argc, char **argv)
                 opt.classCal = cal;
             if (!metrics_path.empty())
                 opt.metricsOut = &metrics_out;
+            for (std::size_t k = 0; k < save_at.size(); ++k) {
+                scenario::Checkpoint ck;
+                ck.atMs = save_at[k];
+                if (k == 0)
+                    ck.path = save_path; // empty = row only
+                opt.checkpoints.push_back(ck);
+            }
+            snapshot::NetworkSnapshot snap;
+            if (!restore_path.empty()) {
+                snap = snapshot::readSnapshotFile(restore_path);
+                opt.restoreFrom = &snap;
+            }
             const scenario::RunResult res =
                 scenario::runScenario(sc, opt);
             const std::string rows = res.rows();
