@@ -58,6 +58,15 @@ class RadioPort
      * spatial media (radio::FieldMedium) fill it per receiver.
      */
     virtual std::uint16_t lastRssi() const { return 0; }
+
+    /**
+     * Explicit-flow command (msgcmd::kFlow): toggle the node's
+     * explicit flow open/closed in the side-band flow tracker
+     * (src/obs/flow.hh) and return the reply word — the new flow id's
+     * low 16 bits on open, 0xffff on close. Pure observability: a
+     * radio (or test fake) without a tracker replies 0.
+     */
+    virtual std::uint16_t flowCommand() { return 0; }
 };
 
 /** What the message coprocessor needs from a sensor. */

@@ -80,6 +80,10 @@ MessageCoproc::armWait(CmdPhase ph, sim::Tick end, std::uint8_t arg)
     ctx_.kernel.schedule(end, [this] { gate_.open(); });
     waitSeq_ = ctx_.kernel.lastScheduledSeq();
     phase_ = ph;
+    // A QueryWait is the ADC conversion running: the sensor is the
+    // busy component until queryFinish() samples it.
+    if (energest_ && ph == CmdPhase::QueryWait)
+        energest_->set(obs::Comp::Sensor, true, ctx_.kernel.now());
 }
 
 // Every multi-await command continuation below is a dedicated tail
@@ -104,7 +108,11 @@ MessageCoproc::txData()
 {
     phase_ = CmdPhase::TxData;
     std::uint16_t data = co_await msgIn_.recv();
-    ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+    {
+        const double pj = ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+        if (energest_)
+            energest_->addPj(obs::Comp::Msg, pj);
+    }
     txWords_->inc();
     trace_.emit(sim::TraceEvent::MsgTx, data);
     radio_->setMode(RadioMode::Tx);
@@ -126,8 +134,12 @@ sim::Co<void>
 MessageCoproc::queryFinish()
 {
     co_await gate_.wait();
+    if (energest_)
+        energest_->set(obs::Comp::Sensor, false, ctx_.kernel.now());
     std::uint16_t v = sensors_[waitArg_]->query(ctx_.kernel.now());
-    ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+    const double pj = ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+    if (energest_)
+        energest_->addPj(obs::Comp::Sensor, pj);
     pendingWord_ = v;
     co_await querySendTail();
 }
@@ -167,11 +179,20 @@ MessageCoproc::commandProcess(CmdPhase entry)
     }
     for (;;) {
         phase_ = CmdPhase::Idle;
+        if (energest_)
+            energest_->set(obs::Comp::Msg, false, ctx_.kernel.now());
         std::uint16_t w = co_await msgIn_.recv();
         phase_ = CmdPhase::Busy;
+        if (energest_)
+            energest_->set(obs::Comp::Msg, true, ctx_.kernel.now());
         commands_->inc();
         trace_.emit(sim::TraceEvent::MsgCommand, w);
-        ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
+        {
+            const double pj =
+                ctx_.charge(Cat::Coproc, ctx_.ecal.msgCommandPj);
+            if (energest_)
+                energest_->addPj(obs::Comp::Msg, pj);
+        }
         co_await ctx_.kernel.delay(ctx_.gd(4));
 
         if (w == kRx) {
@@ -197,6 +218,15 @@ MessageCoproc::commandProcess(CmdPhase entry)
             sim::fatalIf(!radio_, "RSSI read with no radio");
             ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
             pendingWord_ = radio_->lastRssi();
+            co_await replyTail();
+        } else if (w == core::msgcmd::kFlow) {
+            // Explicit flow open/close for the side-band tracer
+            // (src/obs/flow.hh), replied synchronously like carrier
+            // sense: the new flow id's low 16 bits on open, 0xffff on
+            // close. Observability only — no radio state changes.
+            sim::fatalIf(!radio_, "flow command with no radio");
+            ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            pendingWord_ = radio_->flowCommand();
             co_await replyTail();
         } else if (w == kTx) {
             sim::fatalIf(!radio_, "TX command with no radio attached");
@@ -238,7 +268,12 @@ MessageCoproc::rxProcess(RxPhase entry)
         std::uint16_t w = co_await radio_->rxWords().recv();
         rxWords_->inc();
         trace_.emit(sim::TraceEvent::MsgRx, w);
-        ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+        {
+            const double pj =
+                ctx_.charge(Cat::Coproc, ctx_.ecal.msgWordPj);
+            if (energest_)
+                energest_->addPj(obs::Comp::Msg, pj);
+        }
         rxWord_ = w;
         co_await rxSendTail();
     }

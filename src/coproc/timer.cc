@@ -29,11 +29,11 @@ TimerCoproc::commandProcess()
         Timer &t = timers_[cmd.timer];
         switch (cmd.fn) {
           case TimerFn::SchedHi:
-            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            chargeTimerPj(ctx_.ecal.timerSchedulePj);
             t.stagedHi = static_cast<std::uint8_t>(cmd.value & 0xff);
             break;
           case TimerFn::SchedLo: {
-            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            chargeTimerPj(ctx_.ecal.timerSchedulePj);
             std::uint32_t ticks =
                 (static_cast<std::uint32_t>(t.stagedHi) << 16) |
                 cmd.value;
@@ -41,13 +41,14 @@ TimerCoproc::commandProcess()
             break;
           }
           case TimerFn::Cancel:
-            ctx_.charge(Cat::Coproc, ctx_.ecal.timerSchedulePj);
+            chargeTimerPj(ctx_.ecal.timerSchedulePj);
             if (t.armed) {
                 // Disarm and still deliver the token: software sees
                 // exactly one token per schedule, expired or canceled.
                 t.armed = false;
                 ++t.generation;
                 canceled_->inc();
+                accrueTimerDuty();
                 trace_.emit(sim::TraceEvent::TimerCancel, cmd.timer);
                 pushToken(cmd.timer);
             }
@@ -63,6 +64,7 @@ TimerCoproc::arm(unsigned n, std::uint32_t ticks24)
     // Re-scheduling an armed timer silently replaces the countdown.
     ++t.generation;
     t.armed = true;
+    accrueTimerDuty();
     scheduled_->inc();
     const std::uint64_t this_generation = t.generation;
     // A zero duration expires after one tick, not immediately: the
@@ -105,10 +107,29 @@ TimerCoproc::expire(unsigned n, std::uint64_t generation)
     if (!t.armed || t.generation != generation)
         return; // canceled or re-armed meanwhile
     t.armed = false;
+    accrueTimerDuty();
     expired_->inc();
-    ctx_.charge(Cat::Coproc, ctx_.ecal.timerExpirePj);
+    chargeTimerPj(ctx_.ecal.timerExpirePj);
     trace_.emit(sim::TraceEvent::TimerExpire, n);
     pushToken(n);
+}
+
+void
+TimerCoproc::chargeTimerPj(double pj_nominal)
+{
+    const double pj = ctx_.charge(Cat::Coproc, pj_nominal);
+    if (energest_)
+        energest_->addPj(obs::Comp::Timer, pj);
+}
+
+void
+TimerCoproc::accrueTimerDuty()
+{
+    if (!energest_)
+        return;
+    const bool any = timers_[0].armed || timers_[1].armed ||
+                     timers_[2].armed;
+    energest_->set(obs::Comp::Timer, any, ctx_.kernel.now());
 }
 
 void

@@ -27,6 +27,7 @@
 
 #include "core/context.hh"
 #include "core/ports.hh"
+#include "obs/energest.hh"
 #include "sim/trace.hh"
 
 namespace snaple::coproc {
@@ -82,6 +83,11 @@ class TimerCoproc
     /** True if timer @p n is counting down. */
     bool armed(unsigned n) const { return timers_[n].armed; }
 
+    /** Attach the node's energest duty ledger (src/obs/energest.hh):
+     *  accrues Timer ticks while any register counts down. Optional;
+     *  purely observational. */
+    void setEnergest(obs::Energest *e) { energest_ = e; }
+
     /** Counters live in ctx.metrics; this assembles a snapshot. */
     Stats
     stats() const
@@ -111,10 +117,15 @@ class TimerCoproc
     void arm(unsigned n, std::uint32_t ticks24);
     void expire(unsigned n, std::uint64_t generation);
     void pushToken(unsigned n);
+    /** Mirror "any register armed" into the energest Timer state. */
+    void accrueTimerDuty();
+    /** Charge @p pj_nominal to Cat::Coproc and the Timer component. */
+    void chargeTimerPj(double pj_nominal);
 
     core::NodeContext &ctx_;
     core::TimerPort &port_;
     core::EventQueue &eventQueue_;
+    obs::Energest *energest_ = nullptr;
     sim::TraceScope trace_;
     sim::WarnRateLimiter dropWarn_;
     std::array<Timer, 3> timers_;

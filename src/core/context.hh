@@ -132,8 +132,13 @@ struct NodeContext
         return op.gd(n * cfg.sizingDelayScale);
     }
 
-    /** Charge @p pj_nominal (a 1.8 V calibration value) to @p cat. */
-    void
+    /**
+     * Charge @p pj_nominal (a 1.8 V calibration value) to @p cat.
+     * Returns the actual picojoules charged at this operating point,
+     * so callers can attribute the same amount to side ledgers (the
+     * energest duty accountant, src/obs/energest.hh).
+     */
+    double
     charge(energy::Cat cat, double pj_nominal)
     {
         const double pj = op.scalePj(pj_nominal) * cfg.sizingEnergyScale;
@@ -142,6 +147,7 @@ struct NodeContext
         handlerPj_[handlerSlot()] += pj;
         energyScopes_[static_cast<std::size_t>(cat)].emit(
             sim::TraceEvent::EnergyDebit, 0, 0, pj);
+        return pj;
     }
 
     /** The attribution slot for the currently running handler. */

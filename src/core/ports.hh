@@ -60,6 +60,9 @@ inline constexpr std::uint16_t kCarrier = 0x8003; ///< carrier sense:
                                                   ///< reply 0/1 in r15
 inline constexpr std::uint16_t kRssi = 0x8004;  ///< last-word RSSI:
                                                 ///< reply rssi word in r15
+inline constexpr std::uint16_t kFlow = 0x8005;  ///< toggle explicit flow
+                                                ///< (src/obs/flow.hh):
+                                                ///< reply flow id / 0xffff
 inline constexpr std::uint16_t kQuery = 0x9000; ///< | sensor id (lo 4 bits)
 
 /** True if @p w is a Query command. */

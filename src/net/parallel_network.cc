@@ -18,6 +18,9 @@ ParallelNetwork::addNode(const node::NodeConfig &cfg,
     shards_.push_back(
         std::make_unique<Shard>(exchange_, shardCfg, prog));
     Shard &s = *shards_.back();
+    s.node.flowTracker().setWindow(flowWindow_);
+    if (flowsOut_)
+        s.node.flowTracker().setRecording(true);
     if (tracing_) {
         s.sink = std::make_unique<sim::TraceSink>(traceRecord_);
         s.kernel.setTracer(s.sink.get());
@@ -159,6 +162,54 @@ ParallelNetwork::finishMetrics()
 }
 
 void
+ParallelNetwork::enableFlows(std::ostream &out)
+{
+    sim::fatalIf(now_ != 0, "enableFlows() after the run started");
+    flowsOut_ = &out;
+    for (auto &s : shards_)
+        s->node.flowTracker().setRecording(true);
+}
+
+void
+ParallelNetwork::setFlowWindow(sim::Tick w)
+{
+    sim::fatalIf(now_ != 0, "setFlowWindow() after the run started");
+    flowWindow_ = w;
+    for (auto &s : shards_)
+        s->node.flowTracker().setWindow(w);
+}
+
+void
+ParallelNetwork::drainFlowsNow()
+{
+    spanScratch_.clear();
+    for (const auto &s : shards_)
+        s->node.flowTracker().drainSpans(spanScratch_);
+    if (spanScratch_.empty())
+        return;
+    // (tx_tick, node) is unique — the TX serial interface is busy for
+    // a full word airtime — so this sort is a total order and the
+    // drain's byte image is independent of shard iteration order.
+    std::stable_sort(
+        spanScratch_.begin(), spanScratch_.end(),
+        [](const obs::SpanRecord &a, const obs::SpanRecord &b) {
+            return a.txTick != b.txTick ? a.txTick < b.txTick
+                                        : a.node < b.node;
+        });
+    for (const obs::SpanRecord &r : spanScratch_)
+        obs::writeSpanJsonl(*flowsOut_, r);
+}
+
+void
+ParallelNetwork::finishFlows()
+{
+    if (!flowsOut_)
+        return;
+    drainFlowsNow();
+    flowsOut_->flush();
+}
+
+void
 ParallelNetwork::killNode(std::size_t i)
 {
     sim::fatalIf(!started_, "killNode() before start()");
@@ -239,6 +290,8 @@ ParallelNetwork::runFor(sim::Tick t)
         runWindow(horizon);
         exchange_.exchangeAt(horizon);
         now_ = horizon;
+        if (flowsOut_)
+            drainFlowsNow();
         if (metricsOut_ && now_ >= metricsNext_) {
             sampleMetricsNow();
             while (metricsNext_ <= now_)

@@ -304,6 +304,33 @@ class ParallelNetwork
      */
     void finishMetrics();
 
+    /**
+     * Stream flow-span records (src/obs/flow.hh, docs/TRACING.md) to
+     * @p out as JSONL. Every node's tracker is drained at every window
+     * barrier and the drain is sorted by (tx_tick, node) — a unique
+     * key, since a transceiver's TX interface is busy for a full word
+     * airtime. Each span lands in the drain of the first barrier at or
+     * after its transmit tick, so the concatenated stream is globally
+     * sorted by that key: byte-identical for any jobs() count *and*
+     * across checkpoint/restore segmentation, whatever barriers each
+     * segment happens to visit. Call before the first runFor() (on a
+     * restored network: before restore()); @p out must outlive the run.
+     */
+    void enableFlows(std::ostream &out);
+
+    /**
+     * Causality window for cross-node flow continuation, applied to
+     * every node's tracker (obs::FlowTracker::setWindow). The window
+     * is tracker *state* and therefore snapshot content: configure it
+     * identically on both sides of a checkpoint, with or without a
+     * span stream attached. Call before start()/restore().
+     */
+    void setFlowWindow(sim::Tick w);
+
+    /** Drain any buffered spans and flush the span stream. Call once,
+     *  after the last runFor(). */
+    void finishFlows();
+
     /** The air-trace ring; empty unless enableAirTrace() was called. */
     const AirTraceRing &trace() const { return trace_; }
 
@@ -385,6 +412,7 @@ class ParallelNetwork
     void runWindow(sim::Tick horizon);
     static void stepShard(Shard &s, sim::Tick horizon);
     void sampleMetricsNow();
+    void drainFlowsNow();
     sim::Tick deriveWindow() const;
 
     // Defined in src/snapshot/net_snapshot.cc with the full snapshot
@@ -424,6 +452,11 @@ class ParallelNetwork
     bool metricsMetaWritten_ = false;
     sim::MetricsRegistry aggregate_;  ///< scratch for the "all" rows
     sim::MetricsRegistry netScratch_; ///< scratch for the "net" rows
+
+    // Flow-span streaming (enableFlows). Coordinator-only state.
+    std::ostream *flowsOut_ = nullptr;
+    sim::Tick flowWindow_ = 0;
+    std::vector<obs::SpanRecord> spanScratch_;
 };
 
 } // namespace snaple::net

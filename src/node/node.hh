@@ -18,6 +18,8 @@
 #include "core/core.hh"
 #include "core/ports.hh"
 #include "mem/sram.hh"
+#include "obs/energest.hh"
+#include "obs/flow.hh"
 #include "radio/transceiver.hh"
 #include "sim/rng.hh"
 
@@ -82,13 +84,18 @@ class SnapNode
           core_(ctx_, imem_, dmem_, eventQueue_, msgIn_, msgOut_,
                 timerPort_, cfg.name + ".core"),
           timer_(ctx_, timerPort_, eventQueue_),
-          msgCoproc_(ctx_, msgIn_, msgOut_, eventQueue_)
+          msgCoproc_(ctx_, msgIn_, msgOut_, eventQueue_),
+          flowTracker_(cfg.nodeId)
     {
+        timer_.setEnergest(&energest_);
+        msgCoproc_.setEnergest(&energest_);
         if (cfg.attachRadio) {
             sim::fatalIf(medium == nullptr,
                          "node wants a radio but no medium given");
             radio_ = std::make_unique<radio::Transceiver>(ctx_, *medium,
                                                           cfg.radio);
+            radio_->setFlowTracker(&flowTracker_);
+            radio_->setEnergest(&energest_);
             msgCoproc_.attachRadio(*radio_);
         }
         imem_.load(prog.imem);
@@ -166,6 +173,27 @@ class SnapNode
         if (radio_)
             ctx_.metrics.gauge("radio.mode", sim::GaugeMerge::Skip)
                 .set(double(static_cast<int>(radio_->mode())));
+
+        // Energest duty ledger (docs/METRICS.md): accrued ticks and
+        // attributed energy per component state, plus the core's
+        // exact active/sleep split from its own stats.
+        const sim::Tick now = ctx_.kernel.now();
+        for (std::size_t i = 0; i < obs::kNumComps; ++i) {
+            const auto c = static_cast<obs::Comp>(i);
+            const std::string stem =
+                std::string("energest.") + obs::compName(c);
+            ctx_.metrics.gauge(stem + "_ticks", sim::GaugeMerge::Sum)
+                .set(double(energest_.ticks(c, now)));
+            ctx_.metrics.gauge(stem + "_pj", sim::GaugeMerge::Sum)
+                .set(energest_.pj(c));
+        }
+        const sim::Tick active = core_.activeTimeNow();
+        ctx_.metrics
+            .gauge("energest.cpu_active_ticks", sim::GaugeMerge::Sum)
+            .set(double(active));
+        ctx_.metrics
+            .gauge("energest.cpu_sleep_ticks", sim::GaugeMerge::Sum)
+            .set(double(now - active));
     }
 
     core::NodeContext &ctx() { return ctx_; }
@@ -187,6 +215,10 @@ class SnapNode
     core::EventQueue &eventQueue() { return eventQueue_; }
     core::WordFifo &msgInFifo() { return msgIn_; }
     core::WordFifo &msgOutFifo() { return msgOut_; }
+    obs::FlowTracker &flowTracker() { return flowTracker_; }
+    const obs::FlowTracker &flowTracker() const { return flowTracker_; }
+    obs::Energest &energest() { return energest_; }
+    const obs::Energest &energest() const { return energest_; }
     ///@}
 
     /**
@@ -212,6 +244,8 @@ class SnapNode
     core::SnapCore core_;
     coproc::TimerCoproc timer_;
     coproc::MessageCoproc msgCoproc_;
+    obs::FlowTracker flowTracker_;
+    obs::Energest energest_;
     std::unique_ptr<radio::Transceiver> radio_;
 };
 

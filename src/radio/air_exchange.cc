@@ -142,12 +142,30 @@ AirExchange::quiet() const
 }
 
 void
-ShardMedium::runOffer(std::uint16_t word, std::uint16_t rssi)
+ShardMedium::beginTransmit(Transceiver *src, std::uint16_t word,
+                           sim::Tick airtime)
+{
+    (void)src; // one node per shard; the exchange knows the id
+    const sim::Tick now = kernel_.now();
+    outbox_.push_back(
+        PendingTx{now, airtime, word, txSeq_++, local_->lastTxTag()});
+    ++ownActive_;
+    const sim::Tick end = now + airtime;
+    kernel_.schedule(end, [this, end] {
+        dropEnd(ownEnds_, end);
+        --ownActive_;
+    });
+    ownEnds_.push_back(CarrierEnd{end, kernel_.lastScheduledSeq()});
+}
+
+void
+ShardMedium::runOffer(std::uint16_t word, std::uint16_t rssi,
+                      const obs::FlowTag &tag)
 {
     // Shard context: count the receiver's verdict locally; the
     // coordinator folds it into the air registry at the next
     // barrier (registry counters are not thread-safe).
-    switch (local_->deliver(word, rssi)) {
+    switch (local_->deliver(word, rssi, tag)) {
       case DeliverStatus::Accepted:
         ++outcomes_.accepted;
         break;
@@ -162,21 +180,21 @@ ShardMedium::runOffer(std::uint16_t word, std::uint16_t rssi)
 
 void
 ShardMedium::injectDelivery(sim::Tick at, std::uint16_t word,
-                            std::uint16_t rssi)
+                            std::uint16_t rssi, const obs::FlowTag &tag)
 {
-    kernel_.schedule(at, [this, at, word, rssi] {
+    kernel_.schedule(at, [this, at, word, rssi, tag] {
         // Same-tick offers fire in schedule order, so the first
         // mirror entry with this instant is the firing one.
         for (auto it = offers_.begin(); it != offers_.end(); ++it)
             if (it->at == at) {
                 offers_.erase(it);
-                runOffer(word, rssi);
+                runOffer(word, rssi, tag);
                 return;
             }
         sim::panic("delivery offer with no mirror entry");
     });
     offers_.push_back(
-        PendingOffer{at, word, rssi, kernel_.lastScheduledSeq()});
+        PendingOffer{at, word, rssi, kernel_.lastScheduledSeq(), tag});
 }
 
 ShardMedium::SavedState
@@ -238,11 +256,11 @@ ShardMedium::rearmOffer(std::size_t i)
 {
     const PendingOffer o = offers_.at(i);
     kernel_.schedule(o.at, [this, at = o.at, word = o.word,
-                            rssi = o.rssi] {
+                            rssi = o.rssi, tag = o.tag] {
         for (auto it = offers_.begin(); it != offers_.end(); ++it)
             if (it->at == at) {
                 offers_.erase(it);
-                runOffer(word, rssi);
+                runOffer(word, rssi, tag);
                 return;
             }
         sim::panic("re-armed delivery offer with no mirror entry");
@@ -312,7 +330,7 @@ AirExchange::drainOutboxes()
         for (const ShardMedium::PendingTx &tx : m->outbox_)
             pending_.push_back(AirFlight{tx.start, tx.start + tx.airtime,
                                          m->nodeId_, tx.seq, tx.word,
-                                         truncated});
+                                         truncated, false, tx.tag});
         m->outbox_.clear();
     }
     std::sort(pending_.begin() + static_cast<std::ptrdiff_t>(firstFresh),
@@ -404,7 +422,7 @@ AirExchange::exchangeSingleCell(sim::Tick barrier, std::size_t firstFresh)
                 dropsLink_->inc();
                 continue;
             }
-            m->injectDelivery(at, f.word, 0);
+            m->injectDelivery(at, f.word, 0, f.tag);
             ++offersOutstanding_;
         }
     }
@@ -524,7 +542,7 @@ AirExchange::exchangeField(sim::Tick barrier, std::size_t firstFresh)
             }
             if (field::dbmToMw(sigDbm) >= capture * interfMw) {
                 m->injectDelivery(at, f.word,
-                                  field::rssiToWord(sigDbm));
+                                  field::rssiToWord(sigDbm), f.tag);
                 ++offersOutstanding_;
             } else {
                 collisions_->inc(); // garbled at this receiver

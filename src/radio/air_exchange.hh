@@ -85,6 +85,7 @@ struct AirFlight
     /** Field mode: outcome decided, record retained only while an
      *  unresolved flight might still overlap it (interference). */
     bool resolved = false;
+    obs::FlowTag tag; ///< side-band flow metadata (src/obs/flow.hh)
 };
 
 /**
@@ -386,21 +387,10 @@ class ShardMedium : public Medium
         return ownActive_ > 0 || remoteCarrier_ > 0;
     }
 
-    void
-    beginTransmit(Transceiver *src, std::uint16_t word,
-                  sim::Tick airtime) override
-    {
-        (void)src; // one node per shard; the exchange knows the id
-        const sim::Tick now = kernel_.now();
-        outbox_.push_back(PendingTx{now, airtime, word, txSeq_++});
-        ++ownActive_;
-        const sim::Tick end = now + airtime;
-        kernel_.schedule(end, [this, end] {
-            dropEnd(ownEnds_, end);
-            --ownActive_;
-        });
-        ownEnds_.push_back(CarrierEnd{end, kernel_.lastScheduledSeq()});
-    }
+    /** Out of line: reads the transceiver's side-band flow tag, and
+     *  Transceiver is incomplete here. */
+    void beginTransmit(Transceiver *src, std::uint16_t word,
+                       sim::Tick airtime) override;
 
     /** @name Snapshot support (src/snapshot/)
      * Every kernel event this medium schedules — own-carrier ends,
@@ -422,6 +412,7 @@ class ShardMedium : public Medium
         std::uint16_t word = 0;
         std::uint16_t rssi = 0;
         std::uint64_t seq = 0;
+        obs::FlowTag tag; ///< re-delivered with the word on restore
     };
     struct SavedState
     {
@@ -477,6 +468,7 @@ class ShardMedium : public Medium
         sim::Tick airtime;
         std::uint16_t word;
         std::uint32_t seq;
+        obs::FlowTag tag; ///< side-band flow metadata (src/obs/flow.hh)
     };
 
     /** Delivery outcomes counted by the shard (its thread), drained
@@ -503,9 +495,10 @@ class ShardMedium : public Medium
     }
 
     /** Barrier-time injection: a word arriving at @p at with
-     *  receiver-side signal strength @p rssi (0 = unknown). */
+     *  receiver-side signal strength @p rssi (0 = unknown) and its
+     *  side-band flow tag. */
     void injectDelivery(sim::Tick at, std::uint16_t word,
-                        std::uint16_t rssi);
+                        std::uint16_t rssi, const obs::FlowTag &tag);
 
     /** Erase the mirror of a carrier-end event as it fires. Same-tick
      *  events fire in schedule order, so the first matching entry is
@@ -523,7 +516,8 @@ class ShardMedium : public Medium
 
     /** The delivery callback body, shared by the live and re-armed
      *  paths. */
-    void runOffer(std::uint16_t word, std::uint16_t rssi);
+    void runOffer(std::uint16_t word, std::uint16_t rssi,
+                  const obs::FlowTag &tag);
 
     sim::Kernel &kernel_;
     AirExchange &exchange_;

@@ -61,8 +61,9 @@ FieldMedium::beginTransmit(Transceiver *src, std::uint16_t word,
         flights_[id].interferers.clear();
     } else {
         id = flights_.size();
-        flights_.push_back(Flight{src, word, now, now + airtime, {}});
+        flights_.push_back(Flight{src, word, now, now + airtime, {}, {}});
     }
+    flights_[id].tag = src->lastTxTag();
 
     // Record the overlap both ways. Whether the overlap *matters* is a
     // per-receiver question answered at resolution time by the capture
@@ -123,7 +124,7 @@ FieldMedium::resolve(std::size_t id)
         }
         if (field::dbmToMw(sigDbm) >= capture * interfMw) {
             countDeliverOutcome(
-                rx->deliver(f.word, field::rssiToWord(sigDbm)));
+                rx->deliver(f.word, field::rssiToWord(sigDbm), f.tag));
         } else {
             collisions_->inc(); // garbled at this receiver
             garbled = true;

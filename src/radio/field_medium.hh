@@ -182,6 +182,7 @@ class FieldMedium : public Medium
         sim::Tick start;
         sim::Tick end;
         std::vector<const Transceiver *> interferers;
+        obs::FlowTag tag; ///< side-band flow metadata (src/obs/flow.hh)
     };
 
     std::size_t indexOf(const Transceiver *t) const;

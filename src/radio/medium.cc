@@ -12,6 +12,9 @@ Medium::beginTransmit(Transceiver *src, std::uint16_t word,
 {
     wordsSent_->inc();
     std::size_t id = allocFlight(src, word);
+    // The transceiver tagged the word just before calling us; carry
+    // the side band with the flight so receivers can latch it.
+    flights_[id].tag = src->lastTxTag();
 
     // Any overlap collides everything currently on the air.
     if (active_ > 0) {
@@ -96,7 +99,7 @@ Medium::deliver(std::size_t id)
         // transceiver in the wrong mode or with a full RX FIFO drops
         // it, and counting that as "delivered" would break the
         // per-receiver channel arithmetic.
-        countDeliverOutcome(t->deliver(f.word));
+        countDeliverOutcome(t->deliver(f.word, 0, f.tag));
     }
 }
 

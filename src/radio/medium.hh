@@ -25,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/flow.hh"
 #include "sim/kernel.hh"
 #include "sim/metrics.hh"
 #include "sim/ticks.hh"
@@ -176,6 +177,7 @@ class Medium
         Transceiver *src;
         std::uint16_t word;
         bool collided = false;
+        obs::FlowTag tag; ///< side-band flow metadata (src/obs/flow.hh)
     };
 
     std::size_t allocFlight(Transceiver *src, std::uint16_t word);

@@ -17,6 +17,8 @@
 
 #include "coproc/io_ports.hh"
 #include "core/context.hh"
+#include "obs/energest.hh"
+#include "obs/flow.hh"
 #include "radio/medium.hh"
 #include "sim/channel.hh"
 
@@ -87,12 +89,32 @@ class Transceiver : public coproc::RadioPort
         return sim::fromSec(cfg_.wordBits / cfg_.bitrateBps);
     }
 
+    /**
+     * Attach the node's side-band flow tracker (src/obs/flow.hh).
+     * Transmissions are tagged and accepted deliveries latched from
+     * then on; without a tracker the transceiver sends invalid tags.
+     */
+    void setFlowTracker(obs::FlowTracker *t) { flow_ = t; }
+
+    /**
+     * Attach the node's energest duty ledger (src/obs/energest.hh)
+     * and seed the radio component states from the current mode.
+     */
+    void
+    setEnergest(obs::Energest *e)
+    {
+        energest_ = e;
+        if (energest_)
+            accrueRadioDuty();
+    }
+
     // RadioPort interface -------------------------------------------
     void
     setMode(coproc::RadioMode mode) override
     {
         accrueListenEnergy();
         mode_ = mode;
+        accrueRadioDuty();
     }
 
     /**
@@ -109,6 +131,8 @@ class Transceiver : public coproc::RadioPort
             double pj = cfg_.rxListenNw * 1e-9 *
                         sim::toSec(now - listenAccruedTo_) * 1e12;
             ctx_.ledger.add(energy::Cat::Radio, pj);
+            if (energest_)
+                energest_->addPj(obs::Comp::RadioListen, pj);
         }
         listenAccruedTo_ = now;
     }
@@ -117,8 +141,15 @@ class Transceiver : public coproc::RadioPort
     transmitStart(std::uint16_t word) override
     {
         txWords_->inc();
+        const double pj = cfg_.selfPowered ? 0.0 : cfg_.txPjPerWord;
         if (!cfg_.selfPowered)
             ctx_.ledger.add(energy::Cat::Radio, cfg_.txPjPerWord);
+        if (energest_)
+            energest_->addPj(obs::Comp::RadioTx, pj);
+        // Tag the word before it reaches the medium: the medium reads
+        // lastTxTag() while building its flight record.
+        lastTxTag_ = flow_ ? flow_->onTransmit(word, ctx_.kernel.now(), pj)
+                           : obs::FlowTag{};
         medium_.beginTransmit(this, word, wordAirtime());
         // The serial interface is busy for the full word airtime.
         return ctx_.kernel.now() + wordAirtime();
@@ -135,6 +166,13 @@ class Transceiver : public coproc::RadioPort
      *  medium. */
     std::uint16_t lastRssi() const override { return lastRssi_; }
 
+    /** Explicit-flow toggle (msgcmd::kFlow), see io_ports.hh. */
+    std::uint16_t
+    flowCommand() override
+    {
+        return flow_ ? flow_->command() : 0;
+    }
+
     // Medium-side interface ------------------------------------------
     /**
      * Deliver a word that arrived over the air, with the medium's
@@ -143,22 +181,34 @@ class Transceiver : public coproc::RadioPort
      * it actually made, not merely offered.
      */
     DeliverStatus
-    deliver(std::uint16_t word, std::uint16_t rssi = 0)
+    deliver(std::uint16_t word, std::uint16_t rssi = 0,
+            const obs::FlowTag &tag = {})
     {
         if (mode_ != coproc::RadioMode::Rx) {
             rxMissedWrongMode_->inc();
             return DeliverStatus::DroppedMode;
         }
-        if (!cfg_.selfPowered)
+        if (!cfg_.selfPowered) {
             ctx_.ledger.add(energy::Cat::Radio, cfg_.rxPjPerWord);
+            if (energest_)
+                energest_->addPj(obs::Comp::RadioListen,
+                                 cfg_.rxPjPerWord);
+        }
         if (!rxFifo_.tryPush(word)) {
             rxDroppedFifoFull_->inc();
             return DeliverStatus::DroppedFifo;
         }
         rxWords_->inc();
         lastRssi_ = rssi;
+        // Only an *accepted* word latches the flow context: a word
+        // the node never saw cannot causally link its transmissions.
+        if (flow_)
+            flow_->onReceive(tag, ctx_.kernel.now());
         return DeliverStatus::Accepted;
     }
+
+    /** Tag of the most recent transmitStart() (medium-side read). */
+    const obs::FlowTag &lastTxTag() const { return lastTxTag_; }
 
     coproc::RadioMode mode() const { return mode_; }
 
@@ -190,12 +240,30 @@ class Transceiver : public coproc::RadioPort
     ///@}
 
   private:
+    /** Mirror mode_ into the energest radio component states. */
+    void
+    accrueRadioDuty()
+    {
+        if (!energest_)
+            return;
+        const sim::Tick now = ctx_.kernel.now();
+        energest_->set(obs::Comp::RadioTx,
+                       mode_ == coproc::RadioMode::Tx, now);
+        energest_->set(obs::Comp::RadioListen,
+                       mode_ == coproc::RadioMode::Rx, now);
+        energest_->set(obs::Comp::RadioOff,
+                       mode_ == coproc::RadioMode::Idle, now);
+    }
+
     core::NodeContext &ctx_;
     Medium &medium_;
     RadioConfig cfg_;
     coproc::RadioMode mode_ = coproc::RadioMode::Idle;
     std::uint16_t lastRssi_ = 0;
     sim::Tick listenAccruedTo_ = 0;
+    obs::FlowTracker *flow_ = nullptr;
+    obs::Energest *energest_ = nullptr;
+    obs::FlowTag lastTxTag_;
     sim::Fifo<std::uint16_t> rxFifo_;
     /** Registry-native counters in the node's metrics registry. */
     sim::MetricCounter *txWords_;

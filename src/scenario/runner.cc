@@ -232,6 +232,12 @@ runScenario(const Scenario &sc, const RunOptions &opt)
     if (metrics)
         net.enableMetrics(*opt.metricsOut, metricsTick,
                           opt.metricsCsv);
+    // The causality window is tracker state — snapshot content — so
+    // it is applied whether or not a span stream is attached; a run
+    // with --flows and one without produce identical snapshots.
+    net.setFlowWindow(msToTicks(sc.flowWindowMs));
+    if (opt.flowsOut)
+        net.enableFlows(*opt.flowsOut);
 
     // Battery depletion: at every barrier, bring each metered node's
     // ledger up to date (idle listening + leakage accrue lazily) and
@@ -376,6 +382,8 @@ runScenario(const Scenario &sc, const RunOptions &opt)
     }
     if (metrics)
         net.finishMetrics();
+    if (opt.flowsOut)
+        net.finishFlows();
 
     std::uint64_t combined = 14695981039346656037ull;
     for (std::size_t i = 0; i < sc.nodes; ++i) {

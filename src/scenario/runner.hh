@@ -55,6 +55,14 @@ struct RunOptions
     bool metricsCsv = false; ///< CSV instead of JSONL
 
     /**
+     * Stream flow-span JSONL here (`snap-run --flows`, src/obs/
+     * flow.hh). Null = no stream. Orthogonal to the scenario's
+     * `flow_window_ms`: the window shapes flow attribution either
+     * way; this only taps the records.
+     */
+    std::ostream *flowsOut = nullptr;
+
+    /**
      * Host-side fidelity override (`snap-run --fidelity`): when set,
      * every node runs at this fidelity regardless of the scenario's
      * per-node `fidelity` stanzas (true = fast tier).

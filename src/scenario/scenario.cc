@@ -435,6 +435,8 @@ parseScenario(const std::string &text, const std::string &origin)
             sc.propagationUs = parseF64(c, t[1], "for propagation_us");
         } else if (d == "window_us") {
             sc.windowUs = parseF64(c, t[1], "for window_us");
+        } else if (d == "flow_window_ms") {
+            sc.flowWindowMs = parseF64(c, t[1], "for flow_window_ms");
         } else {
             c.fail("unknown directive '", d, "'");
         }
@@ -509,6 +511,9 @@ serializeScenario(const Scenario &sc)
        << "\n";
     if (sc.windowUs > 0)
         os << "window_us " << sim::formatDouble(sc.windowUs) << "\n";
+    if (sc.flowWindowMs > 0)
+        os << "flow_window_ms " << sim::formatDouble(sc.flowWindowMs)
+           << "\n";
     if (sc.field) {
         const radio::FieldConfig &f = *sc.field;
         os << "field cell_m " << sim::formatDouble(f.cellM) << "\n";

@@ -133,6 +133,17 @@ struct Scenario
     double windowUs = 0;      ///< sync-window override; 0 = derive
 
     /**
+     * Flow-tracing causality window (`flow_window_ms`): a node's
+     * transmission within this many milliseconds of its last accepted
+     * delivery is linked to the incoming flow at hop+1 (src/obs/
+     * flow.hh, docs/TRACING.md). 0 (the default) disables causal
+     * linking. The window is tracker state — and therefore snapshot
+     * content — whether or not a span stream is attached, so it lives
+     * in the scenario, not in RunOptions.
+     */
+    double flowWindowMs = 0;
+
+    /**
      * Spatial field model (the `field <key> <value>` stanzas):
      * log-distance path loss, per-receiver RSSI and capture-threshold
      * collision resolution on the sharded network. Requires topology

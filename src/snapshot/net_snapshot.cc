@@ -160,6 +160,11 @@ ParallelNetwork::captureShard(Shard &s) const
     ns.leakAccruedTo = n.ctx().leakAccruedTo();
     ns.chargedPj = n.ctx().chargedPj();
     ns.handlerPj = n.ctx().handlerPjAll();
+    // Both saveState calls are side-effect-free; the energest ledger
+    // folds its lazy accruals at the shard's own clock (the freeze
+    // tick for halted shards, the barrier for live ones).
+    ns.flow = n.flowTracker().saveState();
+    ns.energest = n.energest().saveState(s.kernel.now());
     ns.metrics = n.ctx().metrics.saveState();
     canonicalizeSeqs(ns, n.msgCoproc().pendingKernelEvents() != 0);
     return ns;
@@ -297,9 +302,14 @@ ParallelNetwork::restoreShard(Shard &s, const snapshot::NodeState &ns,
 
     // Accounting last: the respawn/re-arm machinery above charges
     // nothing, but restoring the registries after everything else
-    // makes that an invariant rather than an accident.
+    // makes that an invariant rather than an accident. The energest
+    // restore in particular must follow the respawn — the parked
+    // processes' entry paths touch the duty state machine, and the
+    // saved mask/totals overwrite that bookkeeping wholesale.
     n.ctx().restoreAccounting(ns.leakAccruedTo, ns.chargedPj,
                               ns.handlerPj);
+    n.flowTracker().restoreState(ns.flow);
+    n.energest().restoreState(ns.energest, ns.kernelNow);
     n.ctx().metrics.restoreState(ns.metrics);
 }
 

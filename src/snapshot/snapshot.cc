@@ -61,6 +61,28 @@ getInstruments(Reader &r)
 }
 
 void
+putTag(Writer &w, const obs::FlowTag &t)
+{
+    w.u32(t.origin);
+    w.u32(t.id);
+    w.u32(t.src);
+    w.u16(t.hop);
+    w.b(t.valid);
+}
+
+obs::FlowTag
+getTag(Reader &r)
+{
+    obs::FlowTag t;
+    t.origin = r.u32();
+    t.id = r.u32();
+    t.src = r.u32();
+    t.hop = r.u16();
+    t.valid = r.b();
+    return t;
+}
+
+void
 putFifo(Writer &w, const FifoState &f)
 {
     w.u16vec(f.words);
@@ -195,6 +217,7 @@ putMedium(Writer &w, const radio::ShardMedium::SavedState &m)
         w.u16(o.word);
         w.u16(o.rssi);
         w.u64(o.seq);
+        putTag(w, o.tag);
     }
 }
 
@@ -227,6 +250,7 @@ getMedium(Reader &r)
         o.word = r.u16();
         o.rssi = r.u16();
         o.seq = r.u64();
+        o.tag = getTag(r);
         m.offers.push_back(o);
     }
     return m;
@@ -244,6 +268,7 @@ putAir(Writer &w, const radio::AirExchange::SavedState &a)
         w.u16(f.word);
         w.b(f.collided);
         w.b(f.resolved);
+        putTag(w, f.tag);
     }
     w.u64(a.down.size());
     for (std::uint8_t d : a.down)
@@ -272,6 +297,7 @@ getAir(Reader &r)
         f.word = r.u16();
         f.collided = r.b();
         f.resolved = r.b();
+        f.tag = getTag(r);
         a.pending.push_back(f);
     }
     n = r.count(1);
@@ -346,6 +372,20 @@ putNode(Writer &w, const NodeState &n)
     w.f64(n.chargedPj);
     for (double v : n.handlerPj)
         w.f64(v);
+    w.u32(n.flow.nextId);
+    w.u8(n.flow.ctxValid);
+    w.u32(n.flow.ctxOrigin);
+    w.u32(n.flow.ctxId);
+    w.u32(n.flow.ctxSrc);
+    w.u16(n.flow.ctxHop);
+    w.u64(n.flow.ctxAt);
+    w.u8(n.flow.explicitOpen);
+    w.u32(n.flow.explicitId);
+    for (sim::Tick v : n.energest.ticks)
+        w.u64(v);
+    for (double v : n.energest.pj)
+        w.f64(v);
+    w.u8(n.energest.onMask);
     putInstruments(w, n.metrics);
 }
 
@@ -412,6 +452,20 @@ getNode(Reader &r)
     n.chargedPj = r.f64();
     for (double &v : n.handlerPj)
         v = r.f64();
+    n.flow.nextId = r.u32();
+    n.flow.ctxValid = r.u8();
+    n.flow.ctxOrigin = r.u32();
+    n.flow.ctxId = r.u32();
+    n.flow.ctxSrc = r.u32();
+    n.flow.ctxHop = r.u16();
+    n.flow.ctxAt = r.u64();
+    n.flow.explicitOpen = r.u8();
+    n.flow.explicitId = r.u32();
+    for (sim::Tick &v : n.energest.ticks)
+        v = r.u64();
+    for (double &v : n.energest.pj)
+        v = r.f64();
+    n.energest.onMask = r.u8();
     n.metrics = getInstruments(r);
     return n;
 }

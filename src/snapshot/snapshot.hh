@@ -31,6 +31,8 @@
 #include "core/context.hh"
 #include "core/core.hh"
 #include "energy/ledger.hh"
+#include "obs/energest.hh"
+#include "obs/flow.hh"
 #include "radio/air_exchange.hh"
 #include "sim/metrics.hh"
 #include "sim/ticks.hh"
@@ -39,8 +41,10 @@ namespace snaple::snapshot {
 
 /** "SNPS" */
 inline constexpr std::uint32_t kMagic = 0x53504e53u;
-/** Bump on any schema change; readers reject other versions. */
-inline constexpr std::uint32_t kFormatVersion = 1;
+/** Bump on any schema change; readers reject other versions.
+ *  v2: flow tags on in-flight words and pending offers, per-node
+ *  flow-tracker and energest duty-ledger state (src/obs/). */
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /** One hardware FIFO's full state (buffer plus flow counters). */
 struct FifoState
@@ -100,6 +104,12 @@ struct NodeState
     sim::Tick leakAccruedTo = 0;
     double chargedPj = 0.0;
     std::array<double, core::NodeContext::kHandlerSlots> handlerPj{};
+
+    /** Flow-tracer context and energest duty ledger (src/obs/): a
+     *  restored run continues the span stream and the energest.*
+     *  gauges bit-exactly. */
+    obs::FlowTracker::SavedState flow;
+    obs::Energest::SavedState energest;
 
     std::vector<sim::MetricsRegistry::SavedInstrument> metrics;
 };

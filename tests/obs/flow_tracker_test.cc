@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the observability primitives: FlowTracker hop and
+ * attribution arithmetic (causality window, explicit flows, hop
+ * saturation, snapshot state) and the Energest duty ledger's lazy
+ * accrual bookkeeping — all against hand-computed values.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/energest.hh"
+#include "obs/flow.hh"
+
+namespace {
+
+using namespace snaple;
+using obs::Energest;
+using obs::FlowTag;
+using obs::FlowTracker;
+using obs::SpanRecord;
+
+FlowTag
+tag(std::uint32_t origin, std::uint32_t id, std::uint32_t src,
+    std::uint16_t hop)
+{
+    FlowTag t;
+    t.origin = origin;
+    t.id = id;
+    t.src = src;
+    t.hop = hop;
+    t.valid = true;
+    return t;
+}
+
+TEST(FlowTrackerTest, FirstTransmissionOriginatesFlowZero)
+{
+    FlowTracker tr(7);
+    tr.setWindow(1000);
+    const FlowTag out = tr.onTransmit(0x1234, 500, 10.0);
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(out.origin, 7u);
+    EXPECT_EQ(out.id, 0u);
+    EXPECT_EQ(out.src, 7u);
+    EXPECT_EQ(out.hop, 0u);
+    // The next unlinked transmission is a fresh flow.
+    EXPECT_EQ(tr.onTransmit(0x1235, 5000, 10.0).id, 1u);
+}
+
+TEST(FlowTrackerTest, ForwardWithinWindowLinksAtHopPlusOne)
+{
+    FlowTracker tr(3);
+    tr.setWindow(1000);
+    tr.setRecording(true);
+    tr.onReceive(tag(9, 42, 5, 2), 100);
+    const FlowTag out = tr.onTransmit(0xAB, 1100, 10.0); // 100+1000
+    EXPECT_EQ(out.origin, 9u);
+    EXPECT_EQ(out.id, 42u);
+    EXPECT_EQ(out.src, 3u); // src is always the transmitter
+    EXPECT_EQ(out.hop, 3u);
+
+    std::vector<SpanRecord> spans;
+    tr.drainSpans(spans);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].node, 3u);
+    EXPECT_EQ(spans[0].parent, 5u); // latched sender, not origin
+    EXPECT_EQ(spans[0].rxTick, 100u);
+    EXPECT_EQ(spans[0].txTick, 1100u);
+    EXPECT_EQ(spans[0].word, 0xABu);
+    EXPECT_EQ(spans[0].pj, 10.0);
+    EXPECT_FALSE(tr.spansPending()); // drain cleared the buffer
+}
+
+TEST(FlowTrackerTest, ExpiredContextOriginatesInstead)
+{
+    FlowTracker tr(3);
+    tr.setWindow(1000);
+    tr.setRecording(true);
+    tr.onReceive(tag(9, 42, 5, 2), 100);
+    const FlowTag out = tr.onTransmit(0xAB, 1101, 10.0); // 1 past
+    EXPECT_EQ(out.origin, 3u);
+    EXPECT_EQ(out.hop, 0u);
+    std::vector<SpanRecord> spans;
+    tr.drainSpans(spans);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].parent, obs::kNoNode);
+    EXPECT_EQ(spans[0].rxTick, 0u);
+}
+
+TEST(FlowTrackerTest, ZeroWindowDisablesCausalLinking)
+{
+    FlowTracker tr(3);
+    tr.onReceive(tag(9, 42, 5, 2), 100);
+    EXPECT_EQ(tr.onTransmit(1, 100, 0.0).hop, 0u);
+}
+
+TEST(FlowTrackerTest, HopSaturatesAtMax)
+{
+    FlowTracker tr(3);
+    tr.setWindow(1000);
+    tr.onReceive(tag(9, 42, 5, 0xffff), 100);
+    EXPECT_EQ(tr.onTransmit(1, 200, 0.0).hop, 0xffffu);
+}
+
+TEST(FlowTrackerTest, ExplicitFlowPinsAttribution)
+{
+    FlowTracker tr(3);
+    tr.setWindow(1000);
+    tr.onReceive(tag(9, 42, 5, 2), 100); // live causal context
+    EXPECT_EQ(tr.command(), 0u);         // open: id 0's low bits
+    const FlowTag out = tr.onTransmit(1, 200, 0.0);
+    EXPECT_EQ(out.origin, 3u); // explicit beats the latched context
+    EXPECT_EQ(out.id, 0u);
+    EXPECT_EQ(out.hop, 0u);
+    EXPECT_EQ(tr.command(), 0xffffu); // close
+    // Closed again: the causal context is still live at 300.
+    EXPECT_EQ(tr.onTransmit(1, 300, 0.0).origin, 9u);
+}
+
+TEST(FlowTrackerTest, RecordingOffBuffersNothing)
+{
+    FlowTracker tr(1);
+    tr.onTransmit(1, 10, 0.0);
+    EXPECT_FALSE(tr.spansPending());
+}
+
+TEST(FlowTrackerTest, SavedStateRoundTripsMidStream)
+{
+    FlowTracker a(4);
+    a.setWindow(500);
+    a.onTransmit(1, 10, 0.0); // nextId -> 1
+    a.onReceive(tag(2, 7, 6, 1), 900);
+    a.command(); // explicit open, id 1, nextId -> 2
+
+    FlowTracker b(4);
+    b.setWindow(500);
+    b.restoreState(a.saveState());
+    // Both continue identically: explicit close, then causal link
+    // from the restored context, then a fresh id from the counter.
+    EXPECT_EQ(b.command(), 0xffffu);
+    const FlowTag viaCtx = b.onTransmit(1, 1200, 0.0);
+    EXPECT_EQ(viaCtx.origin, 2u);
+    EXPECT_EQ(viaCtx.hop, 2u);
+    EXPECT_EQ(b.onTransmit(1, 9999, 0.0).id, 2u);
+}
+
+TEST(FlowTrackerTest, SpanJsonlIsCanonical)
+{
+    SpanRecord r;
+    r.origin = 3;
+    r.id = 5;
+    r.node = 4;
+    r.parent = 3;
+    r.hop = 1;
+    r.word = 0x2a;
+    r.rxTick = 100;
+    r.txTick = 250;
+    r.pj = 30e6;
+    std::ostringstream out;
+    obs::writeSpanJsonl(out, r);
+    EXPECT_EQ(out.str(),
+              "{\"type\":\"span\",\"origin\":3,\"id\":5,\"node\":4,"
+              "\"parent\":3,\"hop\":1,\"word\":42,\"rx_tick\":100,"
+              "\"tx_tick\":250,\"pj\":3e+07}\n");
+    SpanRecord o; // origin span: parent renders as -1
+    o.node = o.origin = 1;
+    o.txTick = 7;
+    std::ostringstream out2;
+    obs::writeSpanJsonl(out2, o);
+    EXPECT_EQ(out2.str(),
+              "{\"type\":\"span\",\"origin\":1,\"id\":0,\"node\":1,"
+              "\"parent\":-1,\"hop\":0,\"word\":0,\"rx_tick\":0,"
+              "\"tx_tick\":7,\"pj\":0}\n");
+}
+
+TEST(EnergestTest, AccruesClosedAndOpenIntervals)
+{
+    Energest e;
+    e.set(obs::Comp::RadioTx, true, 100);
+    e.set(obs::Comp::RadioTx, false, 350); // 250 ticks closed
+    EXPECT_EQ(e.ticks(obs::Comp::RadioTx, 400), 250u);
+    e.set(obs::Comp::RadioTx, true, 500);
+    // The open interval counts up to the query instant.
+    EXPECT_EQ(e.ticks(obs::Comp::RadioTx, 620), 370u);
+    EXPECT_EQ(e.ticks(obs::Comp::RadioListen, 620), 0u);
+}
+
+TEST(EnergestTest, RedundantSetIsIdempotent)
+{
+    Energest e;
+    e.set(obs::Comp::Timer, true, 100);
+    e.set(obs::Comp::Timer, true, 200); // no double-count
+    e.set(obs::Comp::Timer, false, 300);
+    e.set(obs::Comp::Timer, false, 400);
+    EXPECT_EQ(e.ticks(obs::Comp::Timer, 500), 200u);
+}
+
+TEST(EnergestTest, AttributedEnergySums)
+{
+    Energest e;
+    e.addPj(obs::Comp::Msg, 10.0);
+    e.addPj(obs::Comp::Msg, 2.5);
+    EXPECT_DOUBLE_EQ(e.pj(obs::Comp::Msg), 12.5);
+}
+
+TEST(EnergestTest, SavedStateRoundTripsMidInterval)
+{
+    Energest a;
+    a.set(obs::Comp::Sensor, true, 100);
+    a.addPj(obs::Comp::Sensor, 7.0);
+    // Save at 250 with the interval open: 150 ticks accrued so far.
+    const Energest::SavedState s = a.saveState(250);
+    Energest b;
+    b.restoreState(s, 250);
+    b.set(obs::Comp::Sensor, false, 400);
+    EXPECT_EQ(b.ticks(obs::Comp::Sensor, 500), 300u);
+    EXPECT_DOUBLE_EQ(b.pj(obs::Comp::Sensor), 7.0);
+    // saveState is const: the original continues unperturbed.
+    a.set(obs::Comp::Sensor, false, 400);
+    EXPECT_EQ(a.ticks(obs::Comp::Sensor, 500), 300u);
+}
+
+} // namespace

@@ -5,7 +5,9 @@
  * mid-way and a fresh run restored from it must both be byte-identical
  * to the uninterrupted run — trace hashes, canonical rows, and the
  * periodic metrics stream (the restored stream continues the saved
- * one's cadence without re-emitting the meta header). Snapshots are
+ * one's cadence without re-emitting the meta header) and the
+ * flow-span stream (the restored stream is the straight run's exact
+ * byte suffix). Snapshots are
  * taken mid-fault-schedule (faults before and after the barrier) and,
  * across the matrix, with words mid-flight on the air; snapshot bytes
  * themselves are jobs-invariant and re-checkpointing after a restore
@@ -88,6 +90,7 @@ makeScenario(Tier tier)
     sc.seed = 777;
     sc.durationMs = 60;
     sc.metricsMs = 10;
+    sc.flowWindowMs = 8; // beacons rearm every 2-6 ms: links hops
     sc.defaults.program = "sense_beacon.s";
     sc.defaults.sensor = true;
     for (std::uint32_t i = 0; i < sc.nodes; ++i)
@@ -124,8 +127,10 @@ struct Captured
 {
     scenario::RunResult res;
     std::string metrics;                    ///< the whole stream
+    std::string flows;                      ///< flow-span stream
     std::map<double, std::string> snapBytes;///< requestedMs -> bytes
     std::map<double, std::size_t> metricsAt;///< stream size at hook
+    std::map<double, std::size_t> flowsAt;  ///< span bytes at hook
 };
 
 /** One run; when @p checkpoints is non-empty every snapshot's encoded
@@ -136,10 +141,12 @@ run(const scenario::Scenario &sc, unsigned jobs,
     const snapshot::NetworkSnapshot *restoreFrom = nullptr)
 {
     std::ostringstream metrics;
+    std::ostringstream flows;
     Captured cap;
     scenario::RunOptions opt;
     opt.jobs = jobs;
     opt.metricsOut = &metrics;
+    opt.flowsOut = &flows;
     opt.loadSource = [](const std::string &) {
         return std::string(kSenseBeacon);
     };
@@ -150,9 +157,11 @@ run(const scenario::Scenario &sc, unsigned jobs,
                            const scenario::Checkpoint &ck) {
         cap.snapBytes[ck.atMs] = snapshot::encodeSnapshot(snap);
         cap.metricsAt[ck.atMs] = metrics.str().size();
+        cap.flowsAt[ck.atMs] = flows.str().size();
     };
     cap.res = scenario::runScenario(sc, opt);
     cap.metrics = metrics.str();
+    cap.flows = flows.str();
     return cap;
 }
 
@@ -187,6 +196,12 @@ TEST_P(ConformanceTest, SaveRestoreContinueIsByteIdentical)
     EXPECT_EQ(saved.res.combinedTraceHash,
               straight.res.combinedTraceHash);
     EXPECT_EQ(saved.metrics, straight.metrics);
+    EXPECT_EQ(saved.flows, straight.flows);
+    EXPECT_FALSE(straight.flows.empty());
+    // The stream carries the energest duty gauges the restore must
+    // continue (their values are pinned by the byte equality above).
+    EXPECT_NE(straight.metrics.find("energest.radio_tx_ticks"),
+              std::string::npos);
     ASSERT_EQ(saved.res.checkpoints.size(), 2u);
 
     // Restore at T1 and continue: everything from the barrier on —
@@ -206,6 +221,13 @@ TEST_P(ConformanceTest, SaveRestoreContinueIsByteIdentical)
     const std::string prefix =
         saved.metrics.substr(0, saved.metricsAt.at(kT1));
     EXPECT_EQ(prefix + resumed.metrics, straight.metrics);
+
+    // The flow-span stream restarts as the straight run's exact byte
+    // suffix: flow ids, hop attribution and causality context all
+    // ride the snapshot.
+    const std::string flowPrefix =
+        saved.flows.substr(0, saved.flowsAt.at(kT1));
+    EXPECT_EQ(flowPrefix + resumed.flows, straight.flows);
 }
 
 TEST_P(ConformanceTest, SnapshotBytesAreJobsInvariant)

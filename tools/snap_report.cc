@@ -3,6 +3,7 @@
  * snap-report: fold a snap-run metrics file into paper-style tables.
  *
  * Usage: snap-report FILE.jsonl [--folded] [--validate] [--calibrate]
+ *                               [--energest]
  *
  * Reads the JSONL metrics stream written by `snap-run --metrics=FILE`
  * (schema in docs/METRICS.md) and prints:
@@ -24,6 +25,12 @@
  *
  * --validate parses every line strictly and exits nonzero on the
  * first malformed one (CI smoke uses this).
+ *
+ * --energest prints the component duty ledger (docs/METRICS.md,
+ * "Energest duty gauges"): per-component duty-cycle percentage and
+ * attributed energy, summed over the nodes at each supply voltage —
+ * the energest-style table Contiki prints, rebuilt from the
+ * energest.* gauges the simulator streams.
  *
  * --calibrate fits a fast-tier cost table (energy::ClassCal, the
  * format `snap-run --cal=FILE` loads) from the cycle tier's measured
@@ -345,6 +352,87 @@ printEnergyByVoltage(const Report &r)
     std::printf("\n\n");
 }
 
+/**
+ * The energest duty table: per-component duty % (accrued ticks over
+ * the run's final sample instant, averaged over the nodes at each
+ * supply) and attributed energy. Exit status 1 when the file carries
+ * no energest gauges at all.
+ */
+int
+printEnergest(const Report &r)
+{
+    std::set<double, std::greater<double>> voltSet;
+    std::map<double, std::size_t> nodesAt;
+    for (const auto &kv : r.nodes)
+        if (kv.second.hasMeta) {
+            voltSet.insert(kv.second.volts);
+            ++nodesAt[kv.second.volts];
+        }
+    if (voltSet.empty() || r.lastT == 0) {
+        std::fprintf(stderr, "no node meta lines or samples — not a "
+                             "snap-run metrics file?\n");
+        return 1;
+    }
+    std::vector<double> volts(voltSet.begin(), voltSet.end());
+
+    static const char *kComps[] = {"cpu_active", "cpu_sleep",
+                                   "radio_tx",   "radio_listen",
+                                   "radio_off",  "timer",
+                                   "sensor",     "msg"};
+    bool any = false;
+    for (const char *comp : kComps)
+        for (const auto &[name, nd] : r.nodes)
+            if (nd.hasMeta &&
+                nd.last.count("energest." + std::string(comp) +
+                              "_ticks"))
+                any = true;
+    if (!any) {
+        std::fprintf(stderr,
+                     "no energest.* gauges — run a build with the "
+                     "duty ledger (docs/METRICS.md) first\n");
+        return 1;
+    }
+
+    std::printf("energest component duty and attributed energy "
+                "(per supply; duty averaged, nJ summed over nodes)\n");
+    std::printf("%-14s", "component");
+    for (double v : volts)
+        std::printf("   %4.2fV duty %9s", v, "nJ");
+    std::printf("\n");
+    for (const char *comp : kComps) {
+        const std::string ticksName =
+            "energest." + std::string(comp) + "_ticks";
+        const std::string pjName =
+            "energest." + std::string(comp) + "_pj";
+        std::printf("%-14s", comp);
+        for (double v : volts) {
+            double ticks = 0.0, pj = 0.0;
+            bool hasPj = false;
+            for (const auto &[name, nd] : r.nodes) {
+                if (!nd.hasMeta || nd.volts != v)
+                    continue;
+                ticks += r.value(name, ticksName);
+                if (nd.last.count(pjName)) {
+                    hasPj = true;
+                    pj += r.value(name, pjName);
+                }
+            }
+            const double duty =
+                ticks / (double(nodesAt.at(v)) * double(r.lastT));
+            std::printf("   %9.4f%%", 100.0 * duty);
+            // The core's active/sleep split has no attributed pJ
+            // gauge (the ledger's category table covers it).
+            if (hasPj)
+                std::printf(" %9.2f", pj / 1e3);
+            else
+                std::printf(" %9s", "-");
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+    return 0;
+}
+
 void
 printInstructionMix(const Report &r)
 {
@@ -513,6 +601,7 @@ main(int argc, char **argv)
     bool folded = false;
     bool validate = false;
     bool calibrate = false;
+    bool energest = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--folded"))
             folded = true;
@@ -520,6 +609,8 @@ main(int argc, char **argv)
             validate = true;
         else if (!std::strcmp(argv[i], "--calibrate"))
             calibrate = true;
+        else if (!std::strcmp(argv[i], "--energest"))
+            energest = true;
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -528,7 +619,8 @@ main(int argc, char **argv)
     }
     if (!path) {
         std::fprintf(stderr, "usage: snap-report FILE.jsonl "
-                             "[--folded] [--validate] [--calibrate]\n");
+                             "[--folded] [--validate] [--calibrate] "
+                             "[--energest]\n");
         return 2;
     }
     std::ifstream in(path);
@@ -564,6 +656,8 @@ main(int argc, char **argv)
     }
     if (calibrate)
         return printCalibration(report);
+    if (energest)
+        return printEnergest(report);
     if (folded) {
         printFolded(report);
         return 0;

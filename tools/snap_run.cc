@@ -11,8 +11,12 @@
  *        snap-run --scenario=FILE.scn [--jobs K] [--row=FILE]
  *                        [--fidelity fast|cycle] [--cal=FILE]
  *                        [--metrics=FILE] [--metrics-format=jsonl|csv]
+ *                        [--flows=FILE]
  *                        [--save-at=MS]... [--save=FILE.snap]
  *                        [--restore=FILE.snap]
+ *
+ * `--trace=-`, `--metrics=-` and `--flows=-` stream to stdout instead
+ * of a file (pipe straight into snap-trace / snap-report).
  *
  * Runs for N simulated milliseconds (default 100) or until `halt`,
  * prints the `dbgout` stream, and optionally a stats/energy report.
@@ -42,6 +46,12 @@
  * --row also writes them to FILE. The metrics cadence comes from the
  * scenario's metrics_ms, not --metrics-interval.
  *
+ * With --flows (scenario or --nodes mode), flow-span JSONL streams to
+ * FILE: one record per transmission, causally linked across nodes
+ * within the scenario's flow_window_ms (docs/TRACING.md). The stream
+ * is byte-identical for any --jobs; snap-trace folds it into
+ * dissemination trees and latency tables.
+ *
  * --fidelity selects the execution tier (docs/SIMULATOR.md): `cycle`
  * is the CHP per-access model, `fast` the statistical predecoded
  * interpreter. In scenario mode the flag overrides every node's
@@ -64,6 +74,7 @@
 #include <cstring>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -179,6 +190,7 @@ main(int argc, char **argv)
     std::string trace_format = "json";
     std::string metrics_path;
     std::string metrics_format = "jsonl";
+    std::string flows_path;
     std::string scenario_path;
     std::string row_path;
     std::vector<double> save_at;
@@ -218,6 +230,8 @@ main(int argc, char **argv)
             metrics_interval = std::strtoull(argv[i] + 19, nullptr, 0);
         else if (!std::strncmp(argv[i], "--metrics-format=", 17))
             metrics_format = argv[i] + 17;
+        else if (!std::strncmp(argv[i], "--flows=", 8))
+            flows_path = argv[i] + 8;
         else if (!std::strncmp(argv[i], "--scenario=", 11))
             scenario_path = argv[i] + 11;
         else if (!std::strncmp(argv[i], "--row=", 6))
@@ -246,6 +260,7 @@ main(int argc, char **argv)
                              "[--metrics=FILE] "
                              "[--metrics-interval=TICKS] "
                              "[--metrics-format=jsonl|csv] "
+                             "[--flows=FILE] "
                              "[--profile] [--save-at=MS]... "
                              "[--save=FILE.snap] "
                              "[--restore=FILE.snap]\n");
@@ -305,14 +320,42 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    if (!flows_path.empty() && scenario_path.empty() && nodes <= 1) {
+        std::fprintf(stderr,
+                     "--flows needs --scenario or --nodes > 1\n");
+        return 2;
+    }
     const bool metrics_csv = metrics_format == "csv";
-    std::ofstream metrics_out;
+    // "-" streams to stdout instead of a file (metrics and flows
+    // alike; --trace handles it at write-out time below).
+    std::ofstream metrics_file;
+    std::ostream *metrics_out = nullptr;
     if (!metrics_path.empty()) {
-        metrics_out.open(metrics_path);
-        if (!metrics_out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         metrics_path.c_str());
-            return 1;
+        if (metrics_path == "-") {
+            metrics_out = &std::cout;
+        } else {
+            metrics_file.open(metrics_path);
+            if (!metrics_file) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             metrics_path.c_str());
+                return 1;
+            }
+            metrics_out = &metrics_file;
+        }
+    }
+    std::ofstream flows_file;
+    std::ostream *flows_out = nullptr;
+    if (!flows_path.empty()) {
+        if (flows_path == "-") {
+            flows_out = &std::cout;
+        } else {
+            flows_file.open(flows_path);
+            if (!flows_file) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             flows_path.c_str());
+                return 1;
+            }
+            flows_out = &flows_file;
         }
     }
 
@@ -327,8 +370,8 @@ main(int argc, char **argv)
                 opt.fidelityFast = fast_tier;
             if (!cal_path.empty())
                 opt.classCal = cal;
-            if (!metrics_path.empty())
-                opt.metricsOut = &metrics_out;
+            opt.metricsOut = metrics_out;
+            opt.flowsOut = flows_out;
             for (std::size_t k = 0; k < save_at.size(); ++k) {
                 scenario::Checkpoint ck;
                 ck.atMs = save_at[k];
@@ -344,7 +387,11 @@ main(int argc, char **argv)
             const scenario::RunResult res =
                 scenario::runScenario(sc, opt);
             const std::string rows = res.rows();
-            std::fputs(rows.c_str(), stdout);
+            // A `-` stream owns stdout; keep the report off it so the
+            // JSONL pipes clean into snap-trace/snap-report.
+            const bool streamed = metrics_out == &std::cout ||
+                                  flows_out == &std::cout;
+            std::fputs(rows.c_str(), streamed ? stderr : stdout);
             if (!row_path.empty()) {
                 std::ofstream out(row_path);
                 if (!out) {
@@ -392,17 +439,21 @@ main(int argc, char **argv)
                     n.core().enableProfile(true);
             }
             net.enableTracing(/*record=*/false);
-            if (!metrics_path.empty())
-                net.enableMetrics(metrics_out, metrics_interval,
+            if (metrics_out)
+                net.enableMetrics(*metrics_out, metrics_interval,
                                   metrics_csv);
+            if (flows_out)
+                net.enableFlows(*flows_out);
             net.start();
             auto t0 = std::chrono::steady_clock::now();
             net.runFor(sim::fromMs(ms));
             net_elapsed = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
-            if (!metrics_path.empty())
+            if (metrics_out)
                 net.finishMetrics();
+            if (flows_out)
+                net.finishFlows();
             for (std::size_t i = 0; i < net.size(); ++i) {
                 // Bring every ledger up to the final barrier: idle
                 // listening and leakage accrue lazily, so a node
@@ -475,8 +526,8 @@ main(int argc, char **argv)
     machine.core().recordTimeline(timeline);
     if (profile)
         machine.core().enableProfile(true);
-    MetricsPump pump{machine, metrics_out, metrics_interval,
-                     metrics_csv};
+    MetricsPump pump{machine, metrics_out ? *metrics_out : std::cout,
+                     metrics_interval, metrics_csv};
     double elapsed = 0.0;
     try {
         machine.load(assembler::assembleSnap(src.str(), path));
@@ -500,16 +551,21 @@ main(int argc, char **argv)
         std::printf("dbgout: %u (0x%04x)\n", v, v);
 
     if (!trace_path.empty()) {
-        std::ofstream out(trace_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         trace_path.c_str());
-            return 1;
+        std::ofstream file;
+        if (trace_path != "-") {
+            file.open(trace_path);
+            if (!file) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
         }
+        std::ostream &out = trace_path == "-" ? std::cout : file;
         if (trace_format == "vcd")
             tracer.writeVcd(out);
         else
             tracer.writeChromeJson(out);
+        out.flush();
         std::printf("trace: %llu events, hash 0x%016llx -> %s\n",
                     static_cast<unsigned long long>(
                         tracer.eventCount()),
